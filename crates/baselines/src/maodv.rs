@@ -1,0 +1,403 @@
+//! Multicast Ad hoc On-Demand Distance Vector routing (MAODV), Royer & Perkins 1999.
+//!
+//! MAODV maintains one shared multicast tree per group, rooted at a group leader (here:
+//! the multicast source). This implementation preserves the behavioural signature the
+//! paper compares against — tree-based forwarding, on-demand control traffic, the lowest
+//! control overhead of the four protocols but also the lowest delivery ratio, and slow
+//! repair under mobility — using a compact three-message realisation:
+//!
+//! * the leader floods a periodic **Group Hello** while it has traffic; the flood's
+//!   reverse paths give every node a fresh next hop towards the leader (route discovery),
+//! * members answer each Group Hello with a hop-by-hop **Join** that activates the nodes
+//!   on the reverse path as tree routers (the role MACT plays in full MAODV),
+//! * **Data** flows down the tree: a tree router accepts data only from its upstream next
+//!   hop and re-broadcasts it; everybody else overhears.
+
+use ssmcast_dessim::{SimDuration, SimTime};
+use ssmcast_manet::{DataTag, Disposition, NodeCtx, NodeId, Packet, ProtocolAgent};
+use std::collections::HashSet;
+
+/// Timer class for the periodic Group Hello at the leader.
+const TIMER_HELLO: u64 = 1;
+
+/// MAODV wire payloads.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MaodvPayload {
+    /// Flooded from the group leader; establishes/refreshes routes towards the tree root.
+    GroupHello {
+        /// Hello sequence number.
+        seq: u64,
+        /// Hops travelled so far.
+        hop: u32,
+    },
+    /// Hop-by-hop tree activation travelling towards the leader (plays the role of
+    /// RREP/MACT in full MAODV).
+    Join {
+        /// The neighbour that should process this activation next.
+        target: NodeId,
+    },
+    /// Multicast data.
+    Data,
+}
+
+/// MAODV configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct MaodvConfig {
+    /// Group Hello interval (the MAODV draft uses 5 s).
+    pub hello_interval: SimDuration,
+    /// Tree-router soft state lifetime, in hello intervals.
+    pub tree_timeout_intervals: f64,
+    /// Group Hello size, bytes.
+    pub hello_bytes: u32,
+    /// Join size, bytes.
+    pub join_bytes: u32,
+    /// Data packets buffered at the source while the tree is being built.
+    pub max_buffered: usize,
+}
+
+impl Default for MaodvConfig {
+    fn default() -> Self {
+        MaodvConfig {
+            hello_interval: SimDuration::from_secs(5),
+            tree_timeout_intervals: 2.5,
+            hello_bytes: 24,
+            join_bytes: 24,
+            max_buffered: 64,
+        }
+    }
+}
+
+/// The per-node MAODV state machine.
+#[derive(Debug)]
+pub struct MaodvAgent {
+    config: MaodvConfig,
+    hello_seen: HashSet<u64>,
+    /// Next hop towards the group leader and the hello sequence that taught it to us.
+    upstream: Option<NodeId>,
+    upstream_expires: SimTime,
+    /// This node is an activated tree router until this time.
+    on_tree_until: SimTime,
+    seen_data: HashSet<u64>,
+    /// Leader-only state.
+    hello_seq: u64,
+    last_app_data: Option<SimTime>,
+    hello_armed: bool,
+    tree_established: bool,
+    buffered: Vec<(DataTag, u32)>,
+}
+
+impl MaodvAgent {
+    /// Create an agent with the given configuration.
+    pub fn new(config: MaodvConfig) -> Self {
+        MaodvAgent {
+            config,
+            hello_seen: HashSet::new(),
+            upstream: None,
+            upstream_expires: SimTime::ZERO,
+            on_tree_until: SimTime::ZERO,
+            seen_data: HashSet::new(),
+            hello_seq: 0,
+            last_app_data: None,
+            hello_armed: false,
+            tree_established: false,
+            buffered: Vec::new(),
+        }
+    }
+
+    /// Create an agent with default parameters.
+    pub fn with_defaults() -> Self {
+        Self::new(MaodvConfig::default())
+    }
+
+    /// True if this node is an activated tree router at `now`.
+    pub fn is_tree_router(&self, now: SimTime) -> bool {
+        now < self.on_tree_until
+    }
+
+    /// The current next hop towards the group leader, if fresh.
+    pub fn upstream(&self, now: SimTime) -> Option<NodeId> {
+        if now < self.upstream_expires {
+            self.upstream
+        } else {
+            None
+        }
+    }
+
+    fn tree_timeout(&self) -> SimDuration {
+        self.config.hello_interval.mul_f64(self.config.tree_timeout_intervals)
+    }
+
+    fn send_hello(&mut self, ctx: &mut NodeCtx<'_, MaodvPayload>) {
+        let seq = self.hello_seq;
+        self.hello_seq += 1;
+        self.hello_seen.insert(seq);
+        ctx.broadcast_control(
+            self.config.hello_bytes,
+            ctx.radio.max_range_m,
+            MaodvPayload::GroupHello { seq, hop: 0 },
+        );
+    }
+
+    fn flush_buffer(&mut self, ctx: &mut NodeCtx<'_, MaodvPayload>) {
+        for (tag, size) in std::mem::take(&mut self.buffered) {
+            ctx.broadcast_data(size, ctx.radio.max_range_m, tag, MaodvPayload::Data);
+        }
+    }
+}
+
+impl ProtocolAgent for MaodvAgent {
+    type Payload = MaodvPayload;
+
+    fn start(&mut self, _ctx: &mut NodeCtx<'_, MaodvPayload>) {
+        // On-demand: the leader starts advertising only once it has data to send.
+    }
+
+    fn on_packet(
+        &mut self,
+        ctx: &mut NodeCtx<'_, MaodvPayload>,
+        packet: &Packet<MaodvPayload>,
+    ) -> Disposition {
+        match &packet.payload {
+            MaodvPayload::GroupHello { seq, hop } => {
+                if !self.hello_seen.insert(*seq) {
+                    return Disposition::Discarded;
+                }
+                // First copy of a hello arrives over the shortest path: its sender becomes
+                // our next hop towards the leader.
+                self.upstream = Some(packet.sender);
+                self.upstream_expires = ctx.now + self.tree_timeout();
+                // Members (re-)join the tree every hello period.
+                if ctx.is_member() && !ctx.is_source() {
+                    ctx.broadcast_control(
+                        self.config.join_bytes,
+                        ctx.radio.max_range_m,
+                        MaodvPayload::Join { target: packet.sender },
+                    );
+                    self.on_tree_until = ctx.now + self.tree_timeout();
+                }
+                // Relay the flood.
+                ctx.broadcast_control(
+                    self.config.hello_bytes,
+                    ctx.radio.max_range_m,
+                    MaodvPayload::GroupHello { seq: *seq, hop: hop + 1 },
+                );
+                Disposition::Consumed
+            }
+            MaodvPayload::Join { target } => {
+                if *target != ctx.id {
+                    return Disposition::Discarded;
+                }
+                self.on_tree_until = ctx.now + self.tree_timeout();
+                if ctx.is_source() {
+                    self.tree_established = true;
+                    self.flush_buffer(ctx);
+                } else if let Some(up) = self.upstream(ctx.now) {
+                    ctx.broadcast_control(
+                        self.config.join_bytes,
+                        ctx.radio.max_range_m,
+                        MaodvPayload::Join { target: up },
+                    );
+                }
+                Disposition::Consumed
+            }
+            MaodvPayload::Data => {
+                let Some(tag) = packet.data else { return Disposition::Discarded };
+                // Tree discipline: only data arriving from our upstream is ours to handle.
+                if self.upstream(ctx.now) != Some(packet.sender) && !ctx.is_source() {
+                    return Disposition::Discarded;
+                }
+                if !self.seen_data.insert(tag.seq) {
+                    return Disposition::Discarded;
+                }
+                let member = ctx.is_member() && !ctx.is_source();
+                if member {
+                    ctx.deliver_data(tag);
+                }
+                let router = self.is_tree_router(ctx.now);
+                if router {
+                    ctx.broadcast_data(packet.size_bytes, ctx.radio.max_range_m, tag, MaodvPayload::Data);
+                }
+                if member || router {
+                    Disposition::Consumed
+                } else {
+                    Disposition::Discarded
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_, MaodvPayload>, kind: u64, _key: u64) {
+        if kind != TIMER_HELLO {
+            return;
+        }
+        self.hello_armed = false;
+        let active = self
+            .last_app_data
+            .map(|t| ctx.now.saturating_since(t) <= self.tree_timeout())
+            .unwrap_or(false);
+        if active {
+            self.send_hello(ctx);
+            ctx.set_timer(self.config.hello_interval, TIMER_HELLO, 0);
+            self.hello_armed = true;
+        }
+    }
+
+    fn on_app_data(&mut self, ctx: &mut NodeCtx<'_, MaodvPayload>, tag: DataTag, size: u32) {
+        let first = self.last_app_data.is_none();
+        self.last_app_data = Some(ctx.now);
+        self.seen_data.insert(tag.seq);
+        if first || !self.hello_armed {
+            self.send_hello(ctx);
+            ctx.set_timer(self.config.hello_interval, TIMER_HELLO, 0);
+            self.hello_armed = true;
+        }
+        if self.tree_established {
+            ctx.broadcast_data(size, ctx.radio.max_range_m, tag, MaodvPayload::Data);
+        } else if self.buffered.len() < self.config.max_buffered {
+            self.buffered.push((tag, size));
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "MAODV"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ssmcast_manet::{Action, GroupId, GroupRole, PacketClass, RadioConfig, Vec2};
+
+    struct Harness {
+        radio: RadioConfig,
+        rng: StdRng,
+        actions: Vec<Action<MaodvPayload>>,
+    }
+
+    impl Harness {
+        fn new() -> Self {
+            Harness { radio: RadioConfig::default(), rng: StdRng::seed_from_u64(3), actions: Vec::new() }
+        }
+        fn ctx(&mut self, now: SimTime, id: NodeId, role: GroupRole) -> NodeCtx<'_, MaodvPayload> {
+            self.actions.clear();
+            NodeCtx::new(now, id, Vec2::ZERO, role, 50, &self.radio, &mut self.rng, &mut self.actions)
+        }
+    }
+
+    fn tag(seq: u64) -> DataTag {
+        DataTag { group: GroupId(0), origin: NodeId(0), seq, created_at: SimTime::ZERO }
+    }
+
+    #[test]
+    fn leader_floods_hello_on_first_data_and_buffers_until_join() {
+        let mut h = Harness::new();
+        let mut a = MaodvAgent::with_defaults();
+        {
+            let mut ctx = h.ctx(SimTime::from_secs(1), NodeId(0), GroupRole::Source);
+            a.on_app_data(&mut ctx, tag(1), 512);
+        }
+        assert!(h.actions.iter().any(|x| matches!(
+            x,
+            Action::Broadcast { payload: MaodvPayload::GroupHello { .. }, .. }
+        )));
+        assert_eq!(a.buffered.len(), 1, "data waits for the tree");
+        // A Join addressed to the leader establishes the tree and releases the buffer.
+        let join = Packet::control(NodeId(4), 24, MaodvPayload::Join { target: NodeId(0) });
+        {
+            let mut ctx = h.ctx(SimTime::from_secs(2), NodeId(0), GroupRole::Source);
+            assert_eq!(a.on_packet(&mut ctx, &join), Disposition::Consumed);
+        }
+        assert!(a.tree_established);
+        assert!(h.actions.iter().any(|x| matches!(x, Action::Broadcast { class: PacketClass::Data, .. })));
+    }
+
+    #[test]
+    fn members_join_on_hello_and_relays_activate_the_reverse_path() {
+        let mut h = Harness::new();
+        let mut member = MaodvAgent::with_defaults();
+        let hello = Packet::control(NodeId(6), 24, MaodvPayload::GroupHello { seq: 3, hop: 2 });
+        {
+            let mut ctx = h.ctx(SimTime::from_secs(1), NodeId(9), GroupRole::Member);
+            assert_eq!(member.on_packet(&mut ctx, &hello), Disposition::Consumed);
+        }
+        assert_eq!(member.upstream(SimTime::from_secs(2)), Some(NodeId(6)));
+        assert!(h.actions.iter().any(|x| matches!(
+            x,
+            Action::Broadcast { payload: MaodvPayload::Join { target: NodeId(6) }, .. }
+        )));
+        assert!(h.actions.iter().any(|x| matches!(
+            x,
+            Action::Broadcast { payload: MaodvPayload::GroupHello { hop: 3, .. }, .. }
+        )));
+
+        // A relay that learned its upstream forwards the activation one hop further.
+        let mut relay = MaodvAgent::with_defaults();
+        let hello2 = Packet::control(NodeId(2), 24, MaodvPayload::GroupHello { seq: 3, hop: 1 });
+        {
+            let mut ctx = h.ctx(SimTime::from_secs(1), NodeId(6), GroupRole::NonMember);
+            relay.on_packet(&mut ctx, &hello2);
+        }
+        let join = Packet::control(NodeId(9), 24, MaodvPayload::Join { target: NodeId(6) });
+        {
+            let mut ctx = h.ctx(SimTime::from_secs(1), NodeId(6), GroupRole::NonMember);
+            assert_eq!(relay.on_packet(&mut ctx, &join), Disposition::Consumed);
+        }
+        assert!(relay.is_tree_router(SimTime::from_secs(2)));
+        assert!(h.actions.iter().any(|x| matches!(
+            x,
+            Action::Broadcast { payload: MaodvPayload::Join { target: NodeId(2) }, .. }
+        )));
+        // Activation soft state eventually expires (slow repair under mobility).
+        assert!(!relay.is_tree_router(SimTime::from_secs(60)));
+    }
+
+    #[test]
+    fn data_follows_the_tree_and_everything_else_is_overheard() {
+        let mut h = Harness::new();
+        let mut a = MaodvAgent::with_defaults();
+        // Learn upstream (node 1) and become an activated router.
+        let hello = Packet::control(NodeId(1), 24, MaodvPayload::GroupHello { seq: 0, hop: 1 });
+        let join = Packet::control(NodeId(8), 24, MaodvPayload::Join { target: NodeId(4) });
+        {
+            let mut ctx = h.ctx(SimTime::from_secs(1), NodeId(4), GroupRole::Member);
+            a.on_packet(&mut ctx, &hello);
+            a.on_packet(&mut ctx, &join);
+        }
+        // Data from the upstream is delivered and forwarded.
+        let data = Packet::data(NodeId(1), 512, tag(1), MaodvPayload::Data);
+        {
+            let mut ctx = h.ctx(SimTime::from_secs(2), NodeId(4), GroupRole::Member);
+            assert_eq!(a.on_packet(&mut ctx, &data), Disposition::Consumed);
+        }
+        assert!(h.actions.iter().any(|x| matches!(x, Action::DeliverData { .. })));
+        assert!(h.actions.iter().any(|x| matches!(x, Action::Broadcast { class: PacketClass::Data, .. })));
+        // Data from a non-upstream neighbour is overhearing.
+        let stray = Packet::data(NodeId(7), 512, tag(2), MaodvPayload::Data);
+        {
+            let mut ctx = h.ctx(SimTime::from_secs(2), NodeId(4), GroupRole::Member);
+            assert_eq!(a.on_packet(&mut ctx, &stray), Disposition::Discarded);
+        }
+        // Duplicate hello is suppressed.
+        {
+            let mut ctx = h.ctx(SimTime::from_secs(2), NodeId(4), GroupRole::Member);
+            assert_eq!(a.on_packet(&mut ctx, &hello), Disposition::Discarded);
+        }
+    }
+
+    #[test]
+    fn hello_stops_when_traffic_stops() {
+        let mut h = Harness::new();
+        let mut a = MaodvAgent::with_defaults();
+        {
+            let mut ctx = h.ctx(SimTime::from_secs(1), NodeId(0), GroupRole::Source);
+            a.on_app_data(&mut ctx, tag(1), 512);
+        }
+        {
+            let mut ctx = h.ctx(SimTime::from_secs(200), NodeId(0), GroupRole::Source);
+            a.on_timer(&mut ctx, TIMER_HELLO, 0);
+        }
+        assert!(!h.actions.iter().any(|x| matches!(x, Action::Broadcast { .. })));
+    }
+}

@@ -1,0 +1,46 @@
+//! Figures 1–6: the paper's worked example. Prints the stabilized tree, round count and
+//! per-packet energy for every metric (the content of Figures 2, 3, 4 and 6), then times
+//! the SS-SPST-E stabilization itself.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ssmcast_core::{figure1_topology, run_all_examples, MetricKind, MetricParams, SyncModel};
+use ssmcast_manet::NodeId;
+
+fn print_figure_tables() {
+    let topo = figure1_topology();
+    println!("\n=== Figures 1-6: SS-SPST variants on the example topology ===");
+    println!(
+        "{:<12} {:>7} {:>10} {:>12} {:>18}",
+        "protocol", "rounds", "max depth", "parent(3)", "energy/packet (mJ)"
+    );
+    for r in run_all_examples() {
+        println!(
+            "{:<12} {:>7} {:>10} {:>12} {:>18.3}",
+            r.kind.protocol_name(),
+            r.rounds,
+            r.tree.max_depth(),
+            r.tree.parent(NodeId(3)).map(|p| p.to_string()).unwrap_or_else(|| "-".into()),
+            r.per_packet_energy * 1e3
+        );
+        for (p, c, d) in r.tree.edges(&topo) {
+            println!("    {:>2} -> {:<2} {:>8.2} m", p, c, d.unwrap_or(f64::NAN));
+        }
+    }
+}
+
+fn bench_example_stabilization(c: &mut Criterion) {
+    print_figure_tables();
+    let mut group = c.benchmark_group("fig01_06");
+    group.sample_size(20);
+    group.bench_function("stabilize_energy_aware", |b| {
+        b.iter(|| {
+            let mut model =
+                SyncModel::new(figure1_topology(), MetricKind::EnergyAware, MetricParams::default());
+            black_box(model.run_to_stabilization(200))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_example_stabilization);
+criterion_main!(benches);

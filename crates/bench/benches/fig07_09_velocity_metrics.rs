@@ -1,0 +1,38 @@
+//! Figures 7, 8 and 9: packet delivery ratio, unavailability ratio and energy per packet
+//! as a function of node velocity, for the four SS-SPST cost metrics. The bench prints the
+//! regenerated figure tables once (reduced scale; see EXPERIMENTS.md), then times one
+//! representative simulation cell.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ssmcast_core::MetricKind;
+use ssmcast_scenario::{figure_to_text, run_figure, run_single_cell, FigureId, ProtocolKind};
+
+/// Scale factor for the printed figures: 0.2 → 36 simulated seconds per cell.
+const SCALE: f64 = 0.2;
+
+fn print_figures() {
+    for id in [FigureId::Fig7, FigureId::Fig8, FigureId::Fig9] {
+        let result = run_figure(id, SCALE, 1);
+        println!("\n{}", figure_to_text(&result));
+    }
+}
+
+fn bench_velocity_cell(c: &mut Criterion) {
+    print_figures();
+    let mut group = c.benchmark_group("fig07_09");
+    group.sample_size(10);
+    group.bench_function("ss_spst_e_cell_v10", |b| {
+        b.iter(|| {
+            black_box(run_single_cell(
+                FigureId::Fig7,
+                10.0,
+                ProtocolKind::SsSpst(MetricKind::EnergyAware),
+                SCALE,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_velocity_cell);
+criterion_main!(benches);

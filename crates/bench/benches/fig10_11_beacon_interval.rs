@@ -1,0 +1,36 @@
+//! Figures 10 and 11: packet delivery ratio and energy per packet as a function of the
+//! beacon interval, SS-SPST vs SS-SPST-E. Prints the regenerated tables, then times one
+//! representative cell.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ssmcast_core::MetricKind;
+use ssmcast_scenario::{figure_to_text, run_figure, run_single_cell, FigureId, ProtocolKind};
+
+const SCALE: f64 = 0.2;
+
+fn print_figures() {
+    for id in [FigureId::Fig10, FigureId::Fig11] {
+        let result = run_figure(id, SCALE, 1);
+        println!("\n{}", figure_to_text(&result));
+    }
+}
+
+fn bench_beacon_cell(c: &mut Criterion) {
+    print_figures();
+    let mut group = c.benchmark_group("fig10_11");
+    group.sample_size(10);
+    group.bench_function("ss_spst_e_beacon_2s", |b| {
+        b.iter(|| {
+            black_box(run_single_cell(
+                FigureId::Fig10,
+                2.0,
+                ProtocolKind::SsSpst(MetricKind::EnergyAware),
+                SCALE,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_beacon_cell);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figures 12, 13 and 15: packet delivery ratio, control overhead and average delay as a
+//! function of multicast group size, for MAODV, SS-SPST, SS-SPST-E and ODMRP. Prints the
+//! regenerated tables, then times one representative cell.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ssmcast_scenario::{figure_to_text, run_figure, run_single_cell, FigureId, ProtocolKind};
+
+const SCALE: f64 = 0.2;
+
+fn print_figures() {
+    for id in [FigureId::Fig12, FigureId::Fig13, FigureId::Fig15] {
+        let result = run_figure(id, SCALE, 1);
+        println!("\n{}", figure_to_text(&result));
+    }
+}
+
+fn bench_group_size_cell(c: &mut Criterion) {
+    print_figures();
+    let mut group = c.benchmark_group("fig12_13_15");
+    group.sample_size(10);
+    group.bench_function("odmrp_group30", |b| {
+        b.iter(|| black_box(run_single_cell(FigureId::Fig12, 30.0, ProtocolKind::Odmrp, SCALE)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_group_size_cell);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figures 14 and 16: packet delivery ratio and energy per delivered packet as a function
+//! of velocity, comparing MAODV, SS-SPST, SS-SPST-E and ODMRP. Prints the regenerated
+//! tables, then times one representative cell.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ssmcast_scenario::{figure_to_text, run_figure, run_single_cell, FigureId, ProtocolKind};
+
+const SCALE: f64 = 0.2;
+
+fn print_figures() {
+    for id in [FigureId::Fig14, FigureId::Fig16] {
+        let result = run_figure(id, SCALE, 1);
+        println!("\n{}", figure_to_text(&result));
+    }
+}
+
+fn bench_protocol_cell(c: &mut Criterion) {
+    print_figures();
+    let mut group = c.benchmark_group("fig14_16");
+    group.sample_size(10);
+    group.bench_function("maodv_cell_v10", |b| {
+        b.iter(|| black_box(run_single_cell(FigureId::Fig14, 10.0, ProtocolKind::Maodv, SCALE)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocol_cell);
+criterion_main!(benches);

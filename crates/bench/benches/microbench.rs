@@ -1,0 +1,60 @@
+//! Engine and algorithm microbenchmarks: event-queue throughput, metric evaluation and
+//! synchronous stabilization of the paper's example topology.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ssmcast_core::{cost_via, figure1_topology, MetricKind, MetricParams, ParentView, SyncModel};
+use ssmcast_dessim::{SimTime, Simulator};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("dessim/schedule_and_drain_10k_events", |b| {
+        b.iter(|| {
+            let mut sim: Simulator<u64> = Simulator::with_capacity(10_000);
+            for i in 0..10_000u64 {
+                // Pseudo-random but deterministic timestamps.
+                let t = i.wrapping_mul(2654435761) % 1_000_000;
+                sim.schedule_at(SimTime::from_nanos(t), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = sim.pop_next() {
+                acc = acc.wrapping_add(v);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_metric_evaluation(c: &mut Criterion) {
+    let params = MetricParams::default();
+    let view = ParentView {
+        cost: 0.012,
+        hop: 3,
+        child_distances: vec![80.0, 120.0, 145.0, 60.0],
+        non_member_neighbor_distances: vec![55.0, 90.0, 130.0, 170.0, 210.0],
+    };
+    c.bench_function("core/join_overhead_energy_aware", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for d in 10..250 {
+                acc += cost_via(MetricKind::EnergyAware, &params, black_box(&view), d as f64);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_sync_stabilization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("core/sync_stabilization_figure1");
+    group.sample_size(20);
+    for kind in MetricKind::ALL {
+        group.bench_function(kind.protocol_name(), |b| {
+            b.iter(|| {
+                let mut model = SyncModel::new(figure1_topology(), kind, MetricParams::default());
+                black_box(model.run_to_stabilization(200))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_metric_evaluation, bench_sync_stabilization);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! # ssmcast-bench — the benchmark harness
+//!
+//! This crate holds the Criterion benchmarks that regenerate the paper's evaluation
+//! figures (see the `benches/` directory and EXPERIMENTS.md). The library itself is empty;
+//! everything lives in the bench targets:
+//!
+//! * `microbench` — event-queue, metric evaluation and stabilization microbenchmarks.
+//! * `fig01_06_paper_example` — the worked example of Figures 1–6.
+//! * `fig07_09_velocity_metrics` — Figures 7–9 (SS-SPST variants vs velocity).
+//! * `fig10_11_beacon_interval` — Figures 10–11 (beacon interval trade-off).
+//! * `fig12_13_15_group_size` — Figures 12, 13, 15 (group-size scalability).
+//! * `fig14_16_velocity_protocols` — Figures 14, 16 (protocol comparison vs velocity).

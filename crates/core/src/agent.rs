@@ -1,0 +1,680 @@
+//! Event-driven SS-SPST agent for the MANET simulator.
+//!
+//! One [`SsSpstAgent`] runs on every node. Each beacon interval the agent
+//!
+//! 1. expires neighbours it has not heard from,
+//! 2. re-evaluates the guarded commands (same rules as [`crate::sync_model`], but over the
+//!    beacon-built neighbour table instead of global knowledge),
+//! 3. recomputes its bottom-up pruning flag, and
+//! 4. broadcasts its own beacon at maximum range.
+//!
+//! Data packets flow down the tree: a node accepts data only from its current parent,
+//! delivers it locally if it is a member, and re-broadcasts it with just enough power to
+//! reach its farthest child that still leads to members. Data heard from any other node is
+//! overhearing and is discarded — exactly the energy the SS-SPST-E metric tries to avoid.
+
+use crate::beacon::Beacon;
+use crate::metric::{cost_via, MetricKind, MetricParams, ParentView};
+use ssmcast_dessim::{SimDuration, SimTime};
+use ssmcast_manet::{DataTag, Disposition, NodeCtx, NodeId, Packet, ProtocolAgent, Vec2};
+use std::collections::{HashMap, HashSet};
+
+/// Timer class used for the periodic beacon.
+const TIMER_BEACON: u64 = 1;
+
+/// Wire payload of the SS-SPST family: either a beacon or a data frame (whose application
+/// identity travels in [`ssmcast_manet::Packet::data`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum SsSpstPayload {
+    /// Periodic control beacon.
+    Beacon(Beacon),
+    /// Multicast data being forwarded down the tree.
+    Data,
+}
+
+/// Configuration of an [`SsSpstAgent`].
+#[derive(Clone, Copy, Debug)]
+pub struct SsSpstConfig {
+    /// Which cost metric to stabilize (selects SS-SPST, -T, -F or -E).
+    pub kind: MetricKind,
+    /// Energy-pricing parameters.
+    pub params: MetricParams,
+    /// Beacon interval (the paper uses 2 s unless it is the swept parameter).
+    pub beacon_interval: SimDuration,
+    /// A neighbour is dropped after this many beacon intervals of silence.
+    pub neighbor_timeout_intervals: f64,
+    /// Data transmissions reach the farthest relevant child scaled by this margin, to
+    /// absorb movement since the child's last beacon.
+    pub range_margin: f64,
+    /// A node abandons a still-valid parent only for a relative improvement larger than
+    /// this (hysteresis against tree flapping).
+    pub switch_margin: f64,
+}
+
+impl SsSpstConfig {
+    /// The paper's defaults for a given metric: 2 s beacons, 2.5-interval neighbour
+    /// timeout, 10 % range margin, 5 % switch hysteresis.
+    pub fn paper_default(kind: MetricKind) -> Self {
+        SsSpstConfig {
+            kind,
+            params: MetricParams::default(),
+            beacon_interval: SimDuration::from_secs(2),
+            neighbor_timeout_intervals: 2.5,
+            range_margin: 1.10,
+            switch_margin: 0.05,
+        }
+    }
+
+    /// Same defaults but with a custom beacon interval (Figures 10 and 11).
+    pub fn with_beacon_interval(kind: MetricKind, interval: SimDuration) -> Self {
+        SsSpstConfig { beacon_interval: interval, ..Self::paper_default(kind) }
+    }
+}
+
+/// What this node last heard from one neighbour.
+#[derive(Clone, Debug)]
+struct NeighborEntry {
+    /// Distance to the neighbour, derived from the position it advertised.
+    distance: f64,
+    cost: f64,
+    hop: u32,
+    member: bool,
+    has_downstream_member: bool,
+    /// True if the neighbour's advertised parent is this node (i.e. it is our child).
+    parent_is_me: bool,
+    /// Distances to the neighbour's children other than this node.
+    child_distances_excluding_me: Vec<f64>,
+    /// Distances to the neighbour's potential overhearers (SS-SPST-E beacons only).
+    non_member_neighbor_distances: Vec<f64>,
+    last_heard: SimTime,
+}
+
+/// The per-node SS-SPST protocol state machine.
+#[derive(Debug)]
+pub struct SsSpstAgent {
+    config: SsSpstConfig,
+    cost: f64,
+    hop: u32,
+    parent: Option<NodeId>,
+    infinity_cost: f64,
+    max_hops: u32,
+    has_downstream_member: bool,
+    neighbors: HashMap<NodeId, NeighborEntry>,
+    seen_data: HashSet<u64>,
+    parent_changes: u64,
+    beacons_sent: u64,
+}
+
+impl SsSpstAgent {
+    /// Create an agent with the given configuration.
+    pub fn new(config: SsSpstConfig) -> Self {
+        SsSpstAgent {
+            config,
+            cost: f64::INFINITY,
+            hop: u32::MAX,
+            parent: None,
+            infinity_cost: f64::INFINITY,
+            max_hops: u32::MAX,
+            has_downstream_member: false,
+            neighbors: HashMap::new(),
+            seen_data: HashSet::new(),
+            parent_changes: 0,
+            beacons_sent: 0,
+        }
+    }
+
+    /// The metric this agent stabilizes.
+    pub fn kind(&self) -> MetricKind {
+        self.config.kind
+    }
+
+    /// Current parent (None while disconnected or at the source).
+    pub fn parent(&self) -> Option<NodeId> {
+        self.parent
+    }
+
+    /// Current accumulated cost `l_v`.
+    pub fn cost(&self) -> f64 {
+        self.cost
+    }
+
+    /// Current hop count `h_v`.
+    pub fn hop(&self) -> u32 {
+        self.hop
+    }
+
+    /// Number of times this node switched parents (tree churn indicator).
+    pub fn parent_changes(&self) -> u64 {
+        self.parent_changes
+    }
+
+    /// Number of beacons transmitted.
+    pub fn beacons_sent(&self) -> u64 {
+        self.beacons_sent
+    }
+
+    /// True if this node currently believes its subtree contains a group member.
+    pub fn has_downstream_member(&self) -> bool {
+        self.has_downstream_member
+    }
+
+    /// Ids of the neighbours currently claiming this node as their parent.
+    pub fn children(&self, me: NodeId) -> Vec<NodeId> {
+        let _ = me;
+        let mut v: Vec<NodeId> =
+            self.neighbors.iter().filter(|(_, e)| e.parent_is_me).map(|(id, _)| *id).collect();
+        v.sort();
+        v
+    }
+
+    fn neighbor_timeout(&self) -> SimDuration {
+        self.config.beacon_interval.mul_f64(self.config.neighbor_timeout_intervals)
+    }
+
+    fn expire_neighbors(&mut self, now: SimTime) {
+        let timeout = self.neighbor_timeout();
+        self.neighbors.retain(|_, e| now.saturating_since(e.last_heard) <= timeout);
+    }
+
+    /// The `E_init` / hop bound used by the guarded commands, derived from network size
+    /// and radio limits the first time the agent runs.
+    fn initialise_bounds(&mut self, ctx: &NodeCtx<'_, SsSpstPayload>) {
+        let n = ctx.n_nodes.max(1) as f64;
+        self.max_hops = ctx.n_nodes.max(1) as u32;
+        self.infinity_cost = match self.config.kind {
+            MetricKind::Hop => n * n + 1.0,
+            _ => {
+                let worst = self.config.params.tx(ctx.radio.max_range_m);
+                n * (worst + n * self.config.params.rx()) + 1.0
+            }
+        };
+        if self.cost.is_infinite() {
+            self.cost = self.infinity_cost;
+            self.hop = self.max_hops;
+        }
+    }
+
+    /// Build the [`ParentView`] of neighbour `u` as seen from this node.
+    fn view_of(&self, u: NodeId, entry: &NeighborEntry) -> ParentView {
+        let _ = u;
+        ParentView {
+            cost: entry.cost,
+            hop: entry.hop,
+            child_distances: entry.child_distances_excluding_me.clone(),
+            non_member_neighbor_distances: entry.non_member_neighbor_distances.clone(),
+        }
+    }
+
+    /// Re-evaluate the guarded commands against the current neighbour table.
+    fn stabilize(&mut self, ctx: &NodeCtx<'_, SsSpstPayload>) {
+        if ctx.is_source() {
+            self.cost = 0.0;
+            self.hop = 0;
+            self.parent = None;
+            return;
+        }
+        let mut best: Option<(NodeId, f64, u32)> = None;
+        let mut via_current: Option<(f64, u32)> = None;
+        for (&u, entry) in &self.neighbors {
+            if entry.cost >= self.infinity_cost || entry.hop.saturating_add(1) > self.max_hops {
+                continue;
+            }
+            let view = self.view_of(u, entry);
+            let c = cost_via(self.config.kind, &self.config.params, &view, entry.distance);
+            let h = entry.hop + 1;
+            if self.parent == Some(u) {
+                via_current = Some((c, h));
+            }
+            match best {
+                None => best = Some((u, c, h)),
+                Some((bu, bc, _)) => {
+                    if c < bc - 1e-12 || ((c - bc).abs() <= 1e-12 && u < bu) {
+                        best = Some((u, c, h));
+                    }
+                }
+            }
+        }
+        match best {
+            None => {
+                if self.parent.is_some() {
+                    self.parent_changes += 1;
+                }
+                self.parent = None;
+                self.cost = self.infinity_cost;
+                self.hop = self.max_hops;
+            }
+            Some((bu, bc, bh)) => {
+                if let (Some(p), Some((cc, ch))) = (self.parent, via_current) {
+                    if cc <= bc * (1.0 + self.config.switch_margin) + 1e-12 {
+                        self.cost = cc;
+                        self.hop = ch;
+                        let _ = p;
+                        return;
+                    }
+                }
+                if self.parent != Some(bu) {
+                    self.parent_changes += 1;
+                }
+                self.parent = Some(bu);
+                self.cost = bc;
+                self.hop = bh;
+            }
+        }
+    }
+
+    /// Recompute the bottom-up pruning flag from the children's advertised flags.
+    fn refresh_downstream_flag(&mut self, ctx: &NodeCtx<'_, SsSpstPayload>) {
+        let from_children = self
+            .neighbors
+            .values()
+            .any(|e| e.parent_is_me && e.has_downstream_member);
+        self.has_downstream_member = ctx.is_member() || from_children;
+    }
+
+    /// Children (id, distance) that lead to group members — the ones data must reach.
+    fn forwarding_children(&self) -> Vec<(NodeId, f64)> {
+        self.neighbors
+            .iter()
+            .filter(|(_, e)| e.parent_is_me && e.has_downstream_member)
+            .map(|(id, e)| (*id, e.distance))
+            .collect()
+    }
+
+    /// Broadcast the data identified by `tag`, if this node has anyone to forward it to.
+    ///
+    /// The energy-aware variants use power control (reach the farthest relevant child,
+    /// plus a margin for movement since its last beacon); plain SS-SPST is not
+    /// energy-aware and transmits at full power, exactly the behaviour its hop metric
+    /// prices at zero.
+    fn forward_data(&mut self, ctx: &mut NodeCtx<'_, SsSpstPayload>, tag: DataTag, size: u32) {
+        let targets = self.forwarding_children();
+        if targets.is_empty() {
+            return;
+        }
+        let range = if self.config.kind.is_energy_based() {
+            let far = targets.iter().map(|(_, d)| *d).fold(0.0, f64::max);
+            (far * self.config.range_margin).min(ctx.radio.max_range_m)
+        } else {
+            ctx.radio.max_range_m
+        };
+        ctx.broadcast_data(size, range, tag, SsSpstPayload::Data);
+    }
+
+    /// Emit this node's beacon.
+    fn send_beacon(&mut self, ctx: &mut NodeCtx<'_, SsSpstPayload>) {
+        let children: Vec<(NodeId, f64)> = self
+            .neighbors
+            .iter()
+            .filter(|(_, e)| e.parent_is_me)
+            .map(|(id, e)| (*id, e.distance))
+            .collect();
+        let non_member_neighbor_distances = if self.config.kind == MetricKind::EnergyAware {
+            self.neighbors
+                .iter()
+                .filter(|(id, e)| {
+                    !e.member && !e.parent_is_me && self.parent != Some(**id)
+                })
+                .map(|(_, e)| e.distance)
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let beacon = Beacon {
+            position: ctx.position,
+            cost: self.cost,
+            hop: self.hop,
+            parent: self.parent,
+            member: ctx.is_member(),
+            has_downstream_member: self.has_downstream_member,
+            children,
+            non_member_neighbor_distances,
+        };
+        let size = beacon.wire_size(self.config.kind);
+        ctx.broadcast_control(size, ctx.radio.max_range_m, SsSpstPayload::Beacon(beacon));
+        self.beacons_sent += 1;
+    }
+
+    fn schedule_next_beacon(&self, ctx: &mut NodeCtx<'_, SsSpstPayload>) {
+        // Desynchronise beacons slightly so they do not all collide every interval.
+        let jitter = ctx.jitter(self.config.beacon_interval.mul_f64(0.1));
+        let delay = self.config.beacon_interval.mul_f64(0.95) + jitter;
+        ctx.set_timer(delay, TIMER_BEACON, 0);
+    }
+}
+
+impl NeighborEntry {
+    fn from_beacon(me: NodeId, my_pos: Vec2, b: &Beacon, now: SimTime) -> Self {
+        let distance = my_pos.distance(&b.position);
+        NeighborEntry {
+            distance,
+            cost: b.cost,
+            hop: b.hop,
+            member: b.member,
+            has_downstream_member: b.has_downstream_member,
+            parent_is_me: b.parent == Some(me),
+            child_distances_excluding_me: b
+                .children
+                .iter()
+                .filter(|(c, _)| *c != me)
+                .map(|(_, d)| *d)
+                .collect(),
+            non_member_neighbor_distances: b.non_member_neighbor_distances.clone(),
+            last_heard: now,
+        }
+    }
+}
+
+impl ProtocolAgent for SsSpstAgent {
+    type Payload = SsSpstPayload;
+
+    fn start(&mut self, ctx: &mut NodeCtx<'_, SsSpstPayload>) {
+        self.initialise_bounds(ctx);
+        if ctx.is_source() {
+            self.cost = 0.0;
+            self.hop = 0;
+        }
+        self.has_downstream_member = ctx.is_member();
+        // First beacon goes out after a random fraction of the interval so the network does
+        // not fire in lockstep at t = 0.
+        let delay = ctx.jitter(self.config.beacon_interval);
+        ctx.set_timer(delay, TIMER_BEACON, 0);
+    }
+
+    fn on_packet(
+        &mut self,
+        ctx: &mut NodeCtx<'_, SsSpstPayload>,
+        packet: &Packet<SsSpstPayload>,
+    ) -> Disposition {
+        match &packet.payload {
+            SsSpstPayload::Beacon(beacon) => {
+                let entry = NeighborEntry::from_beacon(ctx.id, ctx.position, beacon, ctx.now);
+                self.neighbors.insert(packet.sender, entry);
+                Disposition::Consumed
+            }
+            SsSpstPayload::Data => {
+                let Some(tag) = packet.data else { return Disposition::Discarded };
+                // Tree semantics: only data arriving from the current parent is mine to
+                // consume; everything else is overhearing.
+                if Some(packet.sender) != self.parent {
+                    return Disposition::Discarded;
+                }
+                if !self.seen_data.insert(tag.seq) {
+                    return Disposition::Discarded;
+                }
+                if ctx.is_member() && !ctx.is_source() {
+                    ctx.deliver_data(tag);
+                }
+                self.forward_data(ctx, tag, packet.size_bytes);
+                Disposition::Consumed
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_, SsSpstPayload>, kind: u64, _key: u64) {
+        if kind != TIMER_BEACON {
+            return;
+        }
+        self.initialise_bounds(ctx);
+        self.expire_neighbors(ctx.now);
+        self.stabilize(ctx);
+        self.refresh_downstream_flag(ctx);
+        self.send_beacon(ctx);
+        self.schedule_next_beacon(ctx);
+    }
+
+    fn on_app_data(&mut self, ctx: &mut NodeCtx<'_, SsSpstPayload>, tag: DataTag, size: u32) {
+        self.seen_data.insert(tag.seq);
+        self.forward_data(ctx, tag, size);
+    }
+
+    fn label(&self) -> &'static str {
+        self.config.kind.protocol_name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ssmcast_manet::{Action, GroupRole, PacketClass, RadioConfig};
+
+    struct Harness {
+        radio: RadioConfig,
+        rng: StdRng,
+        actions: Vec<Action<SsSpstPayload>>,
+    }
+
+    impl Harness {
+        fn new() -> Self {
+            Harness { radio: RadioConfig::default(), rng: StdRng::seed_from_u64(5), actions: Vec::new() }
+        }
+
+        fn ctx<'a>(
+            &'a mut self,
+            now: SimTime,
+            id: NodeId,
+            pos: Vec2,
+            role: GroupRole,
+        ) -> NodeCtx<'a, SsSpstPayload> {
+            self.actions.clear();
+            NodeCtx::new(now, id, pos, role, 10, &self.radio, &mut self.rng, &mut self.actions)
+        }
+    }
+
+    fn beacon_from(cost: f64, hop: u32, pos: Vec2, member: bool, downstream: bool) -> Beacon {
+        Beacon {
+            position: pos,
+            cost,
+            hop,
+            parent: None,
+            member,
+            has_downstream_member: downstream,
+            children: vec![],
+            non_member_neighbor_distances: vec![],
+        }
+    }
+
+    #[test]
+    fn start_schedules_a_beacon_timer_and_sets_source_state() {
+        let mut h = Harness::new();
+        let mut agent = SsSpstAgent::new(SsSpstConfig::paper_default(MetricKind::EnergyAware));
+        {
+            let mut ctx = h.ctx(SimTime::ZERO, NodeId(0), Vec2::ZERO, GroupRole::Source);
+            agent.start(&mut ctx);
+        }
+        assert_eq!(agent.cost(), 0.0);
+        assert_eq!(agent.hop(), 0);
+        assert!(agent.has_downstream_member());
+        assert!(matches!(h.actions[0], Action::SetTimer { kind: TIMER_BEACON, .. }));
+    }
+
+    #[test]
+    fn beacon_reception_populates_neighbor_table_and_stabilization_picks_a_parent() {
+        let mut h = Harness::new();
+        let mut agent = SsSpstAgent::new(SsSpstConfig::paper_default(MetricKind::EnergyAware));
+        let me = NodeId(2);
+        let my_pos = Vec2::new(100.0, 0.0);
+        {
+            let mut ctx = h.ctx(SimTime::ZERO, me, my_pos, GroupRole::Member);
+            agent.start(&mut ctx);
+        }
+        // Hear the source's beacon from 100 m away.
+        let pkt = Packet::control(
+            NodeId(0),
+            32,
+            SsSpstPayload::Beacon(beacon_from(0.0, 0, Vec2::ZERO, true, true)),
+        );
+        {
+            let mut ctx = h.ctx(SimTime::from_secs(1), me, my_pos, GroupRole::Member);
+            assert_eq!(agent.on_packet(&mut ctx, &pkt), Disposition::Consumed);
+        }
+        // Beacon timer fires: the agent stabilizes onto the source and emits its own beacon.
+        {
+            let mut ctx = h.ctx(SimTime::from_secs(2), me, my_pos, GroupRole::Member);
+            agent.on_timer(&mut ctx, TIMER_BEACON, 0);
+        }
+        assert_eq!(agent.parent(), Some(NodeId(0)));
+        assert!(agent.cost() < agent.infinity_cost);
+        assert_eq!(agent.hop(), 1);
+        assert!(agent.has_downstream_member(), "members always set the pruning flag");
+        let broadcast = h.actions.iter().find(|a| matches!(a, Action::Broadcast { .. }));
+        assert!(broadcast.is_some(), "a beacon must be emitted every interval");
+        if let Some(Action::Broadcast { class, payload, .. }) = broadcast {
+            assert_eq!(*class, PacketClass::Control);
+            assert!(matches!(payload, SsSpstPayload::Beacon(_)));
+        }
+    }
+
+    #[test]
+    fn stale_neighbors_are_expired_and_the_node_detaches() {
+        let mut h = Harness::new();
+        let mut agent = SsSpstAgent::new(SsSpstConfig::paper_default(MetricKind::Hop));
+        let me = NodeId(2);
+        let my_pos = Vec2::new(100.0, 0.0);
+        {
+            let mut ctx = h.ctx(SimTime::ZERO, me, my_pos, GroupRole::Member);
+            agent.start(&mut ctx);
+        }
+        let pkt = Packet::control(
+            NodeId(0),
+            32,
+            SsSpstPayload::Beacon(beacon_from(0.0, 0, Vec2::ZERO, true, true)),
+        );
+        {
+            let mut ctx = h.ctx(SimTime::from_secs(1), me, my_pos, GroupRole::Member);
+            agent.on_packet(&mut ctx, &pkt);
+        }
+        {
+            let mut ctx = h.ctx(SimTime::from_secs(2), me, my_pos, GroupRole::Member);
+            agent.on_timer(&mut ctx, TIMER_BEACON, 0);
+        }
+        assert_eq!(agent.parent(), Some(NodeId(0)));
+        // No further beacons: after the timeout (2.5 × 2 s) the neighbour is dropped and the
+        // node falls back to the disconnected state.
+        {
+            let mut ctx = h.ctx(SimTime::from_secs(10), me, my_pos, GroupRole::Member);
+            agent.on_timer(&mut ctx, TIMER_BEACON, 0);
+        }
+        assert_eq!(agent.parent(), None, "losing all beacons is a fault; the node detaches");
+        assert!(agent.cost() >= agent.infinity_cost);
+    }
+
+    #[test]
+    fn data_from_parent_is_delivered_and_forwarded_data_from_others_is_overheard() {
+        let mut h = Harness::new();
+        let mut agent = SsSpstAgent::new(SsSpstConfig::paper_default(MetricKind::EnergyAware));
+        let me = NodeId(2);
+        let my_pos = Vec2::new(100.0, 0.0);
+        {
+            let mut ctx = h.ctx(SimTime::ZERO, me, my_pos, GroupRole::Member);
+            agent.start(&mut ctx);
+        }
+        // Learn about the source and a downstream child (node 5) that claims us as parent.
+        let src_beacon = Packet::control(
+            NodeId(0),
+            32,
+            SsSpstPayload::Beacon(beacon_from(0.0, 0, Vec2::ZERO, true, true)),
+        );
+        let mut child_beacon_inner = beacon_from(10.0, 2, Vec2::new(180.0, 0.0), true, true);
+        child_beacon_inner.parent = Some(me);
+        let child_beacon = Packet::control(NodeId(5), 32, SsSpstPayload::Beacon(child_beacon_inner));
+        {
+            let mut ctx = h.ctx(SimTime::from_secs(1), me, my_pos, GroupRole::Member);
+            agent.on_packet(&mut ctx, &src_beacon);
+            agent.on_packet(&mut ctx, &child_beacon);
+        }
+        {
+            let mut ctx = h.ctx(SimTime::from_secs(2), me, my_pos, GroupRole::Member);
+            agent.on_timer(&mut ctx, TIMER_BEACON, 0);
+        }
+        assert_eq!(agent.parent(), Some(NodeId(0)));
+
+        let tag = DataTag { group: Default::default(), origin: NodeId(0), seq: 1, created_at: SimTime::from_secs(3) };
+        let data_from_parent = Packet::data(NodeId(0), 512, tag, SsSpstPayload::Data);
+        let disposition;
+        let actions_snapshot;
+        {
+            let mut ctx = h.ctx(SimTime::from_secs(3), me, my_pos, GroupRole::Member);
+            disposition = agent.on_packet(&mut ctx, &data_from_parent);
+            actions_snapshot = h.actions.clone();
+        }
+        assert_eq!(disposition, Disposition::Consumed);
+        assert!(
+            actions_snapshot.iter().any(|a| matches!(a, Action::DeliverData { .. })),
+            "member delivers data locally"
+        );
+        assert!(
+            actions_snapshot.iter().any(|a| matches!(a, Action::Broadcast { class: PacketClass::Data, .. })),
+            "node forwards to its downstream child"
+        );
+
+        // A duplicate, or data from a non-parent, is pure overhearing.
+        {
+            let mut ctx = h.ctx(SimTime::from_secs(3), me, my_pos, GroupRole::Member);
+            assert_eq!(agent.on_packet(&mut ctx, &data_from_parent), Disposition::Discarded);
+        }
+        let tag2 = DataTag { seq: 2, ..tag };
+        let stranger = Packet::data(NodeId(9), 512, tag2, SsSpstPayload::Data);
+        {
+            let mut ctx = h.ctx(SimTime::from_secs(4), me, my_pos, GroupRole::Member);
+            assert_eq!(agent.on_packet(&mut ctx, &stranger), Disposition::Discarded);
+        }
+    }
+
+    #[test]
+    fn leaf_without_downstream_members_does_not_forward() {
+        let mut h = Harness::new();
+        let mut agent = SsSpstAgent::new(SsSpstConfig::paper_default(MetricKind::EnergyAware));
+        let me = NodeId(3);
+        {
+            let mut ctx = h.ctx(SimTime::ZERO, me, Vec2::ZERO, GroupRole::NonMember);
+            agent.start(&mut ctx);
+        }
+        let tag = DataTag { group: Default::default(), origin: NodeId(0), seq: 1, created_at: SimTime::ZERO };
+        {
+            let mut ctx = h.ctx(SimTime::from_secs(1), me, Vec2::ZERO, GroupRole::NonMember);
+            agent.on_app_data(&mut ctx, tag, 512);
+        }
+        assert!(
+            !h.actions.iter().any(|a| matches!(a, Action::Broadcast { .. })),
+            "nothing to forward to: the pruned branch stays silent"
+        );
+    }
+
+    #[test]
+    fn energy_aware_beacons_are_larger_than_plain_ones() {
+        // Drive two agents through the same neighbourhood and compare emitted beacon sizes.
+        let run = |kind: MetricKind| -> u32 {
+            let mut h = Harness::new();
+            let mut agent = SsSpstAgent::new(SsSpstConfig::paper_default(kind));
+            let me = NodeId(1);
+            let my_pos = Vec2::new(50.0, 0.0);
+            {
+                let mut ctx = h.ctx(SimTime::ZERO, me, my_pos, GroupRole::Member);
+                agent.start(&mut ctx);
+            }
+            // A non-member neighbour that is not a tree neighbour: SS-SPST-E advertises it.
+            let nb = Packet::control(
+                NodeId(7),
+                32,
+                SsSpstPayload::Beacon(beacon_from(5.0, 1, Vec2::new(120.0, 0.0), false, false)),
+            );
+            {
+                let mut ctx = h.ctx(SimTime::from_secs(1), me, my_pos, GroupRole::Member);
+                agent.on_packet(&mut ctx, &nb);
+            }
+            let mut ctx = h.ctx(SimTime::from_secs(2), me, my_pos, GroupRole::Member);
+            agent.on_timer(&mut ctx, TIMER_BEACON, 0);
+            drop(ctx);
+            h.actions
+                .iter()
+                .find_map(|a| match a {
+                    Action::Broadcast { class: PacketClass::Control, size_bytes, .. } => Some(*size_bytes),
+                    _ => None,
+                })
+                .expect("beacon emitted")
+        };
+        assert!(run(MetricKind::EnergyAware) > run(MetricKind::Hop));
+    }
+}

@@ -1,0 +1,104 @@
+//! Beacon messages: the proactive control traffic of the SS-SPST family.
+//!
+//! Every node periodically broadcasts its link and node characteristics; neighbours use
+//! them to price the cost of joining the sender (Section 3 of the paper). SS-SPST-E
+//! additionally advertises the distances of its non-group neighbours so that candidates
+//! can estimate discard energy — this is the "additional information in its beacon packet"
+//! that gives SS-SPST-E a slightly higher control-byte overhead (Figure 13).
+
+use crate::metric::MetricKind;
+use ssmcast_manet::{NodeId, Vec2};
+
+/// The contents of one beacon.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Beacon {
+    /// Sender's position at transmission time (stands in for the link characteristics a
+    /// real radio would measure; receivers derive the link distance from it).
+    pub position: Vec2,
+    /// Sender's accumulated cost variable `l_v`.
+    pub cost: f64,
+    /// Sender's hop count `h_v`.
+    pub hop: u32,
+    /// Sender's current parent.
+    pub parent: Option<NodeId>,
+    /// True if the sender is a group member.
+    pub member: bool,
+    /// Bottom-up pruning flag: true if the sender's subtree contains a group member.
+    pub has_downstream_member: bool,
+    /// Distances from the sender to its current tree children, with their ids so a
+    /// candidate child can exclude itself when pricing a (re-)join.
+    pub children: Vec<(NodeId, f64)>,
+    /// Distances from the sender to its non-member, non-tree neighbours (potential
+    /// overhearers). Only advertised by SS-SPST-E.
+    pub non_member_neighbor_distances: Vec<f64>,
+}
+
+impl Beacon {
+    /// Size of this beacon on the wire, in bytes, for control-overhead accounting.
+    ///
+    /// * common header: sender id, position, cost, hop, parent, flags ≈ 24 bytes;
+    /// * node-based metrics additionally list children (3 bytes each);
+    /// * SS-SPST-E additionally lists overhearer distances (2 bytes each).
+    pub fn wire_size(&self, kind: MetricKind) -> u32 {
+        let base = 24u32;
+        match kind {
+            MetricKind::Hop | MetricKind::TxLink => base,
+            MetricKind::Farthest => base + 3 * self.children.len() as u32,
+            MetricKind::EnergyAware => {
+                base + 3 * self.children.len() as u32
+                    + 2 * self.non_member_neighbor_distances.len() as u32
+            }
+        }
+    }
+
+    /// Distance to the farthest advertised child, excluding `exclude` (the evaluating
+    /// node, when it is already one of the sender's children).
+    pub fn farthest_child_excluding(&self, exclude: NodeId) -> f64 {
+        self.children
+            .iter()
+            .filter(|(c, _)| *c != exclude)
+            .map(|(_, d)| *d)
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn beacon() -> Beacon {
+        Beacon {
+            position: Vec2::new(1.0, 2.0),
+            cost: 3.5,
+            hop: 2,
+            parent: Some(NodeId(7)),
+            member: true,
+            has_downstream_member: true,
+            children: vec![(NodeId(3), 80.0), (NodeId(4), 120.0)],
+            non_member_neighbor_distances: vec![60.0, 90.0, 140.0],
+        }
+    }
+
+    #[test]
+    fn wire_size_grows_with_metric_richness() {
+        let b = beacon();
+        let hop = b.wire_size(MetricKind::Hop);
+        let t = b.wire_size(MetricKind::TxLink);
+        let f = b.wire_size(MetricKind::Farthest);
+        let e = b.wire_size(MetricKind::EnergyAware);
+        assert_eq!(hop, t);
+        assert!(f > hop, "node-based beacons carry child lists");
+        assert!(e > f, "SS-SPST-E beacons carry overhearer info (Figure 13)");
+        assert_eq!(f, 24 + 6);
+        assert_eq!(e, 24 + 6 + 6);
+    }
+
+    #[test]
+    fn farthest_child_excludes_the_asker() {
+        let b = beacon();
+        assert_eq!(b.farthest_child_excluding(NodeId(9)), 120.0);
+        assert_eq!(b.farthest_child_excluding(NodeId(4)), 80.0);
+        let empty = Beacon { children: vec![], ..beacon() };
+        assert_eq!(empty.farthest_child_excluding(NodeId(0)), 0.0);
+    }
+}

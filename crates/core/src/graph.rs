@@ -1,0 +1,219 @@
+//! The multicast problem instance: a weighted neighbourhood graph plus group information.
+//!
+//! The synchronous protocol model (used for the paper's worked examples and the
+//! convergence/closure proofs) runs on this abstract graph; the event-driven agent
+//! recovers the same information at run time from beacons.
+
+use ssmcast_manet::{NodeId, TopologySnapshot};
+use std::collections::BTreeMap;
+
+/// An undirected weighted graph where edge weights are distances in metres, together with
+/// the multicast source and group membership.
+#[derive(Clone, Debug)]
+pub struct MulticastTopology {
+    n: usize,
+    adj: Vec<Vec<(NodeId, f64)>>,
+    members: Vec<bool>,
+    source: NodeId,
+}
+
+impl MulticastTopology {
+    /// Build from an explicit edge list. `members` must contain the source.
+    ///
+    /// # Panics
+    /// Panics if an edge references a node `>= n`, if the source is out of range, or if
+    /// the members vector has the wrong length.
+    pub fn from_edges(
+        n: usize,
+        edges: &[(u16, u16, f64)],
+        source: NodeId,
+        members: Vec<bool>,
+    ) -> Self {
+        assert_eq!(members.len(), n, "one membership flag per node");
+        assert!(source.index() < n, "source must exist");
+        let mut adj_map: Vec<BTreeMap<u16, f64>> = vec![BTreeMap::new(); n];
+        for &(u, v, d) in edges {
+            assert!((u as usize) < n && (v as usize) < n, "edge endpoint out of range");
+            assert!(u != v, "self loops are not allowed");
+            assert!(d > 0.0, "distances must be positive");
+            adj_map[u as usize].insert(v, d);
+            adj_map[v as usize].insert(u, d);
+        }
+        let adj = adj_map
+            .into_iter()
+            .map(|m| m.into_iter().map(|(k, d)| (NodeId(k), d)).collect())
+            .collect();
+        let mut topo = MulticastTopology { n, adj, members, source };
+        topo.members[source.index()] = true;
+        topo
+    }
+
+    /// Build from a geometric snapshot: nodes are adjacent iff within the snapshot range.
+    pub fn from_snapshot(snap: &TopologySnapshot, source: NodeId, members: Vec<bool>) -> Self {
+        let n = snap.len();
+        assert_eq!(members.len(), n);
+        let mut edges = Vec::new();
+        for i in 0..n as u16 {
+            for j in (i + 1)..n as u16 {
+                if snap.are_neighbors(NodeId(i), NodeId(j)) {
+                    edges.push((i, j, snap.distance(NodeId(i), NodeId(j))));
+                }
+            }
+        }
+        Self::from_edges(n, &edges, source, members)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The multicast source.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// True if `v` is a group member (the source always is).
+    pub fn is_member(&self, v: NodeId) -> bool {
+        self.members[v.index()]
+    }
+
+    /// Number of group members (including the source).
+    pub fn member_count(&self) -> usize {
+        self.members.iter().filter(|&&m| m).count()
+    }
+
+    /// Neighbours of `v` with their distances, ordered by node id.
+    pub fn neighbors(&self, v: NodeId) -> &[(NodeId, f64)] {
+        &self.adj[v.index()]
+    }
+
+    /// Distance between `u` and `v` if they are adjacent.
+    pub fn distance(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        self.adj[u.index()].iter().find(|(w, _)| *w == v).map(|(_, d)| *d)
+    }
+
+    /// Iterate over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.n as u16).map(NodeId)
+    }
+
+    /// Number of neighbours of `v` that are not group members.
+    pub fn non_member_neighbor_count(&self, v: NodeId) -> usize {
+        self.adj[v.index()].iter().filter(|(u, _)| !self.is_member(*u)).count()
+    }
+
+    /// BFS hop distance from the source to every node (`None` if unreachable).
+    pub fn hops_from_source(&self) -> Vec<Option<u32>> {
+        let mut dist = vec![None; self.n];
+        if self.n == 0 {
+            return dist;
+        }
+        let mut queue = std::collections::VecDeque::new();
+        dist[self.source.index()] = Some(0);
+        queue.push_back(self.source);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u.index()].unwrap();
+            for &(v, _) in &self.adj[u.index()] {
+                if dist[v.index()].is_none() {
+                    dist[v.index()] = Some(du + 1);
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// True if every node can reach the source.
+    pub fn is_connected(&self) -> bool {
+        self.hops_from_source().iter().all(Option::is_some)
+    }
+
+    /// The largest distance from the source to any of its direct neighbours — used as the
+    /// "root reaches everything in one hop" upper bound the paper calls the maximum
+    /// possible tree cost.
+    pub fn max_source_neighbor_distance(&self) -> f64 {
+        self.adj[self.source.index()]
+            .iter()
+            .map(|(_, d)| *d)
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssmcast_manet::Vec2;
+
+    fn triangle() -> MulticastTopology {
+        MulticastTopology::from_edges(
+            3,
+            &[(0, 1, 100.0), (1, 2, 100.0), (0, 2, 150.0)],
+            NodeId(0),
+            vec![false, true, true],
+        )
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_and_sorted() {
+        let t = triangle();
+        assert_eq!(t.distance(NodeId(0), NodeId(1)), Some(100.0));
+        assert_eq!(t.distance(NodeId(1), NodeId(0)), Some(100.0));
+        assert_eq!(t.distance(NodeId(0), NodeId(0)), None);
+        let ns: Vec<u16> = t.neighbors(NodeId(0)).iter().map(|(n, _)| n.0).collect();
+        assert_eq!(ns, vec![1, 2]);
+    }
+
+    #[test]
+    fn source_is_always_a_member() {
+        let t = triangle();
+        assert!(t.is_member(NodeId(0)), "source forced to be a member");
+        assert_eq!(t.member_count(), 3);
+        assert_eq!(t.non_member_neighbor_count(NodeId(1)), 0);
+    }
+
+    #[test]
+    fn hops_and_connectivity() {
+        let t = triangle();
+        assert_eq!(t.hops_from_source(), vec![Some(0), Some(1), Some(1)]);
+        assert!(t.is_connected());
+
+        let disconnected = MulticastTopology::from_edges(
+            3,
+            &[(0, 1, 50.0)],
+            NodeId(0),
+            vec![true, true, true],
+        );
+        assert!(!disconnected.is_connected());
+        assert_eq!(disconnected.hops_from_source()[2], None);
+    }
+
+    #[test]
+    fn from_snapshot_links_nodes_within_range() {
+        let snap = TopologySnapshot::new(
+            vec![Vec2::new(0.0, 0.0), Vec2::new(100.0, 0.0), Vec2::new(300.0, 0.0)],
+            150.0,
+        );
+        let t = MulticastTopology::from_snapshot(&snap, NodeId(0), vec![true, true, true]);
+        assert_eq!(t.distance(NodeId(0), NodeId(1)), Some(100.0));
+        assert_eq!(t.distance(NodeId(0), NodeId(2)), None);
+        assert_eq!(t.distance(NodeId(1), NodeId(2)), None);
+    }
+
+    #[test]
+    fn max_source_neighbor_distance() {
+        let t = triangle();
+        assert_eq!(t.max_source_neighbor_distance(), 150.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "distances must be positive")]
+    fn zero_distance_rejected() {
+        MulticastTopology::from_edges(2, &[(0, 1, 0.0)], NodeId(0), vec![true, true]);
+    }
+}

@@ -1,0 +1,180 @@
+//! The worked example of the paper's Section 2–4 (Figures 1–6).
+//!
+//! Figure 1 shows a 10-node network with node 0 as the multicast source and edge labels
+//! giving inter-node distances. The published figure does not list the adjacency
+//! explicitly, so the edge set below is reconstructed from the figure's edge labels and
+//! the narrative of Examples 1–5 (which edges appear in which stabilized tree, which node
+//! is whose costliest neighbour, and which nodes overhear node 4's transmissions). Each
+//! label from the figure is used exactly once. Tests assert the *qualitative* claims of
+//! the examples rather than pixel-exact figure edges.
+
+use crate::graph::MulticastTopology;
+use crate::metric::{MetricKind, MetricParams};
+use crate::sync_model::SyncModel;
+use crate::tree::MulticastTree;
+use ssmcast_manet::NodeId;
+
+/// Edge list of the Figure-1 topology: `(u, v, distance in metres)`.
+pub const FIGURE1_EDGES: [(u16, u16, f64); 13] = [
+    (0, 1, 120.10),
+    (0, 7, 120.02),
+    (0, 3, 200.03),
+    (1, 6, 120.06),
+    (1, 4, 120.04),
+    (6, 5, 120.56),
+    (6, 3, 120.36),
+    (4, 5, 120.45),
+    (4, 3, 120.34),
+    (4, 8, 75.48),
+    (4, 9, 75.49),
+    (7, 3, 75.37),
+    (7, 2, 75.27),
+];
+
+/// Group membership used in the example: node 0 is the source; nodes 2, 3 and 5 are
+/// receivers; 8 and 9 (the nodes the paper singles out as overhearers of node 4) and the
+/// pure relays 1, 4, 6, 7 are non-members.
+pub const FIGURE1_MEMBERS: [bool; 10] =
+    [true, false, true, true, false, true, false, false, false, false];
+
+/// The multicast source in the example.
+pub const FIGURE1_SOURCE: NodeId = NodeId(0);
+
+/// Build the Figure-1 topology.
+pub fn figure1_topology() -> MulticastTopology {
+    MulticastTopology::from_edges(10, &FIGURE1_EDGES, FIGURE1_SOURCE, FIGURE1_MEMBERS.to_vec())
+}
+
+/// Outcome of stabilizing one metric on the Figure-1 topology.
+#[derive(Clone, Debug)]
+pub struct ExampleResult {
+    /// Which metric was stabilized.
+    pub kind: MetricKind,
+    /// Rounds needed to stabilize from the initial (disconnected) state.
+    pub rounds: usize,
+    /// The stabilized tree.
+    pub tree: MulticastTree,
+    /// Total tree cost under the metric that built it.
+    pub own_cost: f64,
+    /// Network-wide energy one data packet costs on the pruned tree (transmissions,
+    /// receptions and overhearing) — the ground truth all metrics approximate.
+    pub per_packet_energy: f64,
+}
+
+/// Stabilize the Figure-1 topology under `kind` and report the result.
+pub fn run_example(kind: MetricKind, params: &MetricParams) -> ExampleResult {
+    let topo = figure1_topology();
+    let mut model = SyncModel::new(topo.clone(), kind, *params);
+    let rounds = model
+        .run_to_stabilization(10 * topo.len())
+        .expect("the example topology stabilizes for every metric");
+    let tree = model.tree();
+    let own_cost = tree.total_cost(kind, params, &topo);
+    let per_packet_energy = tree.per_packet_energy(params, &topo);
+    ExampleResult { kind, rounds, tree, own_cost, per_packet_energy }
+}
+
+/// Run all four metrics (Figures 2, 3, 4 and 6) with the default parameters.
+pub fn run_all_examples() -> Vec<ExampleResult> {
+    let params = MetricParams::default();
+    MetricKind::ALL.iter().map(|&k| run_example(k, &params)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_matches_the_figure() {
+        let t = figure1_topology();
+        assert_eq!(t.len(), 10);
+        assert!(t.is_connected());
+        assert_eq!(t.member_count(), 4, "source plus three receivers");
+        assert_eq!(t.distance(NodeId(0), NodeId(3)), Some(200.03));
+        assert_eq!(t.distance(NodeId(4), NodeId(8)), Some(75.48));
+        // Node 4's non-member neighbours are the relay 1 and the overhearers 8 and 9
+        // (its other neighbours, 3 and 5, are group members).
+        assert_eq!(t.non_member_neighbor_count(NodeId(4)), 3);
+    }
+
+    #[test]
+    fn all_metrics_stabilize_to_spanning_trees() {
+        for r in run_all_examples() {
+            assert!(r.tree.is_spanning(), "{:?} did not span", r.kind);
+            assert!(!r.tree.has_cycle());
+            assert!(r.rounds >= 2, "{:?} needs at least two rounds", r.kind);
+        }
+    }
+
+    #[test]
+    fn example1_hop_tree_uses_the_direct_long_link() {
+        let r = run_example(MetricKind::Hop, &MetricParams::default());
+        // Example 1/Figure 2: minimising hops, node 3 attaches straight to the source over
+        // the 200 m link and the tree is as shallow as possible.
+        assert_eq!(r.tree.parent(NodeId(3)), Some(NodeId(0)));
+        let topo = figure1_topology();
+        let bfs = topo.hops_from_source();
+        for v in topo.nodes() {
+            assert_eq!(r.tree.depth(v), bfs[v.index()].map(|h| h), "hop tree is a BFS tree");
+        }
+    }
+
+    #[test]
+    fn example2_txlink_tree_relays_node3_through_node7() {
+        let r = run_example(MetricKind::TxLink, &MetricParams::default());
+        // Example 2/Figure 3: it is more energy efficient for node 3 to make node 7 its
+        // parent instead of node 0 (75 m instead of 200 m).
+        assert_eq!(r.tree.parent(NodeId(3)), Some(NodeId(7)));
+        // And stabilization takes at least as long as the plain hop metric.
+        let hop = run_example(MetricKind::Hop, &MetricParams::default());
+        assert!(r.rounds >= hop.rounds, "energy metric needs extra round(s): {} vs {}", r.rounds, hop.rounds);
+    }
+
+    #[test]
+    fn example3_farthest_metric_departs_from_the_link_metric() {
+        let params = MetricParams::default();
+        let f = run_example(MetricKind::Farthest, &params);
+        let hop = run_example(MetricKind::Hop, &params);
+        // The node-based metric never attaches node 3 over the expensive 200 m direct link.
+        assert_ne!(f.tree.parent(NodeId(3)), Some(NodeId(0)));
+        // Exploiting the wireless multicast advantage, the F tree costs no more energy per
+        // delivered packet than the hop tree.
+        assert!(f.per_packet_energy <= hop.per_packet_energy + 1e-12);
+    }
+
+    #[test]
+    fn example5_energy_aware_tree_is_cheapest_overall() {
+        let params = MetricParams::default();
+        let results = run_all_examples();
+        let e = results.iter().find(|r| r.kind == MetricKind::EnergyAware).unwrap();
+        let hop = results.iter().find(|r| r.kind == MetricKind::Hop).unwrap();
+        // The E metric minimises what the network actually spends per packet (including
+        // discard energy): it must beat the hop tree and be no worse than any other metric.
+        assert!(e.per_packet_energy < hop.per_packet_energy);
+        for r in &results {
+            assert!(
+                e.per_packet_energy <= r.per_packet_energy + 1e-9,
+                "SS-SPST-E ({}) must not be beaten by {:?} ({})",
+                e.per_packet_energy,
+                r.kind,
+                r.per_packet_energy
+            );
+        }
+        // Under its own cost measure the E tree is also at least as good as the F tree.
+        let topo = figure1_topology();
+        let f = results.iter().find(|r| r.kind == MetricKind::Farthest).unwrap();
+        let e_cost_of_f = f.tree.total_cost(MetricKind::EnergyAware, &params, &topo);
+        assert!(e.own_cost <= e_cost_of_f + 1e-9);
+    }
+
+    #[test]
+    fn stabilization_round_ordering_matches_the_narrative() {
+        // Examples 1–3: SS-SPST takes the fewest rounds; the energy metrics need at least
+        // as many because tree-structure changes re-trigger cost adjustments.
+        let results = run_all_examples();
+        let rounds: std::collections::HashMap<_, _> = results.iter().map(|r| (r.kind, r.rounds)).collect();
+        assert!(rounds[&MetricKind::TxLink] >= rounds[&MetricKind::Hop]);
+        assert!(rounds[&MetricKind::Farthest] >= rounds[&MetricKind::Hop]);
+        assert!(rounds[&MetricKind::EnergyAware] >= rounds[&MetricKind::Hop]);
+    }
+}

@@ -1,0 +1,185 @@
+//! The future-event list.
+
+use crate::event::{EventId, ScheduledEvent};
+use crate::time::SimTime;
+use std::collections::{BinaryHeap, HashSet};
+
+/// A priority queue of timestamped events with stable ordering and lazy cancellation.
+///
+/// * Events at the same timestamp pop in the order they were scheduled.
+/// * [`EventQueue::cancel`] marks an event as dead in O(1); dead entries are skipped when
+///   popped (lazy deletion), so cancellation never needs to search the heap.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<ScheduledEvent<E>>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+    live: usize,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            live: 0,
+        }
+    }
+
+    /// Create an empty queue with pre-allocated capacity for `cap` pending events.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            live: 0,
+        }
+    }
+
+    /// Number of live (not cancelled, not yet popped) events.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Schedule `payload` to fire at absolute time `at`. Returns a handle for cancellation.
+    pub fn push(&mut self, at: SimTime, payload: E) -> EventId {
+        let id = EventId(self.next_seq);
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent { time: at, id, payload });
+        self.live += 1;
+        id
+    }
+
+    /// Cancel a previously scheduled event. Returns `true` if the event was still pending.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        if self.cancelled.insert(id.0) {
+            // It may already have fired; only count it as live if it is still in the heap.
+            // We cannot check the heap cheaply, so callers that cancel fired events get
+            // `true` only once; the live counter is corrected when (if) the entry pops.
+            if self.live > 0 {
+                self.live -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Timestamp of the next live event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.skim_cancelled();
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Pop the next live event in (time, sequence) order.
+    pub fn pop(&mut self) -> Option<(SimTime, EventId, E)> {
+        self.skim_cancelled();
+        let ev = self.heap.pop()?;
+        self.live = self.live.saturating_sub(1);
+        Some((ev.time, ev.id, ev.payload))
+    }
+
+    /// Drop any cancelled entries sitting at the top of the heap.
+    fn skim_cancelled(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.cancelled.contains(&top.id.0) {
+                let dead = self.heap.pop().expect("peeked entry must pop");
+                self.cancelled.remove(&dead.id.0);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Remove all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.cancelled.clear();
+        self.live = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(3), "c");
+        q.push(SimTime::from_secs(1), "a");
+        q.push(SimTime::from_secs(2), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, _, p)| p).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_pop_in_schedule_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..10 {
+            q.push(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, _, p)| p).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancellation_skips_event() {
+        let mut q = EventQueue::new();
+        let _a = q.push(SimTime::from_secs(1), "a");
+        let b = q.push(SimTime::from_secs(2), "b");
+        let _c = q.push(SimTime::from_secs(3), "c");
+        assert!(q.cancel(b));
+        assert!(!q.cancel(EventId(999)), "unknown ids are not cancellable");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, _, p)| p).collect();
+        assert_eq!(order, vec!["a", "c"]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn len_tracks_live_events() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime::from_secs(1), ());
+        q.push(SimTime::from_secs(2), ());
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert_eq!(q.len(), 0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(1), ());
+        q.clear();
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_time_sees_next_live_event() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime::from_secs(1), ());
+        q.push(SimTime::from_secs(2), ());
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+    }
+}

@@ -1,0 +1,258 @@
+//! The interface between protocol implementations and the network runtime.
+//!
+//! A protocol (SS-SPST*, MAODV, ODMRP, flooding, ...) is implemented as one
+//! [`ProtocolAgent`] instance per node. Agents are purely reactive: the runtime calls them
+//! on packet receptions, timer expiries and application sends, and they respond by pushing
+//! [`Action`]s (broadcasts, timers, data deliveries) into the provided [`NodeCtx`]. This
+//! keeps agents free of borrows into the simulator and makes them trivially unit-testable.
+
+use crate::energy::RadioConfig;
+use crate::geometry::Vec2;
+use crate::node::{GroupRole, NodeId};
+use crate::packet::{DataTag, Packet, PacketClass};
+use rand::rngs::StdRng;
+use ssmcast_dessim::{SimDuration, SimTime};
+
+/// How a received packet was used, which decides the energy accounting category.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Disposition {
+    /// The packet was useful to this node (consumed, forwarded, or used to update state).
+    Consumed,
+    /// The packet was received only because of the broadcast medium and thrown away —
+    /// this is the paper's overhearing / discard energy.
+    Discarded,
+}
+
+/// An effect requested by an agent, applied by the runtime after the callback returns.
+#[derive(Clone, Debug)]
+pub enum Action<P> {
+    /// Broadcast a packet with power sufficient to reach `range_m` metres.
+    Broadcast {
+        /// Control or data.
+        class: PacketClass,
+        /// Size on the wire, bytes.
+        size_bytes: u32,
+        /// Requested transmission range in metres (clamped to the radio maximum).
+        range_m: f64,
+        /// Data tag if this frame carries application data.
+        data: Option<DataTag>,
+        /// Protocol payload.
+        payload: P,
+    },
+    /// Arm (or re-arm) a timer identified by `(kind, key)`.
+    SetTimer {
+        /// Delay from now.
+        delay: SimDuration,
+        /// Protocol-defined timer class (e.g. "beacon", "join query refresh").
+        kind: u64,
+        /// Discriminator within a class (e.g. a destination id); use 0 when unused.
+        key: u64,
+    },
+    /// Cancel a pending timer identified by `(kind, key)`, if any.
+    CancelTimer {
+        /// Timer class.
+        kind: u64,
+        /// Discriminator.
+        key: u64,
+    },
+    /// Report that an application data packet reached this node's application layer.
+    DeliverData {
+        /// The end-to-end identity of the delivered packet.
+        tag: DataTag,
+    },
+}
+
+/// Per-callback context handed to an agent.
+pub struct NodeCtx<'a, P> {
+    /// Current simulated time.
+    pub now: SimTime,
+    /// This node's identifier.
+    pub id: NodeId,
+    /// This node's current position.
+    pub position: Vec2,
+    /// This node's role in the multicast group under study.
+    pub role: GroupRole,
+    /// Total number of nodes in the network (the paper bounds hop counts by `N`).
+    pub n_nodes: usize,
+    /// Shared radio configuration (ranges, bitrate, energy model).
+    pub radio: &'a RadioConfig,
+    /// Per-node protocol RNG (for jitter); deterministic per scenario seed.
+    pub rng: &'a mut StdRng,
+    actions: &'a mut Vec<Action<P>>,
+}
+
+impl<'a, P> NodeCtx<'a, P> {
+    /// Create a context. Used by the runtime and by unit tests that drive agents directly.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        now: SimTime,
+        id: NodeId,
+        position: Vec2,
+        role: GroupRole,
+        n_nodes: usize,
+        radio: &'a RadioConfig,
+        rng: &'a mut StdRng,
+        actions: &'a mut Vec<Action<P>>,
+    ) -> Self {
+        NodeCtx { now, id, position, role, n_nodes, radio, rng, actions }
+    }
+
+    /// True if this node is a member (or the source) of the group under study.
+    pub fn is_member(&self) -> bool {
+        self.role.is_member()
+    }
+
+    /// True if this node is the multicast source.
+    pub fn is_source(&self) -> bool {
+        self.role.is_source()
+    }
+
+    /// Broadcast a control packet.
+    pub fn broadcast_control(&mut self, size_bytes: u32, range_m: f64, payload: P) {
+        self.actions.push(Action::Broadcast {
+            class: PacketClass::Control,
+            size_bytes,
+            range_m,
+            data: None,
+            payload,
+        });
+    }
+
+    /// Broadcast a data packet carrying `tag`.
+    pub fn broadcast_data(&mut self, size_bytes: u32, range_m: f64, tag: DataTag, payload: P) {
+        self.actions.push(Action::Broadcast {
+            class: PacketClass::Data,
+            size_bytes,
+            range_m,
+            data: Some(tag),
+            payload,
+        });
+    }
+
+    /// Arm a timer `delay` from now. Re-arming an already pending `(kind, key)` replaces it.
+    pub fn set_timer(&mut self, delay: SimDuration, kind: u64, key: u64) {
+        self.actions.push(Action::SetTimer { delay, kind, key });
+    }
+
+    /// Cancel a pending timer.
+    pub fn cancel_timer(&mut self, kind: u64, key: u64) {
+        self.actions.push(Action::CancelTimer { kind, key });
+    }
+
+    /// Report delivery of application data to this node.
+    pub fn deliver_data(&mut self, tag: DataTag) {
+        self.actions.push(Action::DeliverData { tag });
+    }
+
+    /// A uniformly random jitter in `[0, max)`, convenient for desynchronising periodic
+    /// protocol timers.
+    pub fn jitter(&mut self, max: SimDuration) -> SimDuration {
+        use rand::Rng;
+        let f: f64 = self.rng.gen_range(0.0..1.0);
+        max.mul_f64(f)
+    }
+
+    /// Number of actions queued so far in this callback (mostly useful in tests).
+    pub fn pending_actions(&self) -> usize {
+        self.actions.len()
+    }
+}
+
+/// A multicast protocol implementation, instantiated once per node.
+pub trait ProtocolAgent {
+    /// The protocol's wire payload type.
+    type Payload: Clone + std::fmt::Debug;
+
+    /// Called once at simulation start (time zero) for every node.
+    fn start(&mut self, ctx: &mut NodeCtx<'_, Self::Payload>);
+
+    /// Called when a packet is received (after a successful, non-collided reception).
+    /// The returned [`Disposition`] selects the energy accounting category.
+    fn on_packet(
+        &mut self,
+        ctx: &mut NodeCtx<'_, Self::Payload>,
+        packet: &Packet<Self::Payload>,
+    ) -> Disposition;
+
+    /// Called when a timer armed via [`NodeCtx::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_, Self::Payload>, kind: u64, key: u64);
+
+    /// Called at the multicast source when the application generates a data packet.
+    fn on_app_data(&mut self, ctx: &mut NodeCtx<'_, Self::Payload>, tag: DataTag, size_bytes: u32);
+
+    /// Short protocol name for reports ("SS-SPST-E", "ODMRP", ...).
+    fn label(&self) -> &'static str {
+        "protocol"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ctx_queues_actions_in_order() {
+        let radio = RadioConfig::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut actions: Vec<Action<u8>> = Vec::new();
+        let mut ctx = NodeCtx::new(
+            SimTime::ZERO,
+            NodeId(3),
+            Vec2::new(1.0, 2.0),
+            GroupRole::Member,
+            50,
+            &radio,
+            &mut rng,
+            &mut actions,
+        );
+        ctx.broadcast_control(32, 250.0, 7);
+        ctx.set_timer(SimDuration::from_secs(2), 1, 0);
+        ctx.cancel_timer(1, 0);
+        assert_eq!(ctx.pending_actions(), 3);
+        assert!(matches!(actions[0], Action::Broadcast { class: PacketClass::Control, .. }));
+        assert!(matches!(actions[1], Action::SetTimer { kind: 1, .. }));
+        assert!(matches!(actions[2], Action::CancelTimer { kind: 1, .. }));
+    }
+
+    #[test]
+    fn jitter_is_bounded() {
+        let radio = RadioConfig::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut actions: Vec<Action<u8>> = Vec::new();
+        let mut ctx = NodeCtx::new(
+            SimTime::ZERO,
+            NodeId(0),
+            Vec2::ZERO,
+            GroupRole::NonMember,
+            10,
+            &radio,
+            &mut rng,
+            &mut actions,
+        );
+        let max = SimDuration::from_millis(500);
+        for _ in 0..100 {
+            let j = ctx.jitter(max);
+            assert!(j < max + SimDuration::from_nanos(1));
+        }
+    }
+
+    #[test]
+    fn role_helpers() {
+        let radio = RadioConfig::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut actions: Vec<Action<u8>> = Vec::new();
+        let ctx = NodeCtx::new(
+            SimTime::ZERO,
+            NodeId(0),
+            Vec2::ZERO,
+            GroupRole::Source,
+            10,
+            &radio,
+            &mut rng,
+            &mut actions,
+        );
+        assert!(ctx.is_member());
+        assert!(ctx.is_source());
+    }
+}

@@ -1,0 +1,160 @@
+//! Per-node energy accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// Why energy was consumed, used to break down the energy budget in reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EnergyUse {
+    /// Transmitting a control packet (beacon, join query, route request, ...).
+    TxControl,
+    /// Transmitting a data packet.
+    TxData,
+    /// Receiving a control packet addressed to (or useful to) this node.
+    RxControl,
+    /// Receiving a data packet this node wanted (group member or tree forwarder).
+    RxData,
+    /// Receiving a packet only to discard it — the paper's overhearing / discard energy.
+    Overhear,
+}
+
+/// A node battery: tracks consumption by category and optionally enforces a capacity.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Battery {
+    capacity_j: f64,
+    consumed_j: f64,
+    tx_control_j: f64,
+    tx_data_j: f64,
+    rx_control_j: f64,
+    rx_data_j: f64,
+    overhear_j: f64,
+}
+
+impl Battery {
+    /// A battery with effectively unlimited capacity (the paper's experiments do not model
+    /// depletion).
+    pub fn unlimited() -> Self {
+        Self::with_capacity(f64::INFINITY)
+    }
+
+    /// A battery holding `capacity_j` joules.
+    pub fn with_capacity(capacity_j: f64) -> Self {
+        Battery {
+            capacity_j,
+            consumed_j: 0.0,
+            tx_control_j: 0.0,
+            tx_data_j: 0.0,
+            rx_control_j: 0.0,
+            rx_data_j: 0.0,
+            overhear_j: 0.0,
+        }
+    }
+
+    /// Consume `joules` for the given purpose. Returns `false` if the battery was already
+    /// depleted (the consumption is still recorded up to the capacity).
+    pub fn consume(&mut self, joules: f64, usage: EnergyUse) -> bool {
+        if self.is_depleted() {
+            return false;
+        }
+        let j = joules.max(0.0);
+        self.consumed_j += j;
+        match usage {
+            EnergyUse::TxControl => self.tx_control_j += j,
+            EnergyUse::TxData => self.tx_data_j += j,
+            EnergyUse::RxControl => self.rx_control_j += j,
+            EnergyUse::RxData => self.rx_data_j += j,
+            EnergyUse::Overhear => self.overhear_j += j,
+        }
+        !self.is_depleted()
+    }
+
+    /// Total energy consumed so far, joules.
+    pub fn consumed(&self) -> f64 {
+        self.consumed_j
+    }
+
+    /// Remaining energy, joules (infinite for unlimited batteries).
+    pub fn remaining(&self) -> f64 {
+        (self.capacity_j - self.consumed_j).max(0.0)
+    }
+
+    /// True once consumption has reached capacity.
+    pub fn is_depleted(&self) -> bool {
+        self.consumed_j >= self.capacity_j
+    }
+
+    /// Energy spent transmitting (control + data), joules.
+    pub fn tx_total(&self) -> f64 {
+        self.tx_control_j + self.tx_data_j
+    }
+
+    /// Energy spent receiving usefully (control + data), joules.
+    pub fn rx_total(&self) -> f64 {
+        self.rx_control_j + self.rx_data_j
+    }
+
+    /// Energy wasted overhearing packets that were discarded, joules.
+    pub fn overheard(&self) -> f64 {
+        self.overhear_j
+    }
+
+    /// Breakdown `(tx_control, tx_data, rx_control, rx_data, overhear)` in joules.
+    pub fn breakdown(&self) -> (f64, f64, f64, f64, f64) {
+        (self.tx_control_j, self.tx_data_j, self.rx_control_j, self.rx_data_j, self.overhear_j)
+    }
+}
+
+impl Default for Battery {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting_by_category() {
+        let mut b = Battery::unlimited();
+        b.consume(1.0, EnergyUse::TxControl);
+        b.consume(2.0, EnergyUse::TxData);
+        b.consume(0.5, EnergyUse::RxControl);
+        b.consume(0.25, EnergyUse::RxData);
+        b.consume(0.125, EnergyUse::Overhear);
+        assert_eq!(b.consumed(), 3.875);
+        assert_eq!(b.tx_total(), 3.0);
+        assert_eq!(b.rx_total(), 0.75);
+        assert_eq!(b.overheard(), 0.125);
+        assert!(!b.is_depleted());
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut b = Battery::with_capacity(1.0);
+        assert!(b.consume(0.6, EnergyUse::TxData));
+        assert!(!b.consume(0.6, EnergyUse::TxData), "crossing capacity reports depletion");
+        assert!(b.is_depleted());
+        assert!(!b.consume(0.1, EnergyUse::RxData), "depleted batteries accept no more work");
+        assert_eq!(b.remaining(), 0.0);
+    }
+
+    #[test]
+    fn negative_consumption_is_ignored() {
+        let mut b = Battery::unlimited();
+        b.consume(-5.0, EnergyUse::TxData);
+        assert_eq!(b.consumed(), 0.0);
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let mut b = Battery::unlimited();
+        for (i, u) in [EnergyUse::TxControl, EnergyUse::TxData, EnergyUse::RxControl, EnergyUse::RxData, EnergyUse::Overhear]
+            .into_iter()
+            .enumerate()
+        {
+            b.consume((i + 1) as f64, u);
+        }
+        let (a, c, d, e, f) = b.breakdown();
+        assert_eq!(a + c + d + e + f, b.consumed());
+    }
+}

@@ -1,0 +1,172 @@
+//! 2-D geometry used by mobility and radio models.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, Mul, Sub};
+
+/// A point / vector in the 2-D simulation plane, in metres.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Vec2 {
+    /// x coordinate in metres.
+    pub x: f64,
+    /// y coordinate in metres.
+    pub y: f64,
+}
+
+impl Vec2 {
+    /// The origin.
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+
+    /// Construct a point.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn distance(&self, other: &Vec2) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance (cheaper when only comparing).
+    pub fn distance_sq(&self, other: &Vec2) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Vector length.
+    pub fn norm(&self) -> f64 {
+        (self.x * self.x + self.y * self.y).sqrt()
+    }
+
+    /// Unit vector in the same direction (zero vector maps to zero).
+    pub fn normalized(&self) -> Vec2 {
+        let n = self.norm();
+        if n == 0.0 {
+            Vec2::ZERO
+        } else {
+            Vec2::new(self.x / n, self.y / n)
+        }
+    }
+
+    /// Linear interpolation: `self + t * (other - self)` with `t` clamped to [0, 1].
+    pub fn lerp(&self, other: &Vec2, t: f64) -> Vec2 {
+        let t = t.clamp(0.0, 1.0);
+        Vec2::new(self.x + (other.x - self.x) * t, self.y + (other.y - self.y) * t)
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    fn add(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    fn sub(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    fn mul(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+/// An axis-aligned rectangular deployment area, anchored at the origin.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Area {
+    /// Width in metres.
+    pub width: f64,
+    /// Height in metres.
+    pub height: f64,
+}
+
+impl Area {
+    /// A square area of the given side length.
+    pub const fn square(side: f64) -> Self {
+        Area { width: side, height: side }
+    }
+
+    /// Construct an area.
+    pub const fn new(width: f64, height: f64) -> Self {
+        Area { width, height }
+    }
+
+    /// True if `p` lies inside (or on the boundary of) the area.
+    pub fn contains(&self, p: &Vec2) -> bool {
+        p.x >= 0.0 && p.y >= 0.0 && p.x <= self.width && p.y <= self.height
+    }
+
+    /// Clamp a point to the area.
+    pub fn clamp(&self, p: &Vec2) -> Vec2 {
+        Vec2::new(p.x.clamp(0.0, self.width), p.y.clamp(0.0, self.height))
+    }
+
+    /// Draw a uniformly random point inside the area.
+    pub fn random_point<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec2 {
+        Vec2::new(rng.gen_range(0.0..=self.width), rng.gen_range(0.0..=self.height))
+    }
+
+    /// Length of the diagonal (an upper bound on any pairwise distance).
+    pub fn diagonal(&self) -> f64 {
+        (self.width * self.width + self.height * self.height).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = Vec2::new(1.0, 2.0);
+        let b = Vec2::new(4.0, 6.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(b.distance(&a), 5.0);
+        assert_eq!(a.distance(&a), 0.0);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Vec2::new(0.0, 0.0);
+        let b = Vec2::new(10.0, 20.0);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        assert_eq!(a.lerp(&b, 0.5), Vec2::new(5.0, 10.0));
+        // Clamped outside [0,1].
+        assert_eq!(a.lerp(&b, 2.0), b);
+        assert_eq!(a.lerp(&b, -1.0), a);
+    }
+
+    #[test]
+    fn normalized_has_unit_length() {
+        let v = Vec2::new(3.0, 4.0).normalized();
+        assert!((v.norm() - 1.0).abs() < 1e-12);
+        assert_eq!(Vec2::ZERO.normalized(), Vec2::ZERO);
+    }
+
+    #[test]
+    fn area_contains_and_clamps() {
+        let a = Area::square(100.0);
+        assert!(a.contains(&Vec2::new(50.0, 50.0)));
+        assert!(!a.contains(&Vec2::new(150.0, 50.0)));
+        assert_eq!(a.clamp(&Vec2::new(150.0, -5.0)), Vec2::new(100.0, 0.0));
+        assert!((a.diagonal() - 141.421356).abs() < 1e-3);
+    }
+
+    #[test]
+    fn random_points_fall_inside_area() {
+        let a = Area::new(750.0, 750.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let p = a.random_point(&mut rng);
+            assert!(a.contains(&p));
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! # ssmcast-manet — mobile ad hoc network substrate
+//!
+//! Everything the paper gets "for free" from ns-2, rebuilt as a library:
+//!
+//! * [`geometry`] — 2-D points and deployment areas.
+//! * [`mobility`] — random-waypoint (with the non-zero minimum-speed fix) and stationary
+//!   trajectories.
+//! * [`energy`] — first-order radio energy model with power control, plus radio timing.
+//! * [`battery`] — per-node energy accounting split by purpose (tx/rx/overhear).
+//! * [`channel`] — broadcast medium occupancy and the capture-effect collision model.
+//! * [`packet`] / [`node`] — frames, node ids, multicast group roles.
+//! * [`agent`] — the [`agent::ProtocolAgent`] trait protocol crates implement.
+//! * [`snapshot`] — frozen connectivity graphs for the synchronous protocol model.
+//! * [`traffic`] — CBR multicast workload.
+//! * [`runtime`] — [`runtime::NetworkSim`], the event loop that ties it all together and
+//!   produces a [`report::SimReport`].
+
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod battery;
+pub mod channel;
+pub mod energy;
+pub mod geometry;
+pub mod mobility;
+pub mod node;
+pub mod packet;
+pub mod report;
+pub mod runtime;
+pub mod snapshot;
+pub mod traffic;
+
+pub use agent::{Action, Disposition, NodeCtx, ProtocolAgent};
+pub use battery::{Battery, EnergyUse};
+pub use channel::Channel;
+pub use energy::{EnergyModel, RadioConfig};
+pub use geometry::{Area, Vec2};
+pub use mobility::{BoxedMobility, Mobility, RandomWaypoint, Stationary, WaypointConfig};
+pub use node::{GroupId, GroupRole, NodeId};
+pub use packet::{DataTag, Packet, PacketClass};
+pub use report::{SimReport, Trace};
+pub use runtime::{NetEvent, NetworkSim, SimSetup};
+pub use snapshot::TopologySnapshot;
+pub use traffic::TrafficConfig;

@@ -1,0 +1,246 @@
+//! Node mobility models.
+//!
+//! The paper uses the random-waypoint model over a 750 m × 750 m area with the fix
+//! suggested by Yoon, Liu and Noble ("Random Waypoint Considered Harmful", INFOCOM'03):
+//! speeds are drawn from `[v_min, v_max]` with a strictly positive `v_min`, which avoids
+//! the long-run velocity decay of the classic formulation.
+
+use crate::geometry::{Area, Vec2};
+use rand::rngs::StdRng;
+use rand::Rng;
+use ssmcast_dessim::SimTime;
+
+/// A mobility process: the trajectory of one node as a function of simulated time.
+///
+/// Implementations must be *monotone*: they may only be queried with non-decreasing
+/// timestamps (the runtime always queries at the current simulation time).
+pub trait Mobility {
+    /// Position of the node at time `t`.
+    fn position_at(&mut self, t: SimTime) -> Vec2;
+}
+
+/// A node that never moves.
+#[derive(Clone, Copy, Debug)]
+pub struct Stationary {
+    position: Vec2,
+}
+
+impl Stationary {
+    /// Create a stationary node at `position`.
+    pub fn new(position: Vec2) -> Self {
+        Stationary { position }
+    }
+}
+
+impl Mobility for Stationary {
+    fn position_at(&mut self, _t: SimTime) -> Vec2 {
+        self.position
+    }
+}
+
+/// Parameters for [`RandomWaypoint`].
+#[derive(Clone, Copy, Debug)]
+pub struct WaypointConfig {
+    /// Deployment area.
+    pub area: Area,
+    /// Minimum speed in m/s. Must be > 0 (Yoon/Noble fix); values ≤ 0 are raised to 0.1.
+    pub min_speed: f64,
+    /// Maximum speed in m/s.
+    pub max_speed: f64,
+    /// Pause time at each waypoint, in seconds.
+    pub pause_secs: f64,
+}
+
+impl WaypointConfig {
+    /// The paper's scenario: 750 m × 750 m, pause 0, speed in `[0.1, v_max]`.
+    pub fn paper_default(max_speed: f64) -> Self {
+        WaypointConfig {
+            area: Area::square(750.0),
+            min_speed: 0.1,
+            max_speed: max_speed.max(0.1),
+            pause_secs: 0.0,
+        }
+    }
+
+    fn sanitized(mut self) -> Self {
+        if self.min_speed <= 0.0 {
+            self.min_speed = 0.1;
+        }
+        if self.max_speed < self.min_speed {
+            self.max_speed = self.min_speed;
+        }
+        if self.pause_secs < 0.0 {
+            self.pause_secs = 0.0;
+        }
+        self
+    }
+}
+
+/// One leg of a random-waypoint trajectory.
+#[derive(Clone, Copy, Debug)]
+struct Leg {
+    /// Where the leg starts.
+    from: Vec2,
+    /// Destination waypoint.
+    to: Vec2,
+    /// When motion starts (after any pause).
+    depart: f64,
+    /// When the node reaches `to`.
+    arrive: f64,
+    /// When the post-arrival pause ends and a new leg begins.
+    next_depart: f64,
+}
+
+/// The random-waypoint mobility model with a non-zero minimum speed.
+///
+/// The node repeatedly picks a uniform destination in the area and a uniform speed in
+/// `[min_speed, max_speed]`, travels there in a straight line, pauses, and repeats.
+#[derive(Debug)]
+pub struct RandomWaypoint {
+    config: WaypointConfig,
+    rng: StdRng,
+    leg: Leg,
+}
+
+impl RandomWaypoint {
+    /// Create a trajectory starting at `start` at time zero.
+    pub fn new(config: WaypointConfig, start: Vec2, rng: StdRng) -> Self {
+        let config = config.sanitized();
+        let mut m = RandomWaypoint {
+            config,
+            rng,
+            leg: Leg { from: start, to: start, depart: 0.0, arrive: 0.0, next_depart: 0.0 },
+        };
+        m.leg = m.next_leg(start, 0.0);
+        m
+    }
+
+    /// Create a trajectory whose starting point is drawn uniformly from the area.
+    pub fn with_random_start(config: WaypointConfig, mut rng: StdRng) -> Self {
+        let config = config.sanitized();
+        let start = config.area.random_point(&mut rng);
+        Self::new(config, start, rng)
+    }
+
+    fn next_leg(&mut self, from: Vec2, depart: f64) -> Leg {
+        let to = self.config.area.random_point(&mut self.rng);
+        let speed = if self.config.max_speed > self.config.min_speed {
+            self.rng.gen_range(self.config.min_speed..=self.config.max_speed)
+        } else {
+            self.config.min_speed
+        };
+        let dist = from.distance(&to);
+        let travel = if speed > 0.0 { dist / speed } else { 0.0 };
+        let arrive = depart + travel;
+        Leg { from, to, depart, arrive, next_depart: arrive + self.config.pause_secs }
+    }
+
+    /// The configured parameters.
+    pub fn config(&self) -> &WaypointConfig {
+        &self.config
+    }
+}
+
+impl Mobility for RandomWaypoint {
+    fn position_at(&mut self, t: SimTime) -> Vec2 {
+        let t = t.as_secs_f64();
+        // Advance legs until `t` falls within the current one.
+        while t >= self.leg.next_depart {
+            let from = self.leg.to;
+            let depart = self.leg.next_depart;
+            self.leg = self.next_leg(from, depart);
+        }
+        if t <= self.leg.depart {
+            self.leg.from
+        } else if t >= self.leg.arrive {
+            self.leg.to
+        } else {
+            let frac = (t - self.leg.depart) / (self.leg.arrive - self.leg.depart);
+            self.leg.from.lerp(&self.leg.to, frac)
+        }
+    }
+}
+
+/// A boxed mobility trait object, used by the runtime so heterogeneous models can coexist.
+pub type BoxedMobility = Box<dyn Mobility + Send>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use ssmcast_dessim::SimDuration;
+
+    fn cfg(vmax: f64) -> WaypointConfig {
+        WaypointConfig::paper_default(vmax)
+    }
+
+    #[test]
+    fn stationary_never_moves() {
+        let mut m = Stationary::new(Vec2::new(10.0, 20.0));
+        assert_eq!(m.position_at(SimTime::ZERO), Vec2::new(10.0, 20.0));
+        assert_eq!(m.position_at(SimTime::from_secs(1000)), Vec2::new(10.0, 20.0));
+    }
+
+    #[test]
+    fn waypoint_positions_stay_inside_area() {
+        let mut m = RandomWaypoint::with_random_start(cfg(20.0), StdRng::seed_from_u64(3));
+        let area = m.config().area;
+        let mut t = SimTime::ZERO;
+        for _ in 0..2000 {
+            let p = m.position_at(t);
+            assert!(area.contains(&p), "position {:?} escaped the area", p);
+            t += SimDuration::from_millis(997);
+        }
+    }
+
+    #[test]
+    fn waypoint_respects_max_speed() {
+        let vmax = 10.0;
+        let mut m = RandomWaypoint::with_random_start(cfg(vmax), StdRng::seed_from_u64(7));
+        let dt = 0.5;
+        let mut prev = m.position_at(SimTime::ZERO);
+        for k in 1..4000u64 {
+            let t = SimTime::from_secs_f64(k as f64 * dt);
+            let p = m.position_at(t);
+            let speed = prev.distance(&p) / dt;
+            assert!(speed <= vmax + 1e-6, "instantaneous speed {} exceeds max {}", speed, vmax);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn waypoint_actually_moves_when_speed_positive() {
+        let mut m = RandomWaypoint::with_random_start(cfg(5.0), StdRng::seed_from_u64(11));
+        let p0 = m.position_at(SimTime::ZERO);
+        let p1 = m.position_at(SimTime::from_secs(60));
+        assert!(p0.distance(&p1) > 1.0, "node should have moved within a minute");
+    }
+
+    #[test]
+    fn zero_min_speed_is_sanitized() {
+        let c = WaypointConfig { area: Area::square(100.0), min_speed: 0.0, max_speed: 1.0, pause_secs: 0.0 };
+        let m = RandomWaypoint::with_random_start(c, StdRng::seed_from_u64(1));
+        assert!(m.config().min_speed > 0.0, "Yoon/Noble fix: min speed must be positive");
+    }
+
+    #[test]
+    fn pause_keeps_node_at_waypoint() {
+        let c = WaypointConfig { area: Area::square(50.0), min_speed: 10.0, max_speed: 10.0, pause_secs: 100.0 };
+        let mut m = RandomWaypoint::new(c, Vec2::new(25.0, 25.0), StdRng::seed_from_u64(5));
+        // After at most diag/10 ≈ 7 s the node reaches its first waypoint and then pauses
+        // for 100 s; two samples inside the pause window must coincide.
+        let a = m.position_at(SimTime::from_secs(20));
+        let b = m.position_at(SimTime::from_secs(60));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = RandomWaypoint::with_random_start(cfg(10.0), StdRng::seed_from_u64(42));
+        let mut b = RandomWaypoint::with_random_start(cfg(10.0), StdRng::seed_from_u64(42));
+        for k in 0..200u64 {
+            let t = SimTime::from_secs(k * 3);
+            assert_eq!(a.position_at(t), b.position_at(t));
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Node and multicast-group identities.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A node identifier, unique within one simulated network.
+///
+/// The paper assumes "each node in the MANET is identified by a unique identifier"; we use
+/// a dense `u16` index so identifiers double as vector indices in the runtime.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// Index into dense per-node arrays.
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u16> for NodeId {
+    fn from(v: u16) -> Self {
+        NodeId(v)
+    }
+}
+
+/// A multicast group identifier. The paper evaluates a single group, but the substrate
+/// supports several concurrent groups.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+pub struct GroupId(pub u16);
+
+/// Role of a node with respect to one multicast group.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum GroupRole {
+    /// The multicast source (also a member).
+    Source,
+    /// A receiving group member.
+    Member,
+    /// Not in the group; only relays or overhears traffic.
+    NonMember,
+}
+
+impl GroupRole {
+    /// True for sources and members.
+    pub fn is_member(self) -> bool {
+        matches!(self, GroupRole::Source | GroupRole::Member)
+    }
+
+    /// True only for the source.
+    pub fn is_source(self) -> bool {
+        matches!(self, GroupRole::Source)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrips_through_index() {
+        let n = NodeId(42);
+        assert_eq!(n.index(), 42);
+        assert_eq!(NodeId::from(42u16), n);
+        assert_eq!(format!("{n}"), "42");
+        assert_eq!(format!("{n:?}"), "n42");
+    }
+
+    #[test]
+    fn group_roles() {
+        assert!(GroupRole::Source.is_member());
+        assert!(GroupRole::Source.is_source());
+        assert!(GroupRole::Member.is_member());
+        assert!(!GroupRole::Member.is_source());
+        assert!(!GroupRole::NonMember.is_member());
+    }
+}

@@ -1,0 +1,85 @@
+//! Packets exchanged over the broadcast wireless medium.
+
+use crate::node::{GroupId, NodeId};
+use serde::{Deserialize, Serialize};
+use ssmcast_dessim::SimTime;
+
+/// Whether a packet carries protocol control information or application data.
+///
+/// The distinction drives the control-overhead metric (Figure 13) and the energy
+/// accounting categories.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Serialize, Deserialize)]
+pub enum PacketClass {
+    /// Protocol control traffic: beacons, join queries/replies, route requests, ...
+    Control,
+    /// Multicast application data.
+    Data,
+}
+
+/// Application-data identification carried end to end so the runtime can measure packet
+/// delivery ratio and delay without understanding protocol payloads.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct DataTag {
+    /// Multicast group the data belongs to.
+    pub group: GroupId,
+    /// Node that originated the data.
+    pub origin: NodeId,
+    /// Application-level sequence number, unique per origin.
+    pub seq: u64,
+    /// When the application generated the packet (for end-to-end delay).
+    pub created_at: SimTime,
+}
+
+/// A frame on the air. `P` is the protocol-specific payload type.
+///
+/// A transmission is always a local broadcast: every node within the chosen transmission
+/// range receives a copy (the *wireless multicast advantage*), so there is no link-layer
+/// destination field; protocols address each other inside their payloads.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Packet<P> {
+    /// The transmitting node (last hop, not necessarily the data origin).
+    pub sender: NodeId,
+    /// Control or data.
+    pub class: PacketClass,
+    /// Size on the wire in bytes (headers included); drives airtime and energy.
+    pub size_bytes: u32,
+    /// Present when the frame carries (a copy of) an application data packet.
+    pub data: Option<DataTag>,
+    /// Protocol-specific contents.
+    pub payload: P,
+}
+
+impl<P> Packet<P> {
+    /// Construct a control packet.
+    pub fn control(sender: NodeId, size_bytes: u32, payload: P) -> Self {
+        Packet { sender, class: PacketClass::Control, size_bytes, data: None, payload }
+    }
+
+    /// Construct a data-bearing packet.
+    pub fn data(sender: NodeId, size_bytes: u32, tag: DataTag, payload: P) -> Self {
+        Packet { sender, class: PacketClass::Data, size_bytes, data: Some(tag), payload }
+    }
+
+    /// True if this frame carries application data.
+    pub fn is_data(&self) -> bool {
+        self.class == PacketClass::Data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_class() {
+        let c: Packet<u8> = Packet::control(NodeId(1), 32, 7);
+        assert_eq!(c.class, PacketClass::Control);
+        assert!(!c.is_data());
+        assert!(c.data.is_none());
+
+        let tag = DataTag { group: GroupId(0), origin: NodeId(1), seq: 9, created_at: SimTime::ZERO };
+        let d: Packet<u8> = Packet::data(NodeId(1), 512, tag, 7);
+        assert!(d.is_data());
+        assert_eq!(d.data.unwrap().seq, 9);
+    }
+}

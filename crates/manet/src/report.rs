@@ -1,0 +1,285 @@
+//! Raw simulation traces and the per-run report derived from them.
+
+use crate::node::NodeId;
+use crate::packet::DataTag;
+use serde::{Deserialize, Serialize};
+use ssmcast_dessim::{SimDuration, SimTime};
+use std::collections::{HashMap, HashSet};
+
+/// Raw counters accumulated while a simulation runs.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    window: SimDuration,
+    n_receivers: u64,
+    generated: HashMap<u64, SimTime>,
+    delivered: HashSet<(u64, u16)>,
+    delay_sum: SimDuration,
+    delivered_count: u64,
+    duplicate_deliveries: u64,
+    control_packets: u64,
+    control_bytes: u64,
+    data_packets_tx: u64,
+    data_bytes_tx: u64,
+    expected_per_window: HashMap<u64, u64>,
+    delivered_per_window: HashMap<u64, u64>,
+}
+
+impl Trace {
+    /// Create a trace. `n_receivers` is the number of group members expected to receive
+    /// each data packet (members excluding the source); `window` is the bucket used for
+    /// the unavailability ratio.
+    pub fn new(n_receivers: u64, window: SimDuration) -> Self {
+        Trace {
+            window,
+            n_receivers,
+            generated: HashMap::new(),
+            delivered: HashSet::new(),
+            delay_sum: SimDuration::ZERO,
+            delivered_count: 0,
+            duplicate_deliveries: 0,
+            control_packets: 0,
+            control_bytes: 0,
+            data_packets_tx: 0,
+            data_bytes_tx: 0,
+            expected_per_window: HashMap::new(),
+            delivered_per_window: HashMap::new(),
+        }
+    }
+
+    fn window_of(&self, t: SimTime) -> u64 {
+        let w = self.window.as_nanos().max(1);
+        t.as_nanos() / w
+    }
+
+    /// Record that the application generated data packet `seq` at time `t`.
+    pub fn record_generated(&mut self, seq: u64, t: SimTime) {
+        self.generated.insert(seq, t);
+        *self.expected_per_window.entry(self.window_of(t)).or_insert(0) += self.n_receivers;
+    }
+
+    /// Record that `tag` reached the application at node `rx` at time `now`.
+    /// Duplicate receptions of the same packet at the same node are counted once.
+    pub fn record_delivery(&mut self, tag: &DataTag, rx: NodeId, now: SimTime) {
+        if !self.delivered.insert((tag.seq, rx.0)) {
+            self.duplicate_deliveries += 1;
+            return;
+        }
+        self.delivered_count += 1;
+        self.delay_sum += now.saturating_since(tag.created_at);
+        let gen_window = self.window_of(tag.created_at);
+        *self.delivered_per_window.entry(gen_window).or_insert(0) += 1;
+    }
+
+    /// Record a transmitted control packet of `bytes`.
+    pub fn record_control_tx(&mut self, bytes: u32) {
+        self.control_packets += 1;
+        self.control_bytes += u64::from(bytes);
+    }
+
+    /// Record a transmitted data packet of `bytes` (including forwarded copies).
+    pub fn record_data_tx(&mut self, bytes: u32) {
+        self.data_packets_tx += 1;
+        self.data_bytes_tx += u64::from(bytes);
+    }
+
+    /// Number of data packets generated so far.
+    pub fn generated_count(&self) -> u64 {
+        self.generated.len() as u64
+    }
+
+    /// Number of unique (packet, member) deliveries.
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered_count
+    }
+
+    /// Finish the trace into a [`SimReport`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn finish(
+        &self,
+        protocol: &str,
+        duration: SimDuration,
+        total_energy_j: f64,
+        overhear_energy_j: f64,
+        collisions: u64,
+        data_packet_size: u32,
+        availability_threshold: f64,
+    ) -> SimReport {
+        let expected = self.generated.len() as u64 * self.n_receivers;
+        let pdr = if expected > 0 { self.delivered_count as f64 / expected as f64 } else { 0.0 };
+        let avg_delay_ms = if self.delivered_count > 0 {
+            self.delay_sum.as_millis_f64() / self.delivered_count as f64
+        } else {
+            0.0
+        };
+        let energy_per_delivered_mj = if self.delivered_count > 0 {
+            total_energy_j * 1_000.0 / self.delivered_count as f64
+        } else {
+            0.0
+        };
+        let data_bytes_delivered = self.delivered_count * u64::from(data_packet_size);
+        let control_overhead = if data_bytes_delivered > 0 {
+            self.control_bytes as f64 / data_bytes_delivered as f64
+        } else {
+            0.0
+        };
+        // Unavailability: fraction of traffic windows whose per-window delivery ratio fell
+        // below the availability threshold. (The paper does not define the metric formally;
+        // see EXPERIMENTS.md.)
+        let mut unavailable = 0u64;
+        let mut windows = 0u64;
+        for (w, &exp) in &self.expected_per_window {
+            if exp == 0 {
+                continue;
+            }
+            windows += 1;
+            let del = self.delivered_per_window.get(w).copied().unwrap_or(0);
+            if (del as f64) < availability_threshold * exp as f64 {
+                unavailable += 1;
+            }
+        }
+        let unavailability = if windows > 0 { unavailable as f64 / windows as f64 } else { 1.0 };
+
+        SimReport {
+            protocol: protocol.to_string(),
+            duration_s: duration.as_secs_f64(),
+            generated: self.generated.len() as u64,
+            expected_deliveries: expected,
+            delivered: self.delivered_count,
+            duplicate_deliveries: self.duplicate_deliveries,
+            pdr,
+            avg_delay_ms,
+            total_energy_j,
+            overhear_energy_j,
+            energy_per_delivered_mj,
+            control_packets: self.control_packets,
+            control_bytes: self.control_bytes,
+            data_packets_tx: self.data_packets_tx,
+            data_bytes_tx: self.data_bytes_tx,
+            control_bytes_per_data_byte: control_overhead,
+            unavailability_ratio: unavailability,
+            collisions,
+        }
+    }
+}
+
+/// Summary of one simulation run: everything needed to reproduce the paper's y-axes.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct SimReport {
+    /// Protocol label.
+    pub protocol: String,
+    /// Simulated duration in seconds.
+    pub duration_s: f64,
+    /// Data packets generated by the source.
+    pub generated: u64,
+    /// `generated × receivers`: deliveries that should have happened.
+    pub expected_deliveries: u64,
+    /// Unique (packet, member) deliveries that did happen.
+    pub delivered: u64,
+    /// Redundant deliveries suppressed by the dedup check (mesh protocols produce many).
+    pub duplicate_deliveries: u64,
+    /// Packet delivery ratio (Figure 7/10/12/14).
+    pub pdr: f64,
+    /// Average end-to-end delay of delivered packets, ms (Figure 15).
+    pub avg_delay_ms: f64,
+    /// Total energy consumed by all nodes, joules.
+    pub total_energy_j: f64,
+    /// Energy wasted on overheard/discarded receptions, joules.
+    pub overhear_energy_j: f64,
+    /// Energy per delivered packet, millijoules (Figure 9/11/16).
+    pub energy_per_delivered_mj: f64,
+    /// Control packets transmitted.
+    pub control_packets: u64,
+    /// Control bytes transmitted.
+    pub control_bytes: u64,
+    /// Data packet transmissions (including forwarding).
+    pub data_packets_tx: u64,
+    /// Data bytes transmitted.
+    pub data_bytes_tx: u64,
+    /// Control bytes per delivered data byte (Figure 13).
+    pub control_bytes_per_data_byte: f64,
+    /// Fraction of traffic windows in which the multicast service was unavailable (Figure 8).
+    pub unavailability_ratio: f64,
+    /// Collided receptions.
+    pub collisions: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::GroupId;
+
+    fn tag(seq: u64, created_ms: u64) -> DataTag {
+        DataTag {
+            group: GroupId(0),
+            origin: NodeId(0),
+            seq,
+            created_at: SimTime::ZERO + SimDuration::from_millis(created_ms),
+        }
+    }
+
+    #[test]
+    fn pdr_and_delay() {
+        let mut tr = Trace::new(2, SimDuration::from_secs(1));
+        tr.record_generated(0, SimTime::ZERO);
+        tr.record_generated(1, SimTime::from_secs_f64(0.5));
+        // Packet 0 reaches both members, packet 1 reaches one of two.
+        tr.record_delivery(&tag(0, 0), NodeId(1), SimTime::from_secs_f64(0.010));
+        tr.record_delivery(&tag(0, 0), NodeId(2), SimTime::from_secs_f64(0.030));
+        tr.record_delivery(&tag(1, 500), NodeId(1), SimTime::from_secs_f64(0.520));
+        let r = tr.finish("test", SimDuration::from_secs(1), 0.004, 0.001, 0, 512, 0.95);
+        assert_eq!(r.expected_deliveries, 4);
+        assert_eq!(r.delivered, 3);
+        assert!((r.pdr - 0.75).abs() < 1e-12);
+        assert!((r.avg_delay_ms - 20.0).abs() < 1e-9);
+        // 4 mJ over 3 deliveries.
+        assert!((r.energy_per_delivered_mj - 4.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicates_count_once() {
+        let mut tr = Trace::new(1, SimDuration::from_secs(1));
+        tr.record_generated(0, SimTime::ZERO);
+        tr.record_delivery(&tag(0, 0), NodeId(1), SimTime::from_secs_f64(0.010));
+        tr.record_delivery(&tag(0, 0), NodeId(1), SimTime::from_secs_f64(0.020));
+        let r = tr.finish("test", SimDuration::from_secs(1), 0.0, 0.0, 0, 512, 0.95);
+        assert_eq!(r.delivered, 1);
+        assert_eq!(r.duplicate_deliveries, 1);
+        assert_eq!(r.pdr, 1.0);
+    }
+
+    #[test]
+    fn control_overhead_ratio() {
+        let mut tr = Trace::new(1, SimDuration::from_secs(1));
+        tr.record_generated(0, SimTime::ZERO);
+        tr.record_delivery(&tag(0, 0), NodeId(1), SimTime::from_secs_f64(0.010));
+        tr.record_control_tx(256);
+        tr.record_control_tx(256);
+        tr.record_data_tx(512);
+        let r = tr.finish("test", SimDuration::from_secs(1), 0.0, 0.0, 0, 512, 0.95);
+        assert_eq!(r.control_bytes, 512);
+        assert!((r.control_bytes_per_data_byte - 1.0).abs() < 1e-12);
+        assert_eq!(r.data_packets_tx, 1);
+    }
+
+    #[test]
+    fn unavailability_counts_bad_windows() {
+        let mut tr = Trace::new(1, SimDuration::from_secs(1));
+        // Window 0: delivered. Window 1: lost. Window 2: delivered.
+        for (seq, secs) in [(0u64, 0.1), (1, 1.1), (2, 2.1)] {
+            tr.record_generated(seq, SimTime::from_secs_f64(secs));
+        }
+        tr.record_delivery(&tag(0, 100), NodeId(1), SimTime::from_secs_f64(0.2));
+        tr.record_delivery(&tag(2, 2100), NodeId(1), SimTime::from_secs_f64(2.2));
+        let r = tr.finish("test", SimDuration::from_secs(3), 0.0, 0.0, 0, 512, 0.95);
+        assert!((r.unavailability_ratio - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_reports_zero_pdr_and_full_unavailability() {
+        let tr = Trace::new(3, SimDuration::from_secs(1));
+        let r = tr.finish("test", SimDuration::from_secs(10), 0.0, 0.0, 0, 512, 0.95);
+        assert_eq!(r.pdr, 0.0);
+        assert_eq!(r.unavailability_ratio, 1.0);
+        assert_eq!(r.energy_per_delivered_mj, 0.0);
+    }
+}

@@ -1,0 +1,514 @@
+//! The network runtime: wires protocol agents, mobility, radio, energy accounting and
+//! traffic generation onto the discrete-event engine and produces a [`SimReport`].
+
+use crate::agent::{Action, Disposition, NodeCtx, ProtocolAgent};
+use crate::battery::{Battery, EnergyUse};
+use crate::channel::Channel;
+use crate::energy::RadioConfig;
+use crate::geometry::Vec2;
+use crate::mobility::BoxedMobility;
+use crate::node::{GroupRole, NodeId};
+use crate::packet::{DataTag, Packet, PacketClass};
+use crate::report::{SimReport, Trace};
+use crate::snapshot::TopologySnapshot;
+use crate::traffic::TrafficConfig;
+use rand::rngs::StdRng;
+use rand::Rng;
+use ssmcast_dessim::{RunOutcome, SeedSequence, SimDuration, SimTime, Simulator};
+use std::collections::HashMap;
+
+/// Static setup for one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimSetup {
+    /// Radio and energy configuration shared by all nodes.
+    pub radio: RadioConfig,
+    /// The CBR multicast flow.
+    pub traffic: TrafficConfig,
+    /// Per-node role in the multicast group (indexed by node id).
+    pub roles: Vec<GroupRole>,
+    /// Battery capacity per node in joules (`f64::INFINITY` for the paper's experiments).
+    pub battery_capacity_j: f64,
+    /// Window used for the unavailability ratio.
+    pub unavailability_window: SimDuration,
+    /// Per-window delivery ratio below which the service counts as unavailable.
+    pub availability_threshold: f64,
+    /// Seed sequence for loss sampling and per-node protocol jitter.
+    pub seeds: SeedSequence,
+}
+
+impl SimSetup {
+    /// Number of nodes implied by the role vector.
+    pub fn n_nodes(&self) -> usize {
+        self.roles.len()
+    }
+
+    /// Number of group members expected to receive each data packet (members excluding
+    /// the source).
+    pub fn n_receivers(&self) -> u64 {
+        self.roles.iter().filter(|r| matches!(r, GroupRole::Member)).count() as u64
+    }
+}
+
+/// Events flowing through the network simulation.
+#[derive(Debug)]
+pub enum NetEvent<P> {
+    /// A packet copy arrives at `rx`. `corrupted` receptions still cost energy but are not
+    /// handed to the protocol.
+    Deliver {
+        /// Receiving node.
+        rx: NodeId,
+        /// The frame.
+        packet: Packet<P>,
+        /// Lost to noise or collision.
+        corrupted: bool,
+    },
+    /// A protocol timer fires at `node`.
+    Timer {
+        /// Owning node.
+        node: NodeId,
+        /// Protocol-defined timer class.
+        kind: u64,
+        /// Discriminator within the class.
+        key: u64,
+    },
+    /// The CBR application at the source emits data packet `seq`.
+    AppSend {
+        /// Application sequence number.
+        seq: u64,
+    },
+}
+
+/// A complete network simulation for one protocol.
+pub struct NetworkSim<A: ProtocolAgent> {
+    sim: Simulator<NetEvent<A::Payload>>,
+    setup: SimSetup,
+    agents: Vec<A>,
+    mobility: Vec<BoxedMobility>,
+    batteries: Vec<Battery>,
+    rngs: Vec<StdRng>,
+    loss_rng: StdRng,
+    channel: Channel,
+    timers: HashMap<(u16, u64, u64), ssmcast_dessim::EventId>,
+    trace: Trace,
+    scratch_actions: Vec<Action<A::Payload>>,
+}
+
+impl<A: ProtocolAgent> NetworkSim<A> {
+    /// Build a simulation. `mobility` and `agents` must have one entry per role in the
+    /// setup, in node-id order.
+    pub fn new(setup: SimSetup, mobility: Vec<BoxedMobility>, agents: Vec<A>) -> Self {
+        let n = setup.n_nodes();
+        assert_eq!(mobility.len(), n, "one mobility model per node");
+        assert_eq!(agents.len(), n, "one agent per node");
+        assert!(setup.traffic.source.index() < n, "traffic source must exist");
+        let batteries = vec![Battery::with_capacity(setup.battery_capacity_j); n];
+        let rngs = (0..n as u64).map(|i| setup.seeds.indexed_stream("protocol", i)).collect();
+        let loss_rng = setup.seeds.stream("channel-loss");
+        let trace = Trace::new(setup.n_receivers(), setup.unavailability_window);
+        NetworkSim {
+            sim: Simulator::with_capacity(1024),
+            channel: Channel::new(n),
+            timers: HashMap::new(),
+            scratch_actions: Vec::with_capacity(16),
+            batteries,
+            rngs,
+            loss_rng,
+            trace,
+            setup,
+            mobility,
+            agents,
+        }
+    }
+
+    /// Current positions of all nodes as a [`TopologySnapshot`] (uses the *maximum* radio
+    /// range as the neighbour relation).
+    pub fn snapshot(&mut self) -> TopologySnapshot {
+        let t = self.sim.now();
+        let pos: Vec<Vec2> = self.mobility.iter_mut().map(|m| m.position_at(t)).collect();
+        TopologySnapshot::new(pos, self.setup.radio.max_range_m)
+    }
+
+    /// Access a node's battery (for tests and the energy-budget example).
+    pub fn battery(&self, n: NodeId) -> &Battery {
+        &self.batteries[n.index()]
+    }
+
+    /// The protocol agent at `n`.
+    pub fn agent(&self, n: NodeId) -> &A {
+        &self.agents[n.index()]
+    }
+
+    /// Total number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.sim.events_processed()
+    }
+
+    fn position_of(&mut self, n: NodeId, t: SimTime) -> Vec2 {
+        self.mobility[n.index()].position_at(t)
+    }
+
+    fn make_ctx_and_call<F>(&mut self, node: NodeId, t: SimTime, f: F)
+    where
+        F: FnOnce(&mut A, &mut NodeCtx<'_, A::Payload>),
+    {
+        let pos = self.mobility[node.index()].position_at(t);
+        let role = self.setup.roles[node.index()];
+        let n_nodes = self.setup.roles.len();
+        let mut actions = std::mem::take(&mut self.scratch_actions);
+        actions.clear();
+        {
+            let mut ctx = NodeCtx::new(
+                t,
+                node,
+                pos,
+                role,
+                n_nodes,
+                &self.setup.radio,
+                &mut self.rngs[node.index()],
+                &mut actions,
+            );
+            f(&mut self.agents[node.index()], &mut ctx);
+        }
+        self.apply_actions(node, t, &mut actions);
+        self.scratch_actions = actions;
+    }
+
+    fn apply_actions(&mut self, node: NodeId, t: SimTime, actions: &mut Vec<Action<A::Payload>>) {
+        for action in actions.drain(..) {
+            match action {
+                Action::Broadcast { class, size_bytes, range_m, data, payload } => {
+                    self.do_broadcast(node, t, class, size_bytes, range_m, data, payload);
+                }
+                Action::SetTimer { delay, kind, key } => {
+                    let ev = NetEvent::Timer { node, kind, key };
+                    let id = self.sim.schedule_in(delay, ev);
+                    if let Some(old) = self.timers.insert((node.0, kind, key), id) {
+                        self.sim.cancel(old);
+                    }
+                }
+                Action::CancelTimer { kind, key } => {
+                    if let Some(id) = self.timers.remove(&(node.0, kind, key)) {
+                        self.sim.cancel(id);
+                    }
+                }
+                Action::DeliverData { tag } => {
+                    self.trace.record_delivery(&tag, node, t);
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn do_broadcast(
+        &mut self,
+        sender: NodeId,
+        t: SimTime,
+        class: PacketClass,
+        size_bytes: u32,
+        range_m: f64,
+        data: Option<DataTag>,
+        payload: A::Payload,
+    ) {
+        if self.batteries[sender.index()].is_depleted() {
+            return;
+        }
+        let radio = self.setup.radio;
+        let range = radio.clamp_range(range_m);
+        let tx_energy = radio.energy.tx_energy(range, size_bytes);
+        let usage = match class {
+            PacketClass::Control => EnergyUse::TxControl,
+            PacketClass::Data => EnergyUse::TxData,
+        };
+        self.batteries[sender.index()].consume(tx_energy, usage);
+        match class {
+            PacketClass::Control => self.trace.record_control_tx(size_bytes),
+            PacketClass::Data => self.trace.record_data_tx(size_bytes),
+        }
+
+        // Crude CSMA: every transmission waits a small random backoff before hitting the
+        // air, so relays of the same flood do not all collide at their common neighbours.
+        let backoff = if radio.mac_backoff_max.is_zero() {
+            SimDuration::ZERO
+        } else {
+            radio.mac_backoff_max.mul_f64(self.loss_rng.gen::<f64>())
+        };
+        let tx_start = t + backoff;
+        let tx_end = tx_start + radio.tx_duration(size_bytes);
+        let delivery_at = tx_start + radio.delivery_delay(size_bytes);
+        let sender_pos = self.position_of(sender, t);
+        let n = self.setup.roles.len();
+        for i in 0..n {
+            let rx = NodeId(i as u16);
+            if rx == sender || self.batteries[i].is_depleted() {
+                continue;
+            }
+            let rx_pos = self.position_of(rx, t);
+            if sender_pos.distance(&rx_pos) > range {
+                continue;
+            }
+            let clean = if radio.collisions_enabled {
+                self.channel.try_receive(rx, tx_start, tx_end)
+            } else {
+                true
+            };
+            let lost = self.loss_rng.gen::<f64>() < radio.loss_probability;
+            let corrupted = !clean || lost;
+            let packet = Packet { sender, class, size_bytes, data, payload: payload.clone() };
+            self.sim.schedule_at(delivery_at, NetEvent::Deliver { rx, packet, corrupted });
+        }
+    }
+
+    fn dispatch(&mut self, t: SimTime, ev: NetEvent<A::Payload>) {
+        match ev {
+            NetEvent::Deliver { rx, packet, corrupted } => {
+                if self.batteries[rx.index()].is_depleted() {
+                    return;
+                }
+                let rx_energy = self.setup.radio.energy.rx_energy(packet.size_bytes);
+                if corrupted {
+                    self.batteries[rx.index()].consume(rx_energy, EnergyUse::Overhear);
+                    return;
+                }
+                let mut disposition = Disposition::Discarded;
+                self.make_ctx_and_call(rx, t, |agent, ctx| {
+                    disposition = agent.on_packet(ctx, &packet);
+                });
+                let usage = match (disposition, packet.class) {
+                    (Disposition::Discarded, _) => EnergyUse::Overhear,
+                    (Disposition::Consumed, PacketClass::Control) => EnergyUse::RxControl,
+                    (Disposition::Consumed, PacketClass::Data) => EnergyUse::RxData,
+                };
+                self.batteries[rx.index()].consume(rx_energy, usage);
+            }
+            NetEvent::Timer { node, kind, key } => {
+                self.timers.remove(&(node.0, kind, key));
+                if self.batteries[node.index()].is_depleted() {
+                    return;
+                }
+                self.make_ctx_and_call(node, t, |agent, ctx| agent.on_timer(ctx, kind, key));
+            }
+            NetEvent::AppSend { seq } => {
+                let traffic = self.setup.traffic;
+                if t >= traffic.stop {
+                    return;
+                }
+                let source = traffic.source;
+                let tag = DataTag { group: traffic.group, origin: source, seq, created_at: t };
+                self.trace.record_generated(seq, t);
+                if !self.batteries[source.index()].is_depleted() {
+                    self.make_ctx_and_call(source, t, |agent, ctx| {
+                        agent.on_app_data(ctx, tag, traffic.packet_size_bytes);
+                    });
+                }
+                let next = t + traffic.interval();
+                if next < traffic.stop {
+                    self.sim.schedule_at(next, NetEvent::AppSend { seq: seq + 1 });
+                }
+            }
+        }
+    }
+
+    /// Run the simulation for `duration` and return the report.
+    pub fn run(&mut self, duration: SimDuration) -> SimReport {
+        let horizon = SimTime::ZERO + duration;
+        // Start every agent at time zero.
+        for i in 0..self.setup.roles.len() {
+            self.make_ctx_and_call(NodeId(i as u16), SimTime::ZERO, |agent, ctx| agent.start(ctx));
+        }
+        // Kick off the CBR application.
+        if self.setup.traffic.start < horizon {
+            let start = self.setup.traffic.start;
+            self.sim.schedule_at(start, NetEvent::AppSend { seq: 0 });
+        }
+        // Main loop. The closure trick: `run_until` hands us events one at a time; we
+        // cannot call a method on `self` from inside a closure borrowing `self.sim`, so we
+        // drive the loop manually.
+        loop {
+            let next = match self.sim.peek_time() {
+                Some(t) => t,
+                None => break,
+            };
+            if next > horizon {
+                break;
+            }
+            let (t, ev) = self.sim.pop_next().expect("peeked event must pop");
+            self.dispatch(t, ev);
+        }
+        self.report(duration)
+    }
+
+    /// Build a report from the current trace (normally called by [`Self::run`]).
+    pub fn report(&self, duration: SimDuration) -> SimReport {
+        let total_energy: f64 = self.batteries.iter().map(Battery::consumed).sum();
+        let overhear: f64 = self.batteries.iter().map(Battery::overheard).sum();
+        let label = self.agents.first().map(|a| a.label()).unwrap_or("protocol");
+        self.trace.finish(
+            label,
+            duration,
+            total_energy,
+            overhear,
+            self.channel.collisions(),
+            self.setup.traffic.packet_size_bytes,
+            self.setup.availability_threshold,
+        )
+    }
+}
+
+/// Outcome of a bounded run (re-exported for integration tests that drive the engine
+/// directly).
+pub type NetRunOutcome = RunOutcome;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mobility::Stationary;
+    use crate::node::GroupId;
+
+    /// A trivial flooding protocol used to exercise the runtime: the source broadcasts
+    /// data at max range; every member delivers; every node rebroadcasts each packet once.
+    struct Flood {
+        seen: std::collections::HashSet<u64>,
+    }
+
+    impl Flood {
+        fn new() -> Self {
+            Flood { seen: std::collections::HashSet::new() }
+        }
+    }
+
+    impl ProtocolAgent for Flood {
+        type Payload = ();
+
+        fn start(&mut self, _ctx: &mut NodeCtx<'_, ()>) {}
+
+        fn on_packet(&mut self, ctx: &mut NodeCtx<'_, ()>, packet: &Packet<()>) -> Disposition {
+            let Some(tag) = packet.data else { return Disposition::Discarded };
+            if !self.seen.insert(tag.seq) {
+                return Disposition::Discarded;
+            }
+            if ctx.is_member() {
+                ctx.deliver_data(tag);
+            }
+            ctx.broadcast_data(packet.size_bytes, ctx.radio.max_range_m, tag, ());
+            Disposition::Consumed
+        }
+
+        fn on_timer(&mut self, _ctx: &mut NodeCtx<'_, ()>, _kind: u64, _key: u64) {}
+
+        fn on_app_data(&mut self, ctx: &mut NodeCtx<'_, ()>, tag: DataTag, size: u32) {
+            self.seen.insert(tag.seq);
+            ctx.broadcast_data(size, ctx.radio.max_range_m, tag, ());
+        }
+
+        fn label(&self) -> &'static str {
+            "flood-test"
+        }
+    }
+
+    fn line_setup(n: usize, spacing: f64) -> (SimSetup, Vec<BoxedMobility>) {
+        let roles: Vec<GroupRole> = (0..n)
+            .map(|i| if i == 0 { GroupRole::Source } else { GroupRole::Member })
+            .collect();
+        let mobility: Vec<BoxedMobility> = (0..n)
+            .map(|i| Box::new(Stationary::new(Vec2::new(i as f64 * spacing, 0.0))) as BoxedMobility)
+            .collect();
+        let mut radio = RadioConfig::default();
+        radio.loss_probability = 0.0;
+        radio.collisions_enabled = false;
+        let traffic = TrafficConfig {
+            group: GroupId(0),
+            source: NodeId(0),
+            data_rate_bps: 64_000.0,
+            packet_size_bytes: 512,
+            start: SimTime::from_secs(1),
+            stop: SimTime::from_secs(11),
+        };
+        let setup = SimSetup {
+            radio,
+            traffic,
+            roles,
+            battery_capacity_j: f64::INFINITY,
+            unavailability_window: SimDuration::from_secs(1),
+            availability_threshold: 0.95,
+            seeds: SeedSequence::new(7),
+        };
+        (setup, mobility)
+    }
+
+    #[test]
+    fn flooding_on_a_line_delivers_everything() {
+        let (setup, mobility) = line_setup(4, 200.0);
+        let agents = (0..4).map(|_| Flood::new()).collect();
+        let mut sim = NetworkSim::new(setup, mobility, agents);
+        let report = sim.run(SimDuration::from_secs(20));
+        assert!(report.generated > 100, "CBR source must generate packets");
+        assert_eq!(report.expected_deliveries, report.generated * 3);
+        assert!((report.pdr - 1.0).abs() < 1e-9, "ideal channel flooding delivers all, pdr={}", report.pdr);
+        assert!(report.avg_delay_ms > 0.0);
+        assert!(report.total_energy_j > 0.0);
+        assert!(report.unavailability_ratio < 1e-9);
+    }
+
+    #[test]
+    fn partitioned_member_receives_nothing() {
+        let (mut setup, _) = line_setup(3, 200.0);
+        // Node 2 is far out of range of everyone.
+        let mobility: Vec<BoxedMobility> = vec![
+            Box::new(Stationary::new(Vec2::new(0.0, 0.0))),
+            Box::new(Stationary::new(Vec2::new(200.0, 0.0))),
+            Box::new(Stationary::new(Vec2::new(5_000.0, 0.0))),
+        ];
+        setup.roles = vec![GroupRole::Source, GroupRole::Member, GroupRole::Member];
+        let agents = (0..3).map(|_| Flood::new()).collect();
+        let mut sim = NetworkSim::new(setup, mobility, agents);
+        let report = sim.run(SimDuration::from_secs(20));
+        assert!((report.pdr - 0.5).abs() < 1e-9, "only half the deliveries can happen");
+    }
+
+    #[test]
+    fn loss_reduces_pdr() {
+        let (mut setup, mobility) = line_setup(4, 200.0);
+        setup.radio.loss_probability = 0.3;
+        let agents = (0..4).map(|_| Flood::new()).collect();
+        let mut sim = NetworkSim::new(setup, mobility, agents);
+        let report = sim.run(SimDuration::from_secs(20));
+        assert!(report.pdr < 1.0);
+        assert!(report.pdr > 0.2, "some packets still get through, pdr={}", report.pdr);
+    }
+
+    #[test]
+    fn energy_is_charged_for_tx_rx_and_overhearing() {
+        let (setup, mobility) = line_setup(3, 100.0);
+        let agents = (0..3).map(|_| Flood::new()).collect();
+        let mut sim = NetworkSim::new(setup, mobility, agents);
+        let report = sim.run(SimDuration::from_secs(5));
+        assert!(report.total_energy_j > 0.0);
+        // The source both transmits and (re-)receives floods from node 1.
+        assert!(sim.battery(NodeId(0)).tx_total() > 0.0);
+        assert!(sim.battery(NodeId(1)).rx_total() > 0.0);
+        // Duplicate floods arriving at a node that has already seen them are discarded,
+        // so some overhearing energy must have accumulated.
+        assert!(report.overhear_energy_j > 0.0);
+    }
+
+    #[test]
+    fn depleted_nodes_stop_participating() {
+        let (mut setup, mobility) = line_setup(3, 100.0);
+        setup.battery_capacity_j = 0.0; // dead from the start
+        let agents = (0..3).map(|_| Flood::new()).collect();
+        let mut sim = NetworkSim::new(setup, mobility, agents);
+        let report = sim.run(SimDuration::from_secs(5));
+        assert_eq!(report.delivered, 0, "dead radios deliver nothing");
+    }
+
+    #[test]
+    fn report_is_deterministic_for_a_seed() {
+        let run = || {
+            let (setup, mobility) = line_setup(4, 200.0);
+            let agents = (0..4).map(|_| Flood::new()).collect();
+            let mut sim = NetworkSim::new(setup, mobility, agents);
+            sim.run(SimDuration::from_secs(15))
+        };
+        assert_eq!(run(), run());
+    }
+}

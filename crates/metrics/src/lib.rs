@@ -1,0 +1,13 @@
+//! # ssmcast-metrics — summary statistics for the experiment harness
+//!
+//! The paper's figures plot mean values over several mobility scenarios. This crate turns
+//! per-run measurements into summary statistics (mean, standard deviation, confidence
+//! intervals) and series of (x, y) points ready to be printed as the paper's figures.
+
+#![warn(missing_docs)]
+
+pub mod series;
+pub mod stats;
+
+pub use series::{Series, SeriesPoint};
+pub use stats::SummaryStats;

@@ -1,0 +1,105 @@
+//! (x, y) series: one line on one of the paper's figures.
+
+use crate::stats::SummaryStats;
+use serde::{Deserialize, Serialize};
+
+/// One point of a figure line: an x value (velocity, beacon interval, group size) and the
+/// summarised y value over repetitions.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SeriesPoint {
+    /// The swept parameter value.
+    pub x: f64,
+    /// Summary of the measured metric at this x.
+    pub y: SummaryStats,
+}
+
+/// A named line on a figure (one protocol).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Line label (protocol name).
+    pub label: String,
+    /// Points, in increasing x order.
+    pub points: Vec<SeriesPoint>,
+}
+
+impl Series {
+    /// Create an empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series { label: label.into(), points: Vec::new() }
+    }
+
+    /// Add a point from raw samples.
+    pub fn push_samples(&mut self, x: f64, samples: &[f64]) {
+        self.points.push(SeriesPoint { x, y: SummaryStats::from_samples(samples) });
+        self.points.sort_by(|a, b| a.x.partial_cmp(&b.x).unwrap());
+    }
+
+    /// The y mean at a given x, if present.
+    pub fn mean_at(&self, x: f64) -> Option<f64> {
+        self.points.iter().find(|p| (p.x - x).abs() < 1e-9).map(|p| p.y.mean)
+    }
+
+    /// True if the series means are (weakly) monotonically decreasing in x.
+    pub fn is_decreasing(&self) -> bool {
+        self.points.windows(2).all(|w| w[1].y.mean <= w[0].y.mean + 1e-12)
+    }
+
+    /// True if the series means are (weakly) monotonically increasing in x.
+    pub fn is_increasing(&self) -> bool {
+        self.points.windows(2).all(|w| w[1].y.mean >= w[0].y.mean - 1e-12)
+    }
+
+    /// Average of the means over all points (useful for "who wins overall" checks).
+    pub fn overall_mean(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(|p| p.y.mean).sum::<f64>() / self.points.len() as f64
+    }
+
+    /// Render as a compact gnuplot-style text block (x, mean, ci95 per line).
+    pub fn to_text(&self) -> String {
+        let mut out = format!("# {}\n", self.label);
+        for p in &self.points {
+            out.push_str(&format!("{:10.3} {:12.5} {:12.5}\n", p.x, p.y.mean, p.y.ci95));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn points_stay_sorted_by_x() {
+        let mut s = Series::new("SS-SPST-E");
+        s.push_samples(5.0, &[0.8, 0.82]);
+        s.push_samples(1.0, &[0.9, 0.92]);
+        s.push_samples(10.0, &[0.7]);
+        let xs: Vec<f64> = s.points.iter().map(|p| p.x).collect();
+        assert_eq!(xs, vec![1.0, 5.0, 10.0]);
+        assert!(s.is_decreasing());
+        assert!(!s.is_increasing());
+    }
+
+    #[test]
+    fn mean_lookup_and_overall() {
+        let mut s = Series::new("ODMRP");
+        s.push_samples(10.0, &[2.0, 4.0]);
+        s.push_samples(20.0, &[6.0]);
+        assert_eq!(s.mean_at(10.0), Some(3.0));
+        assert_eq!(s.mean_at(15.0), None);
+        assert!((s.overall_mean() - 4.5).abs() < 1e-12);
+        assert!(s.is_increasing());
+    }
+
+    #[test]
+    fn text_rendering_contains_label_and_rows() {
+        let mut s = Series::new("MAODV");
+        s.push_samples(1.0, &[0.5]);
+        let txt = s.to_text();
+        assert!(txt.starts_with("# MAODV"));
+        assert_eq!(txt.lines().count(), 2);
+    }
+}

@@ -1,0 +1,106 @@
+//! Summary statistics over repeated measurements.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean / spread summary of a set of samples (one per scenario repetition).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SummaryStats {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 for fewer than two samples).
+    pub std_dev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Half-width of the ~95 % confidence interval on the mean (normal approximation).
+    pub ci95: f64,
+}
+
+impl SummaryStats {
+    /// Summarise a slice of samples. Returns a zeroed summary for an empty slice.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        let n = samples.len();
+        if n == 0 {
+            return SummaryStats { n: 0, mean: 0.0, std_dev: 0.0, min: 0.0, max: 0.0, ci95: 0.0 };
+        }
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let std_dev = var.sqrt();
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let ci95 = if n > 1 { 1.96 * std_dev / (n as f64).sqrt() } else { 0.0 };
+        SummaryStats { n, mean, std_dev, min, max, ci95 }
+    }
+
+    /// The mean, or `None` if there were no samples.
+    pub fn mean_opt(&self) -> Option<f64> {
+        if self.n == 0 {
+            None
+        } else {
+            Some(self.mean)
+        }
+    }
+}
+
+/// Convenience: the mean of a slice (0 for an empty slice).
+pub fn mean(samples: &[f64]) -> f64 {
+    SummaryStats::from_samples(samples).mean
+}
+
+/// Relative change from `baseline` to `value` (e.g. energy savings): `(baseline - value) /
+/// baseline`. Returns 0 when the baseline is 0.
+pub fn relative_improvement(baseline: f64, value: f64) -> f64 {
+    if baseline == 0.0 {
+        0.0
+    } else {
+        (baseline - value) / baseline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_samples() {
+        let s = SummaryStats::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.138089935299395).abs() < 1e-9);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!(s.ci95 > 0.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let empty = SummaryStats::from_samples(&[]);
+        assert_eq!(empty.n, 0);
+        assert_eq!(empty.mean_opt(), None);
+        let single = SummaryStats::from_samples(&[3.5]);
+        assert_eq!(single.mean, 3.5);
+        assert_eq!(single.std_dev, 0.0);
+        assert_eq!(single.ci95, 0.0);
+        assert_eq!(single.mean_opt(), Some(3.5));
+    }
+
+    #[test]
+    fn relative_improvement_basics() {
+        assert!((relative_improvement(10.0, 8.0) - 0.2).abs() < 1e-12);
+        assert!((relative_improvement(10.0, 12.0) + 0.2).abs() < 1e-12);
+        assert_eq!(relative_improvement(0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn mean_helper_matches_summary() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+}

@@ -1,0 +1,32 @@
+//! # ssmcast-scenario — workloads, runner, sweeps and the paper's experiment presets
+//!
+//! This crate is the experiment harness:
+//!
+//! * [`scenario`] — the paper's Section-6 simulation model as a [`scenario::Scenario`]
+//!   value (50 nodes, 750 m × 750 m, random waypoint, 64 kbps CBR) plus the
+//!   [`scenario::ProtocolKind`] selector.
+//! * [`runner`] — build roles, mobility and agents for a scenario and run it to a
+//!   [`ssmcast_manet::SimReport`].
+//! * [`sweep`] — parallel parameter sweeps (rayon) summarised into
+//!   [`ssmcast_metrics::Series`].
+//! * [`presets`] — one [`presets::FigureId`] per evaluation figure (7–16) with the exact
+//!   swept parameter, x values, protocols and metric; [`presets::run_figure`] regenerates
+//!   any of them.
+//! * [`output`] — CSV / JSON / markdown rendering of figure results.
+
+#![warn(missing_docs)]
+
+pub mod output;
+pub mod presets;
+pub mod runner;
+pub mod scenario;
+pub mod sweep;
+
+pub use output::{figure_to_text, series_to_csv, series_to_markdown, write_figure_files};
+pub use presets::{
+    base_scenario_for, run_figure, run_single_cell, FigureId, FigureResult, FigureSpec,
+    SweptParameter,
+};
+pub use runner::{assign_roles, build_mobility, build_setup, run_repetitions, run_scenario};
+pub use scenario::{ProtocolKind, Scenario};
+pub use sweep::{sweep, to_series, Metric, SweepCell};

@@ -1,0 +1,128 @@
+//! Rendering figure results as CSV, JSON and markdown tables.
+
+use crate::presets::FigureResult;
+use ssmcast_metrics::Series;
+use std::io::Write;
+use std::path::Path;
+
+/// Render one figure's series as CSV: `x, <protocol1>, <protocol2>, ...` (mean values).
+pub fn series_to_csv(series: &[Series]) -> String {
+    let mut out = String::from("x");
+    for s in series {
+        out.push(',');
+        out.push_str(&s.label);
+    }
+    out.push('\n');
+    let xs: Vec<f64> = series
+        .first()
+        .map(|s| s.points.iter().map(|p| p.x).collect())
+        .unwrap_or_default();
+    for &x in &xs {
+        out.push_str(&format!("{x}"));
+        for s in series {
+            match s.mean_at(x) {
+                Some(v) => out.push_str(&format!(",{v:.6}")),
+                None => out.push(','),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render one figure's series as a GitHub-flavoured markdown table.
+pub fn series_to_markdown(title: &str, x_label: &str, series: &[Series]) -> String {
+    let mut out = format!("### {title}\n\n| {x_label} ");
+    for s in series {
+        out.push_str(&format!("| {} ", s.label));
+    }
+    out.push_str("|\n|---");
+    for _ in series {
+        out.push_str("|---");
+    }
+    out.push_str("|\n");
+    let xs: Vec<f64> = series
+        .first()
+        .map(|s| s.points.iter().map(|p| p.x).collect())
+        .unwrap_or_default();
+    for &x in &xs {
+        out.push_str(&format!("| {x} "));
+        for s in series {
+            match s.mean_at(x) {
+                Some(v) => out.push_str(&format!("| {v:.4} ")),
+                None => out.push_str("| — "),
+            }
+        }
+        out.push_str("|\n");
+    }
+    out
+}
+
+/// Render a figure result as a human-readable text block (title, metric, table).
+pub fn figure_to_text(result: &FigureResult) -> String {
+    let x_label = match result.spec.swept {
+        crate::presets::SweptParameter::Velocity => "Velocity (m/s)",
+        crate::presets::SweptParameter::BeaconInterval => "Beacon interval (s)",
+        crate::presets::SweptParameter::GroupSize => "Group size",
+    };
+    let mut out = format!(
+        "{} — {} [{}]\n",
+        result.spec.id.short_name(),
+        result.spec.title,
+        result.spec.metric.label()
+    );
+    out.push_str(&series_to_markdown(result.spec.title, x_label, &result.series));
+    out
+}
+
+/// Write a figure result to `<dir>/<figNN>.csv` and `<dir>/<figNN>.json`.
+pub fn write_figure_files(result: &FigureResult, dir: &Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let csv = series_to_csv(&result.series);
+    let mut f = std::fs::File::create(dir.join(format!("{}.csv", result.spec.id.short_name())))?;
+    f.write_all(csv.as_bytes())?;
+    let json = serde_json::to_string_pretty(&result.series)
+        .unwrap_or_else(|e| format!("{{\"error\": \"{e}\"}}"));
+    let mut f = std::fs::File::create(dir.join(format!("{}.json", result.spec.id.short_name())))?;
+    f.write_all(json.as_bytes())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_series() -> Vec<Series> {
+        let mut a = Series::new("SS-SPST");
+        a.push_samples(1.0, &[0.9]);
+        a.push_samples(5.0, &[0.8]);
+        let mut b = Series::new("SS-SPST-E");
+        b.push_samples(1.0, &[0.85]);
+        b.push_samples(5.0, &[0.75]);
+        vec![a, b]
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_x() {
+        let csv = series_to_csv(&sample_series());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "x,SS-SPST,SS-SPST-E");
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("1,0.9"));
+    }
+
+    #[test]
+    fn markdown_table_is_well_formed() {
+        let md = series_to_markdown("PDR vs velocity", "Velocity (m/s)", &sample_series());
+        assert!(md.contains("### PDR vs velocity"));
+        assert!(md.contains("| Velocity (m/s) | SS-SPST | SS-SPST-E |"));
+        assert_eq!(md.matches('\n').count(), 6);
+    }
+
+    #[test]
+    fn empty_series_render_without_panicking() {
+        assert_eq!(series_to_csv(&[]), "x\n");
+        let md = series_to_markdown("t", "x", &[]);
+        assert!(md.contains("### t"));
+    }
+}

@@ -1,0 +1,292 @@
+//! Per-figure experiment presets: one entry for every figure in the paper's evaluation
+//! (Figures 7–16). Each preset knows its swept parameter, its x values, the protocols on
+//! the plot and the y metric, so the bench harness and the examples can regenerate any
+//! figure with one call.
+
+use crate::runner::run_scenario;
+use crate::scenario::{ProtocolKind, Scenario};
+use crate::sweep::{sweep, to_series, Metric, SweepCell};
+use serde::{Deserialize, Serialize};
+use ssmcast_metrics::Series;
+
+/// Which parameter a figure sweeps.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum SweptParameter {
+    /// Maximum node velocity in m/s.
+    Velocity,
+    /// Beacon interval in seconds.
+    BeaconInterval,
+    /// Multicast group size (members including the source).
+    GroupSize,
+}
+
+/// Identifier of a figure in the paper's evaluation section.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Serialize, Deserialize)]
+pub enum FigureId {
+    /// PDR vs velocity, SS-SPST variants.
+    Fig7,
+    /// Unavailability ratio vs velocity, SS-SPST variants.
+    Fig8,
+    /// Energy per packet vs velocity, SS-SPST variants.
+    Fig9,
+    /// PDR vs beacon interval, SS-SPST vs SS-SPST-E.
+    Fig10,
+    /// Energy per packet vs beacon interval, SS-SPST vs SS-SPST-E.
+    Fig11,
+    /// PDR vs group size, four protocols.
+    Fig12,
+    /// Control overhead vs group size, four protocols.
+    Fig13,
+    /// PDR vs velocity, four protocols.
+    Fig14,
+    /// Average delay vs group size, four protocols.
+    Fig15,
+    /// Energy per packet vs velocity, four protocols.
+    Fig16,
+}
+
+impl FigureId {
+    /// All evaluation figures in order.
+    pub const ALL: [FigureId; 10] = [
+        FigureId::Fig7,
+        FigureId::Fig8,
+        FigureId::Fig9,
+        FigureId::Fig10,
+        FigureId::Fig11,
+        FigureId::Fig12,
+        FigureId::Fig13,
+        FigureId::Fig14,
+        FigureId::Fig15,
+        FigureId::Fig16,
+    ];
+
+    /// The preset describing how to regenerate this figure.
+    pub fn spec(self) -> FigureSpec {
+        let velocity_xs = vec![1.0, 5.0, 10.0, 15.0, 20.0];
+        let beacon_xs = vec![1.0, 2.0, 3.0, 4.0];
+        let group_xs = vec![10.0, 20.0, 30.0, 40.0, 50.0];
+        match self {
+            FigureId::Fig7 => FigureSpec {
+                id: self,
+                title: "Packet Delivery Ratio as a Function of Mobility",
+                swept: SweptParameter::Velocity,
+                xs: velocity_xs,
+                protocols: ProtocolKind::ss_variants().to_vec(),
+                metric: Metric::Pdr,
+            },
+            FigureId::Fig8 => FigureSpec {
+                id: self,
+                title: "Unavailability Ratio as a Function of Velocity",
+                swept: SweptParameter::Velocity,
+                xs: velocity_xs,
+                protocols: ProtocolKind::ss_variants().to_vec(),
+                metric: Metric::Unavailability,
+            },
+            FigureId::Fig9 => FigureSpec {
+                id: self,
+                title: "Energy Consumption per Packet Delivered",
+                swept: SweptParameter::Velocity,
+                xs: velocity_xs,
+                protocols: ProtocolKind::ss_variants().to_vec(),
+                metric: Metric::EnergyPerPacketMj,
+            },
+            FigureId::Fig10 => FigureSpec {
+                id: self,
+                title: "Packet Delivery Ratio as a Function of Beacon Interval",
+                swept: SweptParameter::BeaconInterval,
+                xs: beacon_xs,
+                protocols: ProtocolKind::beacon_pair().to_vec(),
+                metric: Metric::Pdr,
+            },
+            FigureId::Fig11 => FigureSpec {
+                id: self,
+                title: "Energy Consumption per Packet Delivered as a Function of Beacon Interval",
+                swept: SweptParameter::BeaconInterval,
+                xs: beacon_xs,
+                protocols: ProtocolKind::beacon_pair().to_vec(),
+                metric: Metric::EnergyPerPacketMj,
+            },
+            FigureId::Fig12 => FigureSpec {
+                id: self,
+                title: "Packet Delivery Ratio as a Function of Multicast Group Size",
+                swept: SweptParameter::GroupSize,
+                xs: group_xs,
+                protocols: ProtocolKind::paper_four().to_vec(),
+                metric: Metric::Pdr,
+            },
+            FigureId::Fig13 => FigureSpec {
+                id: self,
+                title: "Control Overhead as a Function of Multicast Group Size",
+                swept: SweptParameter::GroupSize,
+                xs: group_xs,
+                protocols: ProtocolKind::paper_four().to_vec(),
+                metric: Metric::ControlOverhead,
+            },
+            FigureId::Fig14 => FigureSpec {
+                id: self,
+                title: "Packet Delivery Ratio as a Function of Velocity",
+                swept: SweptParameter::Velocity,
+                xs: velocity_xs,
+                protocols: ProtocolKind::paper_four().to_vec(),
+                metric: Metric::Pdr,
+            },
+            FigureId::Fig15 => FigureSpec {
+                id: self,
+                title: "Average Delay per Node",
+                swept: SweptParameter::GroupSize,
+                xs: group_xs,
+                protocols: ProtocolKind::paper_four().to_vec(),
+                metric: Metric::DelayMs,
+            },
+            FigureId::Fig16 => FigureSpec {
+                id: self,
+                title: "Energy Consumed per Packet Delivered as a Function of Velocity",
+                swept: SweptParameter::Velocity,
+                xs: velocity_xs,
+                protocols: ProtocolKind::paper_four().to_vec(),
+                metric: Metric::EnergyPerPacketMj,
+            },
+        }
+    }
+
+    /// Short name ("fig07", ...) for file names.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            FigureId::Fig7 => "fig07",
+            FigureId::Fig8 => "fig08",
+            FigureId::Fig9 => "fig09",
+            FigureId::Fig10 => "fig10",
+            FigureId::Fig11 => "fig11",
+            FigureId::Fig12 => "fig12",
+            FigureId::Fig13 => "fig13",
+            FigureId::Fig14 => "fig14",
+            FigureId::Fig15 => "fig15",
+            FigureId::Fig16 => "fig16",
+        }
+    }
+}
+
+/// Everything needed to regenerate one figure.
+#[derive(Clone, Debug, Serialize)]
+pub struct FigureSpec {
+    /// Which figure this is.
+    pub id: FigureId,
+    /// The paper's figure title.
+    pub title: &'static str,
+    /// The swept parameter.
+    pub swept: SweptParameter,
+    /// The x values to sweep.
+    pub xs: Vec<f64>,
+    /// The protocols on the plot.
+    pub protocols: Vec<ProtocolKind>,
+    /// The y metric.
+    pub metric: Metric,
+}
+
+/// Base scenario for a figure, applying the paper's fixed parameters for that figure
+/// (e.g. velocity fixed at 5 m/s for the beacon-interval study, 1 m/s for the group-size
+/// study).
+pub fn base_scenario_for(spec: &FigureSpec) -> Scenario {
+    let mut s = Scenario::paper_default();
+    match spec.swept {
+        SweptParameter::Velocity => {
+            s.group_size = 20;
+            s.beacon_interval_s = 2.0;
+        }
+        SweptParameter::BeaconInterval => {
+            s.max_speed_mps = 5.0;
+            s.group_size = 20;
+        }
+        SweptParameter::GroupSize => {
+            // Figures 12/13/15 fix node speed at 1 m/s.
+            s.max_speed_mps = 1.0;
+            s.beacon_interval_s = 2.0;
+        }
+    }
+    s
+}
+
+fn apply(swept: SweptParameter, scenario: &mut Scenario, x: f64) {
+    match swept {
+        SweptParameter::Velocity => scenario.max_speed_mps = x,
+        SweptParameter::BeaconInterval => scenario.beacon_interval_s = x,
+        SweptParameter::GroupSize => scenario.group_size = x.round() as usize,
+    }
+}
+
+/// The raw result of regenerating one figure.
+#[derive(Clone, Debug, Serialize)]
+pub struct FigureResult {
+    /// The preset that was run.
+    pub spec: FigureSpec,
+    /// The per-cell reports (kept for CSV / JSON export).
+    pub cells: Vec<SweepCell>,
+    /// One series per protocol, the figure's lines.
+    pub series: Vec<Series>,
+}
+
+/// Regenerate one figure. `scale` shrinks the run length and repetition count so the same
+/// code serves quick smoke tests (`scale ≈ 0.2`), the bench harness (`scale ≈ 1`) and
+/// paper-fidelity runs (`scale = 10`, i.e. 1800 simulated seconds).
+pub fn run_figure(id: FigureId, scale: f64, reps: usize) -> FigureResult {
+    let spec = id.spec();
+    let mut base = base_scenario_for(&spec);
+    base.duration_s = (base.duration_s * scale).max(30.0);
+    let swept = spec.swept;
+    let cells = sweep(&base, &spec.xs, &spec.protocols, reps.max(1), move |s, x| apply(swept, s, x));
+    let series = to_series(&cells, spec.metric);
+    FigureResult { spec, cells, series }
+}
+
+/// Run a single cell of a figure (used by the Criterion timing benchmarks).
+pub fn run_single_cell(id: FigureId, x: f64, protocol: ProtocolKind, scale: f64) -> ssmcast_manet::SimReport {
+    let spec = id.spec();
+    let mut base = base_scenario_for(&spec);
+    base.duration_s = (base.duration_s * scale).max(30.0);
+    apply(spec.swept, &mut base, x);
+    run_scenario(&base, protocol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_figure_has_a_complete_spec() {
+        for id in FigureId::ALL {
+            let spec = id.spec();
+            assert!(!spec.xs.is_empty());
+            assert!(spec.protocols.len() >= 2);
+            assert!(!spec.title.is_empty());
+            assert!(id.short_name().starts_with("fig"));
+            let base = base_scenario_for(&spec);
+            assert_eq!(base.n_nodes, 50);
+        }
+    }
+
+    #[test]
+    fn group_size_figures_fix_velocity_at_1mps() {
+        let spec = FigureId::Fig12.spec();
+        assert_eq!(base_scenario_for(&spec).max_speed_mps, 1.0);
+        let spec = FigureId::Fig15.spec();
+        assert_eq!(base_scenario_for(&spec).max_speed_mps, 1.0);
+    }
+
+    #[test]
+    fn beacon_interval_figures_fix_velocity_at_5mps() {
+        let spec = FigureId::Fig10.spec();
+        assert_eq!(base_scenario_for(&spec).max_speed_mps, 5.0);
+        assert_eq!(spec.protocols.len(), 2);
+    }
+
+    #[test]
+    fn apply_sets_the_right_field() {
+        let mut s = Scenario::paper_default();
+        apply(SweptParameter::Velocity, &mut s, 15.0);
+        assert_eq!(s.max_speed_mps, 15.0);
+        apply(SweptParameter::BeaconInterval, &mut s, 3.0);
+        assert_eq!(s.beacon_interval_s, 3.0);
+        apply(SweptParameter::GroupSize, &mut s, 40.0);
+        assert_eq!(s.group_size, 40);
+    }
+}

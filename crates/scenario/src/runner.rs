@@ -1,0 +1,178 @@
+//! Running one scenario under one protocol.
+
+use crate::scenario::{ProtocolKind, Scenario};
+use rand::seq::SliceRandom;
+use ssmcast_baselines::{FloodingAgent, MaodvAgent, OdmrpAgent};
+use ssmcast_core::{MetricParams, SsSpstAgent, SsSpstConfig};
+use ssmcast_dessim::{SeedSequence, SimDuration, SimTime};
+use ssmcast_manet::{
+    BoxedMobility, GroupRole, NodeId, ProtocolAgent, RandomWaypoint, SimReport, SimSetup,
+    TrafficConfig, WaypointConfig,
+};
+use ssmcast_manet::{Area, NetworkSim};
+
+/// Assign group roles: node 0 is the source; `receiver_count` further members are drawn
+/// uniformly (but deterministically for the scenario seed) from the remaining nodes.
+pub fn assign_roles(scenario: &Scenario, seeds: &SeedSequence) -> Vec<GroupRole> {
+    let mut roles = vec![GroupRole::NonMember; scenario.n_nodes];
+    roles[0] = GroupRole::Source;
+    let mut candidates: Vec<usize> = (1..scenario.n_nodes).collect();
+    let mut rng = seeds.stream("membership");
+    candidates.shuffle(&mut rng);
+    for &idx in candidates.iter().take(scenario.receiver_count()) {
+        roles[idx] = GroupRole::Member;
+    }
+    roles
+}
+
+/// Build one random-waypoint mobility process per node.
+pub fn build_mobility(scenario: &Scenario, seeds: &SeedSequence) -> Vec<BoxedMobility> {
+    let cfg = WaypointConfig {
+        area: Area::square(scenario.area_side_m),
+        min_speed: scenario.min_speed_mps,
+        max_speed: scenario.max_speed_mps,
+        pause_secs: scenario.pause_secs,
+    };
+    (0..scenario.n_nodes as u64)
+        .map(|i| {
+            Box::new(RandomWaypoint::with_random_start(cfg, seeds.indexed_stream("mobility", i)))
+                as BoxedMobility
+        })
+        .collect()
+}
+
+/// Build the [`SimSetup`] shared by every protocol for this scenario.
+pub fn build_setup(scenario: &Scenario, seeds: SeedSequence) -> SimSetup {
+    let stop = SimTime::from_secs_f64(scenario.duration_s);
+    let traffic = TrafficConfig {
+        group: Default::default(),
+        source: NodeId(0),
+        data_rate_bps: scenario.data_rate_bps,
+        packet_size_bytes: scenario.packet_size_bytes,
+        start: SimTime::from_secs_f64(scenario.warmup_s),
+        stop,
+    };
+    SimSetup {
+        radio: scenario.radio,
+        traffic,
+        roles: assign_roles(scenario, &seeds),
+        battery_capacity_j: f64::INFINITY,
+        unavailability_window: SimDuration::from_secs(1),
+        availability_threshold: 0.95,
+        seeds,
+    }
+}
+
+fn run_with<A, F>(scenario: &Scenario, seeds: SeedSequence, make_agent: F) -> SimReport
+where
+    A: ProtocolAgent,
+    F: Fn(usize) -> A,
+{
+    let setup = build_setup(scenario, seeds);
+    let mobility = build_mobility(scenario, &seeds);
+    let agents = (0..scenario.n_nodes).map(make_agent).collect();
+    let mut sim = NetworkSim::new(setup, mobility, agents);
+    sim.run(SimDuration::from_secs_f64(scenario.duration_s))
+}
+
+/// Run `scenario` under `protocol` and return the per-run report.
+pub fn run_scenario(scenario: &Scenario, protocol: ProtocolKind) -> SimReport {
+    let seeds = SeedSequence::new(scenario.seed);
+    match protocol {
+        ProtocolKind::SsSpst(kind) => {
+            let config = SsSpstConfig {
+                params: MetricParams {
+                    energy: scenario.radio.energy,
+                    data_packet_bytes: scenario.packet_size_bytes,
+                },
+                ..SsSpstConfig::with_beacon_interval(
+                    kind,
+                    SimDuration::from_secs_f64(scenario.beacon_interval_s),
+                )
+            };
+            run_with(scenario, seeds, |_| SsSpstAgent::new(config))
+        }
+        ProtocolKind::Maodv => run_with(scenario, seeds, |_| MaodvAgent::with_defaults()),
+        ProtocolKind::Odmrp => run_with(scenario, seeds, |_| OdmrpAgent::with_defaults()),
+        ProtocolKind::Flooding => run_with(scenario, seeds, |_| FloodingAgent::new()),
+    }
+}
+
+/// Run the same scenario `reps` times with derived seeds and return every report.
+pub fn run_repetitions(scenario: &Scenario, protocol: ProtocolKind, reps: usize) -> Vec<SimReport> {
+    (0..reps)
+        .map(|r| {
+            let mut s = *scenario;
+            s.seed = SeedSequence::new(scenario.seed).child(r as u64).master();
+            run_scenario(&s, protocol)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssmcast_core::MetricKind;
+
+    #[test]
+    fn roles_have_one_source_and_the_requested_receivers() {
+        let s = Scenario::quick_test();
+        let seeds = SeedSequence::new(s.seed);
+        let roles = assign_roles(&s, &seeds);
+        assert_eq!(roles.iter().filter(|r| matches!(r, GroupRole::Source)).count(), 1);
+        assert_eq!(
+            roles.iter().filter(|r| matches!(r, GroupRole::Member)).count(),
+            s.receiver_count()
+        );
+        // Deterministic for a fixed seed.
+        assert_eq!(roles, assign_roles(&s, &seeds));
+    }
+
+    #[test]
+    fn mobility_is_one_process_per_node() {
+        let s = Scenario::quick_test();
+        let seeds = SeedSequence::new(1);
+        assert_eq!(build_mobility(&s, &seeds).len(), s.n_nodes);
+    }
+
+    #[test]
+    fn quick_scenario_runs_under_every_protocol() {
+        let mut s = Scenario::quick_test();
+        s.duration_s = 30.0;
+        s.n_nodes = 20;
+        s.group_size = 8;
+        for protocol in [
+            ProtocolKind::SsSpst(MetricKind::EnergyAware),
+            ProtocolKind::SsSpst(MetricKind::Hop),
+            ProtocolKind::Maodv,
+            ProtocolKind::Odmrp,
+            ProtocolKind::Flooding,
+        ] {
+            let report = run_scenario(&s, protocol);
+            assert!(report.generated > 100, "{}: CBR must generate traffic", protocol.name());
+            assert!(report.pdr >= 0.0 && report.pdr <= 1.0);
+            assert!(report.total_energy_j > 0.0, "{}: someone must transmit", protocol.name());
+            assert_eq!(report.protocol, protocol.name());
+        }
+    }
+
+    #[test]
+    fn runs_are_reproducible_for_a_seed() {
+        let mut s = Scenario::quick_test();
+        s.duration_s = 25.0;
+        s.n_nodes = 15;
+        let a = run_scenario(&s, ProtocolKind::SsSpst(MetricKind::EnergyAware));
+        let b = run_scenario(&s, ProtocolKind::SsSpst(MetricKind::EnergyAware));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn repetitions_use_distinct_seeds() {
+        let mut s = Scenario::quick_test();
+        s.duration_s = 25.0;
+        s.n_nodes = 15;
+        let reports = run_repetitions(&s, ProtocolKind::Odmrp, 2);
+        assert_eq!(reports.len(), 2);
+        assert_ne!(reports[0], reports[1], "different repetitions see different mobility");
+    }
+}

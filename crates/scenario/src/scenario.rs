@@ -1,0 +1,160 @@
+//! Scenario definitions: everything that parameterises one simulation run.
+
+use serde::{Deserialize, Serialize};
+use ssmcast_core::MetricKind;
+use ssmcast_manet::RadioConfig;
+
+/// Which multicast protocol to run on a scenario.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Serialize, Deserialize)]
+pub enum ProtocolKind {
+    /// One of the SS-SPST family, selected by its cost metric.
+    SsSpst(MetricKind),
+    /// Multicast AODV (tree-based, on-demand).
+    Maodv,
+    /// ODMRP (mesh-based, on-demand).
+    Odmrp,
+    /// Blind flooding (reference only; not in the paper's figures).
+    Flooding,
+}
+
+impl ProtocolKind {
+    /// Display name matching the paper's figure legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::SsSpst(kind) => kind.protocol_name(),
+            ProtocolKind::Maodv => "MAODV",
+            ProtocolKind::Odmrp => "ODMRP",
+            ProtocolKind::Flooding => "Flooding",
+        }
+    }
+
+    /// The four SS-SPST variants compared in Figures 7–9.
+    pub fn ss_variants() -> [ProtocolKind; 4] {
+        [
+            ProtocolKind::SsSpst(MetricKind::Hop),
+            ProtocolKind::SsSpst(MetricKind::TxLink),
+            ProtocolKind::SsSpst(MetricKind::Farthest),
+            ProtocolKind::SsSpst(MetricKind::EnergyAware),
+        ]
+    }
+
+    /// The four protocols compared in Figures 12–16.
+    pub fn paper_four() -> [ProtocolKind; 4] {
+        [
+            ProtocolKind::Maodv,
+            ProtocolKind::SsSpst(MetricKind::Hop),
+            ProtocolKind::SsSpst(MetricKind::EnergyAware),
+            ProtocolKind::Odmrp,
+        ]
+    }
+
+    /// SS-SPST and SS-SPST-E, compared in the beacon-interval study (Figures 10–11).
+    pub fn beacon_pair() -> [ProtocolKind; 2] {
+        [ProtocolKind::SsSpst(MetricKind::Hop), ProtocolKind::SsSpst(MetricKind::EnergyAware)]
+    }
+}
+
+/// One simulation scenario: the paper's Section 6 settings, all overridable.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Number of nodes (paper: 50).
+    pub n_nodes: usize,
+    /// Side of the square deployment area in metres (paper: 750).
+    pub area_side_m: f64,
+    /// Maximum random-waypoint speed, m/s (paper sweeps 1–20).
+    pub max_speed_mps: f64,
+    /// Minimum random-waypoint speed, m/s (> 0 per the Yoon/Noble fix).
+    pub min_speed_mps: f64,
+    /// Pause time at each waypoint, seconds.
+    pub pause_secs: f64,
+    /// Multicast group size including the source (paper sweeps 10–50, default 20).
+    pub group_size: usize,
+    /// Beacon interval for the SS-SPST family, seconds (paper: 2).
+    pub beacon_interval_s: f64,
+    /// Simulated duration, seconds (paper: 1800; the harness default is shorter so a full
+    /// figure regenerates in minutes — see EXPERIMENTS.md).
+    pub duration_s: f64,
+    /// Traffic warm-up before the CBR source starts, seconds.
+    pub warmup_s: f64,
+    /// CBR source rate, bits/s (paper: 64 kbps).
+    pub data_rate_bps: f64,
+    /// CBR packet size, bytes.
+    pub packet_size_bytes: u32,
+    /// Radio and energy configuration.
+    pub radio: RadioConfig,
+    /// Master seed; repetitions derive child seeds from it.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// The paper's simulation model with a harness-friendly duration (180 s instead of
+    /// 1800 s). Multiply `duration_s` by 10 to match the paper exactly.
+    pub fn paper_default() -> Self {
+        Scenario {
+            n_nodes: 50,
+            area_side_m: 750.0,
+            max_speed_mps: 5.0,
+            min_speed_mps: 0.1,
+            pause_secs: 0.0,
+            group_size: 20,
+            beacon_interval_s: 2.0,
+            duration_s: 180.0,
+            warmup_s: 10.0,
+            data_rate_bps: 64_000.0,
+            packet_size_bytes: 512,
+            radio: RadioConfig::default(),
+            seed: 0x55_5357,
+        }
+    }
+
+    /// A small, fast scenario for unit/integration tests: fewer nodes, shorter run.
+    pub fn quick_test() -> Self {
+        Scenario {
+            n_nodes: 25,
+            duration_s: 60.0,
+            group_size: 10,
+            ..Self::paper_default()
+        }
+    }
+
+    /// Number of group members excluding the source.
+    pub fn receiver_count(&self) -> usize {
+        self.group_size.saturating_sub(1).min(self.n_nodes.saturating_sub(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_figure_legends() {
+        assert_eq!(ProtocolKind::SsSpst(MetricKind::EnergyAware).name(), "SS-SPST-E");
+        assert_eq!(ProtocolKind::Odmrp.name(), "ODMRP");
+        assert_eq!(ProtocolKind::Maodv.name(), "MAODV");
+        let names: Vec<_> = ProtocolKind::paper_four().iter().map(|p| p.name()).collect();
+        assert_eq!(names, vec!["MAODV", "SS-SPST", "SS-SPST-E", "ODMRP"]);
+        assert_eq!(ProtocolKind::ss_variants().len(), 4);
+        assert_eq!(ProtocolKind::beacon_pair().len(), 2);
+    }
+
+    #[test]
+    fn paper_defaults_match_section6() {
+        let s = Scenario::paper_default();
+        assert_eq!(s.n_nodes, 50);
+        assert_eq!(s.area_side_m, 750.0);
+        assert_eq!(s.data_rate_bps, 64_000.0);
+        assert_eq!(s.beacon_interval_s, 2.0);
+        assert!(s.min_speed_mps > 0.0, "Yoon/Noble fix");
+        assert_eq!(s.receiver_count(), 19);
+    }
+
+    #[test]
+    fn receiver_count_is_clamped() {
+        let mut s = Scenario::quick_test();
+        s.group_size = 100;
+        assert_eq!(s.receiver_count(), s.n_nodes - 1);
+        s.group_size = 0;
+        assert_eq!(s.receiver_count(), 0);
+    }
+}

@@ -1,0 +1,16 @@
+//! Figures 10 and 11: the beacon-interval trade-off. Short intervals detect faults faster
+//! (better delivery ratio) but cost more control energy; the paper finds the sweet spot
+//! around 2 s.
+//!
+//! Run with `cargo run --release --example beacon_interval`.
+
+use ssmcast::scenario::{figure_to_text, run_figure, FigureId};
+
+fn main() {
+    let scale: f64 = std::env::var("SSMCAST_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(0.5);
+    let reps: usize = std::env::var("SSMCAST_REPS").ok().and_then(|s| s.parse().ok()).unwrap_or(2);
+    for id in [FigureId::Fig10, FigureId::Fig11] {
+        let result = run_figure(id, scale, reps);
+        println!("{}", figure_to_text(&result));
+    }
+}

@@ -1,0 +1,56 @@
+//! Figures 1–6: stabilize the paper's worked example under all four cost metrics and
+//! compare the resulting trees, stabilization round counts and per-packet energy.
+//!
+//! Run with `cargo run --release --example paper_topology`.
+
+use ssmcast::core::{figure1_topology, run_all_examples, MetricKind, MetricParams};
+use ssmcast::manet::NodeId;
+
+fn main() {
+    let topo = figure1_topology();
+    let params = MetricParams::default();
+
+    println!("Figure 1 — the example topology ({} nodes, {} members):", topo.len(), topo.member_count());
+    for v in topo.nodes() {
+        let kind = if v == topo.source() {
+            "source"
+        } else if topo.is_member(v) {
+            "member"
+        } else {
+            "non-group"
+        };
+        let neighbours: Vec<String> = topo
+            .neighbors(v)
+            .iter()
+            .map(|(u, d)| format!("{u}({d:.1}m)"))
+            .collect();
+        println!("  node {v:>2} [{kind:>9}]  neighbours: {}", neighbours.join(", "));
+    }
+
+    println!("\nFigures 2, 3, 4, 6 — stabilized trees per metric:");
+    println!("{:<12} {:>7} {:>10} {:>14} {:>16}", "protocol", "rounds", "max depth", "parent(3)", "energy/pkt (mJ)");
+    for result in run_all_examples() {
+        let parent3 = result
+            .tree
+            .parent(NodeId(3))
+            .map(|p| p.to_string())
+            .unwrap_or_else(|| "-".to_string());
+        println!(
+            "{:<12} {:>7} {:>10} {:>14} {:>16.3}",
+            result.kind.protocol_name(),
+            result.rounds,
+            result.tree.max_depth(),
+            parent3,
+            result.per_packet_energy * 1e3
+        );
+    }
+
+    // Figure 5's point: the discard energy term separates otherwise equal parents.
+    let e = ssmcast::core::run_example(MetricKind::EnergyAware, &params);
+    let f = ssmcast::core::run_example(MetricKind::Farthest, &params);
+    println!(
+        "\nDiscard-energy effect (Figure 5): E-tree per-packet energy {:.3} mJ vs F-tree {:.3} mJ",
+        e.per_packet_energy * 1e3,
+        f.per_packet_energy * 1e3
+    );
+}

@@ -1,0 +1,22 @@
+//! Figures 12–16: SS-SPST and SS-SPST-E against MAODV and ODMRP — group-size scalability,
+//! control overhead, delivery ratio under mobility, delay and energy per packet.
+//!
+//! Run with `cargo run --release --example protocol_comparison`. This is the largest
+//! example; lower `SSMCAST_SCALE` / `SSMCAST_REPS` for a faster pass.
+
+use ssmcast::scenario::{figure_to_text, run_figure, write_figure_files, FigureId};
+use std::path::Path;
+
+fn main() {
+    let scale: f64 = std::env::var("SSMCAST_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(0.4);
+    let reps: usize = std::env::var("SSMCAST_REPS").ok().and_then(|s| s.parse().ok()).unwrap_or(1);
+    let out_dir = std::env::var("SSMCAST_OUT").unwrap_or_else(|_| "target/figures".to_string());
+    for id in [FigureId::Fig12, FigureId::Fig13, FigureId::Fig14, FigureId::Fig15, FigureId::Fig16] {
+        let result = run_figure(id, scale, reps);
+        println!("{}", figure_to_text(&result));
+        if let Err(e) = write_figure_files(&result, Path::new(&out_dir)) {
+            eprintln!("could not write CSV/JSON for {}: {e}", result.spec.id.short_name());
+        }
+    }
+    println!("CSV/JSON series written to {out_dir}/");
+}

@@ -1,0 +1,38 @@
+//! # ssmcast — energy-aware self-stabilizing multicast for MANETs
+//!
+//! A full reproduction of *"Energy-Aware Self-Stabilization in Mobile Ad Hoc Networks: A
+//! Multicasting Case Study"* (Mukherjee, Sridharan, Gupta — IPDPS/IPPS 2007) as a Rust
+//! workspace:
+//!
+//! * [`dessim`] — the discrete-event simulation engine (the role ns-2 plays in the paper).
+//! * [`manet`] — the MANET substrate: random-waypoint mobility, power-controlled radio,
+//!   first-order energy model, broadcast channel with collisions, per-node batteries.
+//! * [`core`] — the paper's contribution: the SS-SPST protocol family (SS-SPST, -T, -F and
+//!   the energy-aware SS-SPST-E) as both a synchronous round model and an event-driven
+//!   protocol agent.
+//! * [`baselines`] — MAODV and ODMRP, the protocols the paper compares against.
+//! * [`metrics`] — summary statistics for the experiment harness.
+//! * [`scenario`] — the Section-6 simulation model, parameter sweeps, and one preset per
+//!   evaluation figure (Figures 7–16).
+//!
+//! This umbrella crate re-exports every sub-crate so downstream users can depend on a
+//! single `ssmcast` crate; the runnable binaries in `examples/` are the quickest way in.
+//!
+//! ```
+//! use ssmcast::core::{figure1_topology, MetricKind, MetricParams, SyncModel};
+//!
+//! // Stabilize the paper's Figure-1 example under the energy-aware metric.
+//! let mut model = SyncModel::new(figure1_topology(), MetricKind::EnergyAware, MetricParams::default());
+//! let rounds = model.run_to_stabilization(100).unwrap();
+//! assert!(model.tree().is_spanning());
+//! assert!(rounds >= 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use ssmcast_baselines as baselines;
+pub use ssmcast_core as core;
+pub use ssmcast_dessim as dessim;
+pub use ssmcast_manet as manet;
+pub use ssmcast_metrics as metrics;
+pub use ssmcast_scenario as scenario;
