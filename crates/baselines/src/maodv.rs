@@ -215,7 +215,12 @@ impl ProtocolAgent for MaodvAgent {
                 }
                 let router = self.is_tree_router(ctx.now);
                 if router {
-                    ctx.broadcast_data(packet.size_bytes, ctx.radio.max_range_m, tag, MaodvPayload::Data);
+                    ctx.broadcast_data(
+                        packet.size_bytes,
+                        ctx.radio.max_range_m,
+                        tag,
+                        MaodvPayload::Data,
+                    );
                 }
                 if member || router {
                     Disposition::Consumed
@@ -278,11 +283,24 @@ mod tests {
 
     impl Harness {
         fn new() -> Self {
-            Harness { radio: RadioConfig::default(), rng: StdRng::seed_from_u64(3), actions: Vec::new() }
+            Harness {
+                radio: RadioConfig::default(),
+                rng: StdRng::seed_from_u64(3),
+                actions: Vec::new(),
+            }
         }
         fn ctx(&mut self, now: SimTime, id: NodeId, role: GroupRole) -> NodeCtx<'_, MaodvPayload> {
             self.actions.clear();
-            NodeCtx::new(now, id, Vec2::ZERO, role, 50, &self.radio, &mut self.rng, &mut self.actions)
+            NodeCtx::new(
+                now,
+                id,
+                Vec2::ZERO,
+                role,
+                50,
+                &self.radio,
+                &mut self.rng,
+                &mut self.actions,
+            )
         }
     }
 
@@ -310,7 +328,10 @@ mod tests {
             assert_eq!(a.on_packet(&mut ctx, &join), Disposition::Consumed);
         }
         assert!(a.tree_established);
-        assert!(h.actions.iter().any(|x| matches!(x, Action::Broadcast { class: PacketClass::Data, .. })));
+        assert!(h
+            .actions
+            .iter()
+            .any(|x| matches!(x, Action::Broadcast { class: PacketClass::Data, .. })));
     }
 
     #[test]
@@ -372,7 +393,10 @@ mod tests {
             assert_eq!(a.on_packet(&mut ctx, &data), Disposition::Consumed);
         }
         assert!(h.actions.iter().any(|x| matches!(x, Action::DeliverData { .. })));
-        assert!(h.actions.iter().any(|x| matches!(x, Action::Broadcast { class: PacketClass::Data, .. })));
+        assert!(h
+            .actions
+            .iter()
+            .any(|x| matches!(x, Action::Broadcast { class: PacketClass::Data, .. })));
         // Data from a non-upstream neighbour is overhearing.
         let stray = Packet::data(NodeId(7), 512, tag(2), MaodvPayload::Data);
         {

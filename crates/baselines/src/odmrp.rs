@@ -211,7 +211,12 @@ impl ProtocolAgent for OdmrpAgent {
                 }
                 let forwarder = self.is_forwarder(ctx.now);
                 if forwarder {
-                    ctx.broadcast_data(packet.size_bytes, ctx.radio.max_range_m, tag, OdmrpPayload::Data);
+                    ctx.broadcast_data(
+                        packet.size_bytes,
+                        ctx.radio.max_range_m,
+                        tag,
+                        OdmrpPayload::Data,
+                    );
                 }
                 if member || forwarder {
                     Disposition::Consumed
@@ -275,11 +280,24 @@ mod tests {
 
     impl Harness {
         fn new() -> Self {
-            Harness { radio: RadioConfig::default(), rng: StdRng::seed_from_u64(3), actions: Vec::new() }
+            Harness {
+                radio: RadioConfig::default(),
+                rng: StdRng::seed_from_u64(3),
+                actions: Vec::new(),
+            }
         }
         fn ctx(&mut self, now: SimTime, id: NodeId, role: GroupRole) -> NodeCtx<'_, OdmrpPayload> {
             self.actions.clear();
-            NodeCtx::new(now, id, Vec2::ZERO, role, 50, &self.radio, &mut self.rng, &mut self.actions)
+            NodeCtx::new(
+                now,
+                id,
+                Vec2::ZERO,
+                role,
+                50,
+                &self.radio,
+                &mut self.rng,
+                &mut self.actions,
+            )
         }
     }
 
@@ -300,30 +318,47 @@ mod tests {
             x,
             Action::Broadcast { payload: OdmrpPayload::JoinQuery { .. }, .. }
         )));
-        assert!(!h.actions.iter().any(|x| matches!(x, Action::Broadcast { class: PacketClass::Data, .. })));
+        assert!(!h
+            .actions
+            .iter()
+            .any(|x| matches!(x, Action::Broadcast { class: PacketClass::Data, .. })));
         assert_eq!(a.buffered.len(), 1);
 
         // A Join Reply addressed to the source establishes the mesh and flushes the buffer.
-        let jr = Packet::control(NodeId(4), 28, OdmrpPayload::JoinReply { source: NodeId(0), next_hop: NodeId(0) });
+        let jr = Packet::control(
+            NodeId(4),
+            28,
+            OdmrpPayload::JoinReply { source: NodeId(0), next_hop: NodeId(0) },
+        );
         {
             let mut ctx = h.ctx(SimTime::from_secs(2), NodeId(0), GroupRole::Source);
             assert_eq!(a.on_packet(&mut ctx, &jr), Disposition::Consumed);
         }
         assert!(a.mesh_established);
-        assert!(h.actions.iter().any(|x| matches!(x, Action::Broadcast { class: PacketClass::Data, .. })));
+        assert!(h
+            .actions
+            .iter()
+            .any(|x| matches!(x, Action::Broadcast { class: PacketClass::Data, .. })));
         // Subsequent data goes straight out.
         {
             let mut ctx = h.ctx(SimTime::from_secs(3), NodeId(0), GroupRole::Source);
             a.on_app_data(&mut ctx, tag(2), 512);
         }
-        assert!(h.actions.iter().any(|x| matches!(x, Action::Broadcast { class: PacketClass::Data, .. })));
+        assert!(h
+            .actions
+            .iter()
+            .any(|x| matches!(x, Action::Broadcast { class: PacketClass::Data, .. })));
     }
 
     #[test]
     fn member_replies_to_join_query_and_relays_the_flood() {
         let mut h = Harness::new();
         let mut a = OdmrpAgent::with_defaults();
-        let jq = Packet::control(NodeId(7), 28, OdmrpPayload::JoinQuery { origin: NodeId(0), seq: 5, hop: 2 });
+        let jq = Packet::control(
+            NodeId(7),
+            28,
+            OdmrpPayload::JoinQuery { origin: NodeId(0), seq: 5, hop: 2 },
+        );
         {
             let mut ctx = h.ctx(SimTime::from_secs(1), NodeId(3), GroupRole::Member);
             assert_eq!(a.on_packet(&mut ctx, &jq), Disposition::Consumed);
@@ -332,7 +367,9 @@ mod tests {
         let replies: Vec<_> = h
             .actions
             .iter()
-            .filter(|x| matches!(x, Action::Broadcast { payload: OdmrpPayload::JoinReply { .. }, .. }))
+            .filter(|x| {
+                matches!(x, Action::Broadcast { payload: OdmrpPayload::JoinReply { .. }, .. })
+            })
             .collect();
         assert_eq!(replies.len(), 1, "members answer with one Join Reply");
         assert!(h.actions.iter().any(|x| matches!(
@@ -351,13 +388,21 @@ mod tests {
         let mut h = Harness::new();
         let mut a = OdmrpAgent::with_defaults();
         // Learn an upstream first.
-        let jq = Packet::control(NodeId(1), 28, OdmrpPayload::JoinQuery { origin: NodeId(0), seq: 1, hop: 1 });
+        let jq = Packet::control(
+            NodeId(1),
+            28,
+            OdmrpPayload::JoinQuery { origin: NodeId(0), seq: 1, hop: 1 },
+        );
         {
             let mut ctx = h.ctx(SimTime::from_secs(1), NodeId(2), GroupRole::NonMember);
             a.on_packet(&mut ctx, &jq);
         }
         // A reply addressed to us makes us a forwarder and is propagated to our upstream.
-        let jr = Packet::control(NodeId(9), 28, OdmrpPayload::JoinReply { source: NodeId(0), next_hop: NodeId(2) });
+        let jr = Packet::control(
+            NodeId(9),
+            28,
+            OdmrpPayload::JoinReply { source: NodeId(0), next_hop: NodeId(2) },
+        );
         {
             let mut ctx = h.ctx(SimTime::from_secs(1), NodeId(2), GroupRole::NonMember);
             assert_eq!(a.on_packet(&mut ctx, &jr), Disposition::Consumed);
@@ -368,7 +413,11 @@ mod tests {
             Action::Broadcast { payload: OdmrpPayload::JoinReply { next_hop: NodeId(1), .. }, .. }
         )));
         // A reply addressed to someone else is overheard.
-        let other = Packet::control(NodeId(9), 28, OdmrpPayload::JoinReply { source: NodeId(0), next_hop: NodeId(6) });
+        let other = Packet::control(
+            NodeId(9),
+            28,
+            OdmrpPayload::JoinReply { source: NodeId(0), next_hop: NodeId(6) },
+        );
         {
             let mut ctx = h.ctx(SimTime::from_secs(1), NodeId(2), GroupRole::NonMember);
             assert_eq!(a.on_packet(&mut ctx, &other), Disposition::Discarded);
@@ -382,8 +431,16 @@ mod tests {
         let mut h = Harness::new();
         let mut a = OdmrpAgent::with_defaults();
         // Become a forwarder.
-        let jq = Packet::control(NodeId(1), 28, OdmrpPayload::JoinQuery { origin: NodeId(0), seq: 1, hop: 1 });
-        let jr = Packet::control(NodeId(9), 28, OdmrpPayload::JoinReply { source: NodeId(0), next_hop: NodeId(2) });
+        let jq = Packet::control(
+            NodeId(1),
+            28,
+            OdmrpPayload::JoinQuery { origin: NodeId(0), seq: 1, hop: 1 },
+        );
+        let jr = Packet::control(
+            NodeId(9),
+            28,
+            OdmrpPayload::JoinReply { source: NodeId(0), next_hop: NodeId(2) },
+        );
         {
             let mut ctx = h.ctx(SimTime::from_secs(1), NodeId(2), GroupRole::Member);
             a.on_packet(&mut ctx, &jq);
@@ -395,7 +452,10 @@ mod tests {
             assert_eq!(a.on_packet(&mut ctx, &data), Disposition::Consumed);
         }
         assert!(h.actions.iter().any(|x| matches!(x, Action::DeliverData { .. })));
-        assert!(h.actions.iter().any(|x| matches!(x, Action::Broadcast { class: PacketClass::Data, .. })));
+        assert!(h
+            .actions
+            .iter()
+            .any(|x| matches!(x, Action::Broadcast { class: PacketClass::Data, .. })));
         // The duplicate arriving over another mesh path is suppressed.
         {
             let mut ctx = h.ctx(SimTime::from_secs(2), NodeId(2), GroupRole::Member);

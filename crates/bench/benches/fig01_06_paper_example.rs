@@ -34,8 +34,11 @@ fn bench_example_stabilization(c: &mut Criterion) {
     group.sample_size(20);
     group.bench_function("stabilize_energy_aware", |b| {
         b.iter(|| {
-            let mut model =
-                SyncModel::new(figure1_topology(), MetricKind::EnergyAware, MetricParams::default());
+            let mut model = SyncModel::new(
+                figure1_topology(),
+                MetricKind::EnergyAware,
+                MetricParams::default(),
+            );
             black_box(model.run_to_stabilization(200))
         })
     });

@@ -1,0 +1,185 @@
+//! A minimal, dependency-free property-testing harness exposing the subset of the
+//! `proptest` API used by this workspace: the `proptest!` macro over range strategies,
+//! `ProptestConfig { cases }`, and `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Differences from real proptest: inputs are sampled deterministically from a seed
+//! derived from the test name (so failures reproduce across runs), and there is **no
+//! shrinking** — a failing case panics with the sampled inputs visible in the assertion
+//! message rather than a minimised counterexample.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per property.
+    pub cases: u32,
+    /// Accepted for source compatibility; this harness never shrinks.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64, max_shrink_iters: 0 }
+    }
+}
+
+/// Deterministic SplitMix64 generator driving input sampling.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator seeded from the test name, so every run samples the same cases.
+    pub fn deterministic(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// A source of sampled values for one `arg in strategy` binding.
+pub trait Strategy {
+    /// The sampled value type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                (self.start as u128).wrapping_add((rng.next_u64() as u128) % span) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as u128).wrapping_sub(lo as u128).wrapping_add(1);
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                (lo as u128).wrapping_add((rng.next_u64() as u128) % span) as $t
+            }
+        }
+    )*};
+}
+
+int_strategies!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        let f = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + f * (self.end - self.start)
+    }
+}
+
+/// Assert inside a property; panics with the usual `assert!` message on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tok:tt)*) => { assert!($($tok)*) };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tok:tt)*) => { assert_eq!($($tok)*) };
+}
+
+/// Declare property tests: each `fn name(arg in strategy, ...) { .. }` becomes a `#[test]`
+/// that samples `cases` inputs and runs the body for each.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut proptest_rng = $crate::TestRng::deterministic(stringify!($name));
+                for proptest_case in 0..config.cases {
+                    let _ = proptest_case;
+                    $( let $arg = $crate::Strategy::sample(&($strategy), &mut proptest_rng); )+
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $( $(#[$meta])* fn $name( $($arg in $strategy),+ ) $body )*
+        }
+    };
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy, TestRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        /// Sampled values respect their range strategies.
+        #[test]
+        fn samples_stay_in_range(
+            a in 0u64..100,
+            b in 5usize..10,
+            c in 0.0f64..1.0,
+        ) {
+            prop_assert!(a < 100);
+            prop_assert!((5..10).contains(&b));
+            prop_assert!((0.0..1.0).contains(&c));
+            prop_assert_eq!(a, a);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = TestRng::deterministic("x");
+        let mut b = TestRng::deterministic("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,376 @@
+//! A minimal, dependency-free re-implementation of the subset of the `rand` crate API the
+//! ssmcast workspace uses.
+//!
+//! The build environment for this repository is fully offline, so the real `rand` crate
+//! cannot be fetched from a registry. Simulation code only needs a small, deterministic
+//! slice of its API: [`rngs::StdRng`] seeded via [`SeedableRng::seed_from_u64`], the
+//! [`Rng`] extension methods (`gen`, `gen_range`, `gen_bool`, `sample_iter`), the
+//! [`distributions::Standard`] distribution and [`seq::SliceRandom::shuffle`].
+//!
+//! The generator behind [`rngs::StdRng`] is xoshiro256++ seeded through SplitMix64. It is
+//! **not** bit-compatible with upstream `rand`'s StdRng (ChaCha12); nothing in this
+//! workspace depends on the upstream stream, only on determinism and statistical quality.
+
+#![warn(missing_docs)]
+
+/// Low-level entropy source: everything else is derived from `next_u64`.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed (the only seeding entry point used here).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named random number generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator (xoshiro256++).
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            // Expand the 64-bit seed into the 256-bit xoshiro state; SplitMix64 is the
+            // expansion recommended by the xoshiro authors.
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ step.
+            let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Distributions usable with [`Rng::sample_iter`] and [`Rng::gen`].
+pub mod distributions {
+    use super::{Rng, RngCore};
+
+    /// A distribution over values of type `T`.
+    pub trait Distribution<T> {
+        /// Draw one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+
+        /// An iterator of draws, consuming the generator.
+        fn sample_iter<R>(self, rng: R) -> DistIter<T, Self, R>
+        where
+            Self: Sized,
+            R: Rng,
+        {
+            DistIter { dist: self, rng, _marker: core::marker::PhantomData }
+        }
+    }
+
+    /// The "natural" distribution of a type: uniform over all values for integers,
+    /// uniform in `[0, 1)` for floats.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Standard;
+
+    impl Distribution<u64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Distribution<u32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+            rng.next_u32()
+        }
+    }
+
+    impl Distribution<u16> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u16 {
+            (rng.next_u64() >> 48) as u16
+        }
+    }
+
+    impl Distribution<usize> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+            rng.next_u64() as usize
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 uniform bits in [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+        }
+    }
+
+    /// Iterator returned by [`Distribution::sample_iter`] / [`Rng::sample_iter`].
+    pub struct DistIter<T, D, R> {
+        pub(crate) dist: D,
+        pub(crate) rng: R,
+        pub(crate) _marker: core::marker::PhantomData<fn() -> T>,
+    }
+
+    impl<T, D: Distribution<T>, R: RngCore> Iterator for DistIter<T, D, R> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            Some(self.dist.sample(&mut self.rng))
+        }
+    }
+
+    /// Uniform sampling from ranges (the `gen_range` machinery).
+    pub mod uniform {
+        use super::super::RngCore;
+        use core::ops::{Range, RangeInclusive};
+
+        /// A range that can be sampled uniformly.
+        pub trait SampleRange<T> {
+            /// Draw one value from the range.
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        impl SampleRange<f64> for Range<f64> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let f = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                self.start + f * (self.end - self.start)
+            }
+        }
+
+        impl SampleRange<f64> for RangeInclusive<f64> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                // Divide by 2^53 - 1 so the endpoint is reachable.
+                let f = (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64);
+                lo + f * (hi - lo)
+            }
+        }
+
+        impl SampleRange<f32> for Range<f32> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let f = (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+                self.start + f * (self.end - self.start)
+            }
+        }
+
+        macro_rules! int_range_impls {
+            ($($t:ty),*) => {$(
+                impl SampleRange<$t> for Range<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        assert!(self.start < self.end, "cannot sample empty range");
+                        let span = (self.end as u128).wrapping_sub(self.start as u128) as u128;
+                        let v = (rng.next_u64() as u128) % span;
+                        (self.start as i128 + v as i128) as $t
+                    }
+                }
+
+                impl SampleRange<$t> for RangeInclusive<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        assert!(lo <= hi, "cannot sample empty range");
+                        let span = (hi as u128).wrapping_sub(lo as u128).wrapping_add(1);
+                        if span == 0 {
+                            // Full-width inclusive range: every value is valid.
+                            return rng.next_u64() as $t;
+                        }
+                        let v = (rng.next_u64() as u128) % span;
+                        (lo as i128 + v as i128) as $t
+                    }
+                }
+            )*};
+        }
+
+        int_range_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::RngCore;
+
+    /// Extension methods on slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Shuffle the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// A uniformly random element, or `None` if the slice is empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                let i = (rng.next_u64() % self.len() as u64) as usize;
+                Some(&self[i])
+            }
+        }
+    }
+}
+
+/// Convenience extension methods available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draw a value from the [`distributions::Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    /// Draw a value uniformly from `range`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// A Bernoulli draw with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range");
+        self.gen::<f64>() < p
+    }
+
+    /// An infinite iterator of draws from `dist`, consuming the generator.
+    fn sample_iter<T, D>(self, dist: D) -> distributions::DistIter<T, D, Self>
+    where
+        D: distributions::Distribution<T>,
+        Self: Sized,
+    {
+        dist.sample_iter(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a: u64 = StdRng::seed_from_u64(1).gen();
+        let b: u64 = StdRng::seed_from_u64(2).gen();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn unit_floats_are_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(10.0..20.0);
+            assert!((10.0..20.0).contains(&x));
+            let y = rng.gen_range(5u32..8);
+            assert!((5..8).contains(&y));
+            let z = rng.gen_range(0u16..=3);
+            assert!(z <= 3);
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "heads = {heads}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 50-element shuffle should not be the identity");
+    }
+
+    #[test]
+    fn sample_iter_streams_values() {
+        let rng = StdRng::seed_from_u64(9);
+        let v: Vec<u32> = rng.sample_iter(super::distributions::Standard).take(8).collect();
+        assert_eq!(v.len(), 8);
+    }
+}

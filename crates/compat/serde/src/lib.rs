@@ -1,0 +1,195 @@
+//! A minimal, dependency-free stand-in for the `serde` facade.
+//!
+//! The build environment is offline, so the real `serde` cannot be fetched. The workspace
+//! only ever *serializes* experiment results to JSON, so this crate models serialization
+//! as direct JSON emission: [`Serialize`] writes a JSON value into a `String`, and the
+//! companion `serde_json` shim wraps that in the familiar `to_string` /
+//! `to_string_pretty` entry points. [`Deserialize`] is a marker trait kept so the existing
+//! `#[derive(Serialize, Deserialize)]` annotations compile unchanged; nothing in the
+//! workspace parses JSON back.
+//!
+//! The derive macros live in the sibling `serde_derive` shim and are re-exported here,
+//! mirroring upstream serde's layout.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A type that can emit itself as a JSON value.
+pub trait Serialize {
+    /// Append this value's JSON representation to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// Marker trait: the workspace never deserializes, but derives stay source-compatible.
+pub trait Deserialize {}
+
+/// Escape and append a string literal (with surrounding quotes).
+pub fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                use core::fmt::Write;
+                let _ = write!(out, "{self}");
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+
+int_impls!(i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, u128, usize);
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+impl Deserialize for bool {}
+
+impl Serialize for f64 {
+    fn serialize_json(&self, out: &mut String) {
+        if self.is_finite() {
+            // `{}` prints shortest-roundtrip for f64 and is valid JSON for finite values.
+            out.push_str(&format!("{self}"));
+        } else {
+            // JSON has no Infinity / NaN; null is the conventional stand-in.
+            out.push_str("null");
+        }
+    }
+}
+impl Deserialize for f64 {}
+
+impl Serialize for f32 {
+    fn serialize_json(&self, out: &mut String) {
+        f64::from(*self).serialize_json(out);
+    }
+}
+impl Deserialize for f32 {}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+impl Deserialize for String {}
+
+impl Serialize for char {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(&self.to_string(), out);
+    }
+}
+impl Deserialize for char {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {}
+
+fn write_seq<'a, T: Serialize + 'a>(items: impl Iterator<Item = &'a T>, out: &mut String) {
+    out.push('[');
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        item.serialize_json(out);
+    }
+    out.push(']');
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_json(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {}
+
+impl<K: core::fmt::Display, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(&k.to_string(), out);
+            out.push(':');
+            v.serialize_json(out);
+        }
+        out.push('}');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Serialize;
+
+    fn json<T: Serialize>(v: T) -> String {
+        let mut s = String::new();
+        v.serialize_json(&mut s);
+        s
+    }
+
+    #[test]
+    fn primitives() {
+        assert_eq!(json(3u32), "3");
+        assert_eq!(json(-7i64), "-7");
+        assert_eq!(json(1.5f64), "1.5");
+        assert_eq!(json(f64::INFINITY), "null");
+        assert_eq!(json(true), "true");
+        assert_eq!(json("a\"b"), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(json(vec![1u8, 2, 3]), "[1,2,3]");
+        assert_eq!(json(Option::<u8>::None), "null");
+        assert_eq!(json(Some(4u8)), "4");
+    }
+}

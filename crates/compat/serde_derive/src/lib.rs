@@ -1,0 +1,308 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the serde shim.
+//!
+//! The offline build cannot use `syn`/`quote`, so this macro parses the item's token
+//! stream directly. It supports exactly the shapes the workspace uses:
+//!
+//! * structs with named fields,
+//! * tuple structs (arity 1 serializes as the transparent inner value, arity ≥ 2 as an
+//!   array),
+//! * enums whose variants are unit or tuple variants (unit → `"Variant"`, tuple →
+//!   `{"Variant": value}` / `{"Variant": [values...]}`),
+//!
+//! matching upstream serde's externally-tagged default representation. Generic types and
+//! named-field enum variants are rejected with a compile-time panic.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+type TokIter = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// The parsed shape of the deriving item.
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<(String, usize)>),
+}
+
+fn skip_attributes(it: &mut TokIter) {
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                // Optional `!` for inner attributes (not expected, but harmless).
+                if let Some(TokenTree::Punct(p)) = it.peek() {
+                    if p.as_char() == '!' {
+                        it.next();
+                    }
+                }
+                match it.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    other => panic!("serde shim derive: malformed attribute near {other:?}"),
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+fn skip_visibility(it: &mut TokIter) {
+    if let Some(TokenTree::Ident(id)) = it.peek() {
+        if id.to_string() == "pub" {
+            it.next();
+            if let Some(TokenTree::Group(g)) = it.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    it.next();
+                }
+            }
+        }
+    }
+}
+
+fn expect_ident(it: &mut TokIter, what: &str) -> String {
+    match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected {what}, found {other:?}"),
+    }
+}
+
+/// Consume tokens of a type expression until a top-level comma (tracking `<`/`>` depth).
+fn skip_type(it: &mut TokIter) {
+    let mut depth: i64 = 0;
+    while let Some(tok) = it.peek() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+            _ => {}
+        }
+        it.next();
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut it: TokIter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attributes(&mut it);
+        skip_visibility(&mut it);
+        match it.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => {
+                fields.push(id.to_string());
+                match it.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => panic!("serde shim derive: expected ':' after field, got {other:?}"),
+                }
+                skip_type(&mut it);
+                // Consume the separating comma if present.
+                if let Some(TokenTree::Punct(p)) = it.peek() {
+                    if p.as_char() == ',' {
+                        it.next();
+                    }
+                }
+            }
+            Some(other) => panic!("serde shim derive: unexpected token in fields: {other:?}"),
+        }
+    }
+    fields
+}
+
+/// Count top-level comma-separated entries in a parenthesised field list.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth: i64 = 0;
+    let mut commas = 0usize;
+    let mut any = false;
+    let mut trailing_comma = false;
+    for tok in stream {
+        any = true;
+        trailing_comma = false;
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                commas += 1;
+                trailing_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if !any {
+        0
+    } else if trailing_comma {
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+fn parse_enum_variants(stream: TokenStream) -> Vec<(String, usize)> {
+    let mut it: TokIter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut it);
+        match it.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => {
+                let name = id.to_string();
+                let mut arity = 0usize;
+                match it.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        arity = count_tuple_fields(g.stream());
+                        it.next();
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        panic!(
+                            "serde shim derive: named-field enum variants are unsupported ({name})"
+                        );
+                    }
+                    _ => {}
+                }
+                // Skip an explicit discriminant `= expr`.
+                if let Some(TokenTree::Punct(p)) = it.peek() {
+                    if p.as_char() == '=' {
+                        it.next();
+                        let mut depth: i64 = 0;
+                        while let Some(tok) = it.peek() {
+                            match tok {
+                                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                                _ => {}
+                            }
+                            it.next();
+                        }
+                    }
+                }
+                if let Some(TokenTree::Punct(p)) = it.peek() {
+                    if p.as_char() == ',' {
+                        it.next();
+                    }
+                }
+                variants.push((name, arity));
+            }
+            Some(other) => panic!("serde shim derive: unexpected token in enum body: {other:?}"),
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> (String, Shape) {
+    let mut it: TokIter = input.into_iter().peekable();
+    skip_attributes(&mut it);
+    skip_visibility(&mut it);
+    let kw = expect_ident(&mut it, "`struct` or `enum`");
+    let name = expect_ident(&mut it, "item name");
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '<' {
+            panic!("serde shim derive: generic types are unsupported ({name})");
+        }
+    }
+    let shape = match (kw.as_str(), it.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::Named(parse_named_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::Tuple(count_tuple_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Shape::Unit,
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::Enum(parse_enum_variants(g.stream()))
+        }
+        (kw, other) => panic!("serde shim derive: unsupported item `{kw}` near {other:?}"),
+    };
+    (name, shape)
+}
+
+/// Render `s` as a Rust string-literal expression.
+fn lit(s: &str) -> String {
+    format!("{s:?}")
+}
+
+fn serialize_body(name: &str, shape: &Shape) -> String {
+    let mut b = String::new();
+    match shape {
+        Shape::Named(fields) => {
+            b.push_str("out.push('{');");
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    b.push_str("out.push(',');");
+                }
+                b.push_str(&format!("out.push_str({});", lit(&format!("\"{f}\":"))));
+                b.push_str(&format!("::serde::Serialize::serialize_json(&self.{f}, out);"));
+            }
+            b.push_str("out.push('}');");
+        }
+        Shape::Tuple(1) => {
+            b.push_str("::serde::Serialize::serialize_json(&self.0, out);");
+        }
+        Shape::Tuple(n) => {
+            b.push_str("out.push('[');");
+            for i in 0..*n {
+                if i > 0 {
+                    b.push_str("out.push(',');");
+                }
+                b.push_str(&format!("::serde::Serialize::serialize_json(&self.{i}, out);"));
+            }
+            b.push_str("out.push(']');");
+        }
+        Shape::Unit => {
+            b.push_str("out.push_str(\"null\");");
+        }
+        Shape::Enum(variants) => {
+            b.push_str("match self {");
+            for (v, arity) in variants {
+                if *arity == 0 {
+                    b.push_str(&format!(
+                        "{name}::{v} => out.push_str({}),",
+                        lit(&format!("\"{v}\""))
+                    ));
+                } else {
+                    let binds: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                    b.push_str(&format!("{name}::{v}({}) => {{", binds.join(", ")));
+                    b.push_str(&format!("out.push_str({});", lit(&format!("{{\"{v}\":"))));
+                    if *arity == 1 {
+                        b.push_str("::serde::Serialize::serialize_json(f0, out);");
+                    } else {
+                        b.push_str("out.push('[');");
+                        for (i, bind) in binds.iter().enumerate() {
+                            if i > 0 {
+                                b.push_str("out.push(',');");
+                            }
+                            b.push_str(&format!(
+                                "::serde::Serialize::serialize_json({bind}, out);"
+                            ));
+                        }
+                        b.push_str("out.push(']');");
+                    }
+                    b.push_str("out.push('}'); },");
+                }
+            }
+            b.push('}');
+        }
+    }
+    b
+}
+
+/// Derive JSON emission for a struct or enum (see the crate docs for the representation).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    let body = serialize_body(&name, &shape);
+    format!(
+        "impl ::serde::Serialize for {name} {{ \
+             fn serialize_json(&self, out: &mut ::std::string::String) {{ {body} }} \
+         }}"
+    )
+    .parse()
+    .expect("serde shim derive: generated invalid Rust")
+}
+
+/// Derive the marker trait; the workspace never actually deserializes.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, _shape) = parse_item(input);
+    format!("impl ::serde::Deserialize for {name} {{ }}")
+        .parse()
+        .expect("serde shim derive: generated invalid Rust")
+}

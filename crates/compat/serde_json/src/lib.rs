@@ -1,0 +1,107 @@
+//! JSON emission entry points over the serde shim: `to_string` and `to_string_pretty`.
+//!
+//! Serialization in the shim is direct JSON string emission, so these functions cannot
+//! actually fail; they keep the upstream `Result` signature for source compatibility.
+
+#![warn(missing_docs)]
+
+use serde::Serialize;
+
+/// Error type kept for signature compatibility; never constructed.
+#[derive(Debug)]
+pub struct Error(());
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize `value` to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+/// Serialize `value` to an indented (2-space) JSON string.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(prettify(&to_string(value)?))
+}
+
+/// Re-indent a compact JSON document. Assumes the input is valid JSON (which emission
+/// guarantees); strings and escapes are respected.
+fn prettify(compact: &str) -> String {
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut indent = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let push_newline = |out: &mut String, indent: usize| {
+        out.push('\n');
+        for _ in 0..indent {
+            out.push_str("  ");
+        }
+    };
+    for c in compact.chars() {
+        if in_string {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                out.push(c);
+                indent += 1;
+                push_newline(&mut out, indent);
+            }
+            '}' | ']' => {
+                indent = indent.saturating_sub(1);
+                push_newline(&mut out, indent);
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                push_newline(&mut out, indent);
+            }
+            ':' => {
+                out.push_str(": ");
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty_roundtrip_structurally() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(to_string(&v).unwrap(), "[1,2,3]");
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n"));
+        let squashed: String = pretty.chars().filter(|c| !c.is_whitespace()).collect();
+        assert_eq!(squashed, "[1,2,3]");
+    }
+
+    #[test]
+    fn strings_with_braces_are_not_reindented() {
+        let s = "a{b}c";
+        let pretty = to_string_pretty(&s).unwrap();
+        assert_eq!(pretty, "\"a{b}c\"");
+    }
+}

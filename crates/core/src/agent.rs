@@ -264,10 +264,8 @@ impl SsSpstAgent {
 
     /// Recompute the bottom-up pruning flag from the children's advertised flags.
     fn refresh_downstream_flag(&mut self, ctx: &NodeCtx<'_, SsSpstPayload>) {
-        let from_children = self
-            .neighbors
-            .values()
-            .any(|e| e.parent_is_me && e.has_downstream_member);
+        let from_children =
+            self.neighbors.values().any(|e| e.parent_is_me && e.has_downstream_member);
         self.has_downstream_member = ctx.is_member() || from_children;
     }
 
@@ -311,9 +309,7 @@ impl SsSpstAgent {
         let non_member_neighbor_distances = if self.config.kind == MetricKind::EnergyAware {
             self.neighbors
                 .iter()
-                .filter(|(id, e)| {
-                    !e.member && !e.parent_is_me && self.parent != Some(**id)
-                })
+                .filter(|(id, e)| !e.member && !e.parent_is_me && self.parent != Some(**id))
                 .map(|(_, e)| e.distance)
                 .collect()
         } else {
@@ -447,7 +443,11 @@ mod tests {
 
     impl Harness {
         fn new() -> Self {
-            Harness { radio: RadioConfig::default(), rng: StdRng::seed_from_u64(5), actions: Vec::new() }
+            Harness {
+                radio: RadioConfig::default(),
+                rng: StdRng::seed_from_u64(5),
+                actions: Vec::new(),
+            }
         }
 
         fn ctx<'a>(
@@ -578,7 +578,8 @@ mod tests {
         );
         let mut child_beacon_inner = beacon_from(10.0, 2, Vec2::new(180.0, 0.0), true, true);
         child_beacon_inner.parent = Some(me);
-        let child_beacon = Packet::control(NodeId(5), 32, SsSpstPayload::Beacon(child_beacon_inner));
+        let child_beacon =
+            Packet::control(NodeId(5), 32, SsSpstPayload::Beacon(child_beacon_inner));
         {
             let mut ctx = h.ctx(SimTime::from_secs(1), me, my_pos, GroupRole::Member);
             agent.on_packet(&mut ctx, &src_beacon);
@@ -590,7 +591,12 @@ mod tests {
         }
         assert_eq!(agent.parent(), Some(NodeId(0)));
 
-        let tag = DataTag { group: Default::default(), origin: NodeId(0), seq: 1, created_at: SimTime::from_secs(3) };
+        let tag = DataTag {
+            group: Default::default(),
+            origin: NodeId(0),
+            seq: 1,
+            created_at: SimTime::from_secs(3),
+        };
         let data_from_parent = Packet::data(NodeId(0), 512, tag, SsSpstPayload::Data);
         let disposition;
         let actions_snapshot;
@@ -605,7 +611,9 @@ mod tests {
             "member delivers data locally"
         );
         assert!(
-            actions_snapshot.iter().any(|a| matches!(a, Action::Broadcast { class: PacketClass::Data, .. })),
+            actions_snapshot
+                .iter()
+                .any(|a| matches!(a, Action::Broadcast { class: PacketClass::Data, .. })),
             "node forwards to its downstream child"
         );
 
@@ -631,7 +639,12 @@ mod tests {
             let mut ctx = h.ctx(SimTime::ZERO, me, Vec2::ZERO, GroupRole::NonMember);
             agent.start(&mut ctx);
         }
-        let tag = DataTag { group: Default::default(), origin: NodeId(0), seq: 1, created_at: SimTime::ZERO };
+        let tag = DataTag {
+            group: Default::default(),
+            origin: NodeId(0),
+            seq: 1,
+            created_at: SimTime::ZERO,
+        };
         {
             let mut ctx = h.ctx(SimTime::from_secs(1), me, Vec2::ZERO, GroupRole::NonMember);
             agent.on_app_data(&mut ctx, tag, 512);
@@ -664,13 +677,16 @@ mod tests {
                 let mut ctx = h.ctx(SimTime::from_secs(1), me, my_pos, GroupRole::Member);
                 agent.on_packet(&mut ctx, &nb);
             }
-            let mut ctx = h.ctx(SimTime::from_secs(2), me, my_pos, GroupRole::Member);
-            agent.on_timer(&mut ctx, TIMER_BEACON, 0);
-            drop(ctx);
+            {
+                let mut ctx = h.ctx(SimTime::from_secs(2), me, my_pos, GroupRole::Member);
+                agent.on_timer(&mut ctx, TIMER_BEACON, 0);
+            }
             h.actions
                 .iter()
                 .find_map(|a| match a {
-                    Action::Broadcast { class: PacketClass::Control, size_bytes, .. } => Some(*size_bytes),
+                    Action::Broadcast { class: PacketClass::Control, size_bytes, .. } => {
+                        Some(*size_bytes)
+                    }
                     _ => None,
                 })
                 .expect("beacon emitted")

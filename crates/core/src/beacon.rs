@@ -54,11 +54,7 @@ impl Beacon {
     /// Distance to the farthest advertised child, excluding `exclude` (the evaluating
     /// node, when it is already one of the sender's children).
     pub fn farthest_child_excluding(&self, exclude: NodeId) -> f64 {
-        self.children
-            .iter()
-            .filter(|(c, _)| *c != exclude)
-            .map(|(_, d)| *d)
-            .fold(0.0, f64::max)
+        self.children.iter().filter(|(c, _)| *c != exclude).map(|(_, d)| *d).fold(0.0, f64::max)
     }
 }
 

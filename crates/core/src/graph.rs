@@ -138,10 +138,7 @@ impl MulticastTopology {
     /// "root reaches everything in one hop" upper bound the paper calls the maximum
     /// possible tree cost.
     pub fn max_source_neighbor_distance(&self) -> f64 {
-        self.adj[self.source.index()]
-            .iter()
-            .map(|(_, d)| *d)
-            .fold(0.0, f64::max)
+        self.adj[self.source.index()].iter().map(|(_, d)| *d).fold(0.0, f64::max)
     }
 }
 
@@ -183,12 +180,8 @@ mod tests {
         assert_eq!(t.hops_from_source(), vec![Some(0), Some(1), Some(1)]);
         assert!(t.is_connected());
 
-        let disconnected = MulticastTopology::from_edges(
-            3,
-            &[(0, 1, 50.0)],
-            NodeId(0),
-            vec![true, true, true],
-        );
+        let disconnected =
+            MulticastTopology::from_edges(3, &[(0, 1, 50.0)], NodeId(0), vec![true, true, true]);
         assert!(!disconnected.is_connected());
         assert_eq!(disconnected.hops_from_source()[2], None);
     }

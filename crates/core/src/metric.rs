@@ -149,7 +149,12 @@ pub fn join_overhead(
 }
 
 /// Accumulated path cost of joining `u`: `l(u) + C(u, v)`.
-pub fn cost_via(kind: MetricKind, params: &MetricParams, parent: &ParentView, distance_m: f64) -> f64 {
+pub fn cost_via(
+    kind: MetricKind,
+    params: &MetricParams,
+    parent: &ParentView,
+    distance_m: f64,
+) -> f64 {
     parent.cost + join_overhead(kind, params, parent, distance_m)
 }
 
@@ -174,7 +179,8 @@ pub fn node_cost(
         MetricKind::TxLink => child_distances.iter().map(|&d| params.tx(d)).sum(),
         MetricKind::Farthest => tx + tree_neighbor_count as f64 * params.rx(),
         MetricKind::EnergyAware => {
-            let discard = non_member_neighbor_distances.iter().filter(|&&d| d <= far).count() as f64
+            let discard = non_member_neighbor_distances.iter().filter(|&&d| d <= far).count()
+                as f64
                 * params.rx();
             tx + tree_neighbor_count as f64 * params.rx() + discard
         }
@@ -219,7 +225,8 @@ mod tests {
     fn farthest_overhead_is_cheap_inside_existing_range() {
         let p = params();
         // u already reaches a child at 200 m; joining at 100 m costs only one reception.
-        let pv = ParentView { cost: 0.0, hop: 1, child_distances: vec![200.0], ..Default::default() };
+        let pv =
+            ParentView { cost: 0.0, hop: 1, child_distances: vec![200.0], ..Default::default() };
         let inside = join_overhead(MetricKind::Farthest, &p, &pv, 100.0);
         assert!((inside - p.rx()).abs() < 1e-15);
         // Joining beyond the current range pays the marginal transmission energy.

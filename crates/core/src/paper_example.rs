@@ -115,7 +115,7 @@ mod tests {
         let topo = figure1_topology();
         let bfs = topo.hops_from_source();
         for v in topo.nodes() {
-            assert_eq!(r.tree.depth(v), bfs[v.index()].map(|h| h), "hop tree is a BFS tree");
+            assert_eq!(r.tree.depth(v), bfs[v.index()], "hop tree is a BFS tree");
         }
     }
 
@@ -127,7 +127,12 @@ mod tests {
         assert_eq!(r.tree.parent(NodeId(3)), Some(NodeId(7)));
         // And stabilization takes at least as long as the plain hop metric.
         let hop = run_example(MetricKind::Hop, &MetricParams::default());
-        assert!(r.rounds >= hop.rounds, "energy metric needs extra round(s): {} vs {}", r.rounds, hop.rounds);
+        assert!(
+            r.rounds >= hop.rounds,
+            "energy metric needs extra round(s): {} vs {}",
+            r.rounds,
+            hop.rounds
+        );
     }
 
     #[test]
@@ -172,7 +177,8 @@ mod tests {
         // Examples 1–3: SS-SPST takes the fewest rounds; the energy metrics need at least
         // as many because tree-structure changes re-trigger cost adjustments.
         let results = run_all_examples();
-        let rounds: std::collections::HashMap<_, _> = results.iter().map(|r| (r.kind, r.rounds)).collect();
+        let rounds: std::collections::HashMap<_, _> =
+            results.iter().map(|r| (r.kind, r.rounds)).collect();
         assert!(rounds[&MetricKind::TxLink] >= rounds[&MetricKind::Hop]);
         assert!(rounds[&MetricKind::Farthest] >= rounds[&MetricKind::Hop]);
         assert!(rounds[&MetricKind::EnergyAware] >= rounds[&MetricKind::Hop]);

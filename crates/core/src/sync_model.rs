@@ -179,7 +179,12 @@ impl SyncModel {
                 }
             }
         }
-        ParentView { cost: su.cost, hop: su.hop, child_distances, non_member_neighbor_distances: non_member }
+        ParentView {
+            cost: su.cost,
+            hop: su.hop,
+            child_distances,
+            non_member_neighbor_distances: non_member,
+        }
     }
 
     /// Compute the next state of node `v` from the frozen previous-round states.
@@ -237,7 +242,7 @@ impl SyncModel {
         let next: Vec<NodeState> = self
             .topo
             .nodes()
-            .map(|v| self.next_state(v, (round + v.index() as u64) % 2 == 0))
+            .map(|v| self.next_state(v, (round + v.index() as u64).is_multiple_of(2)))
             .collect();
         let mut changed = 0;
         let mut parent_changes = 0;
@@ -257,12 +262,7 @@ impl SyncModel {
     /// Run rounds until nothing changes. Returns the number of rounds needed, or `None`
     /// if the system did not quiesce within `max_rounds`.
     pub fn run_to_stabilization(&mut self, max_rounds: usize) -> Option<usize> {
-        for r in 1..=max_rounds {
-            if self.round().changed == 0 && self.is_stable() {
-                return Some(r);
-            }
-        }
-        None
+        (1..=max_rounds).find(|_| self.round().changed == 0 && self.is_stable())
     }
 
     /// True if a further round would change nothing — i.e. the system is in a legitimate
@@ -406,12 +406,8 @@ mod tests {
 
     #[test]
     fn partitioned_node_reports_infinite_cost() {
-        let topo = MulticastTopology::from_edges(
-            3,
-            &[(0, 1, 100.0)],
-            NodeId(0),
-            vec![true, true, true],
-        );
+        let topo =
+            MulticastTopology::from_edges(3, &[(0, 1, 100.0)], NodeId(0), vec![true, true, true]);
         let mut m = SyncModel::new(topo, MetricKind::EnergyAware, MetricParams::default());
         m.run_to_stabilization(20).unwrap();
         assert_eq!(m.state(NodeId(2)).parent, None);

@@ -70,18 +70,12 @@ impl MulticastTree {
 
     /// Maximum depth over all connected nodes.
     pub fn max_depth(&self) -> u32 {
-        (0..self.parent.len() as u16)
-            .filter_map(|v| self.depth(NodeId(v)))
-            .max()
-            .unwrap_or(0)
+        (0..self.parent.len() as u16).filter_map(|v| self.depth(NodeId(v))).max().unwrap_or(0)
     }
 
     /// Nodes that reach the source through parent pointers (the source included).
     pub fn connected_nodes(&self) -> Vec<NodeId> {
-        (0..self.parent.len() as u16)
-            .map(NodeId)
-            .filter(|&v| self.depth(v).is_some())
-            .collect()
+        (0..self.parent.len() as u16).map(NodeId).filter(|&v| self.depth(v).is_some()).collect()
     }
 
     /// True if every node reaches the source and there are no cycles — the structural part
@@ -159,15 +153,17 @@ impl MulticastTree {
     /// Per-node distances to children, restricted to children that still are neighbours in
     /// `topo` (a moved-away child contributes nothing — the link is broken).
     fn child_distances(&self, topo: &MulticastTopology, v: NodeId) -> Vec<f64> {
-        self.children(v)
-            .into_iter()
-            .filter_map(|c| topo.distance(v, c))
-            .collect()
+        self.children(v).into_iter().filter_map(|c| topo.distance(v, c)).collect()
     }
 
     /// Total tree cost: the sum over nodes of the metric's *node cost* (equation 2 / 4),
     /// restricted to nodes that actually forward data (the pruned tree).
-    pub fn total_cost(&self, kind: MetricKind, params: &MetricParams, topo: &MulticastTopology) -> f64 {
+    pub fn total_cost(
+        &self,
+        kind: MetricKind,
+        params: &MetricParams,
+        topo: &MulticastTopology,
+    ) -> f64 {
         let forwarding = self.forwarding_set(topo);
         let mut total = 0.0;
         for v in topo.nodes() {
@@ -185,7 +181,9 @@ impl MulticastTree {
             let non_member: Vec<f64> = topo
                 .neighbors(v)
                 .iter()
-                .filter(|(u, _)| !topo.is_member(*u) && self.parent(*u) != Some(v) && self.parent(v) != Some(*u))
+                .filter(|(u, _)| {
+                    !topo.is_member(*u) && self.parent(*u) != Some(v) && self.parent(v) != Some(*u)
+                })
                 .map(|(_, d)| *d)
                 .filter(|&d| d <= far)
                 .collect();
@@ -246,7 +244,10 @@ mod tests {
 
     #[test]
     fn children_depth_and_spanning() {
-        let t = MulticastTree::new(NodeId(0), vec![None, Some(NodeId(0)), Some(NodeId(1)), Some(NodeId(2))]);
+        let t = MulticastTree::new(
+            NodeId(0),
+            vec![None, Some(NodeId(0)), Some(NodeId(1)), Some(NodeId(2))],
+        );
         assert_eq!(t.children(NodeId(0)), vec![NodeId(1)]);
         assert_eq!(t.children(NodeId(2)), vec![NodeId(3)]);
         assert_eq!(t.depth(NodeId(0)), Some(0));
@@ -258,7 +259,10 @@ mod tests {
 
     #[test]
     fn cycles_are_detected_and_break_depth() {
-        let t = MulticastTree::new(NodeId(0), vec![None, Some(NodeId(2)), Some(NodeId(1)), Some(NodeId(0))]);
+        let t = MulticastTree::new(
+            NodeId(0),
+            vec![None, Some(NodeId(2)), Some(NodeId(1)), Some(NodeId(0))],
+        );
         assert_eq!(t.depth(NodeId(1)), None);
         assert!(t.has_cycle());
         assert!(!t.is_spanning());
@@ -277,10 +281,16 @@ mod tests {
     fn forwarding_set_prunes_memberless_branches() {
         let topo = topo();
         // Chain tree: 0 -> 1 -> 2 -> 3. Members: 0 and 3, so everyone forwards.
-        let chain = MulticastTree::new(NodeId(0), vec![None, Some(NodeId(0)), Some(NodeId(1)), Some(NodeId(2))]);
+        let chain = MulticastTree::new(
+            NodeId(0),
+            vec![None, Some(NodeId(0)), Some(NodeId(1)), Some(NodeId(2))],
+        );
         assert_eq!(chain.forwarding_set(&topo), vec![true, true, true, true]);
         // Star-ish tree: 3 hangs directly off 0; the 1-2 branch has no members and is pruned.
-        let star = MulticastTree::new(NodeId(0), vec![None, Some(NodeId(0)), Some(NodeId(1)), Some(NodeId(0))]);
+        let star = MulticastTree::new(
+            NodeId(0),
+            vec![None, Some(NodeId(0)), Some(NodeId(1)), Some(NodeId(0))],
+        );
         assert_eq!(star.forwarding_set(&topo), vec![true, false, false, true]);
     }
 
@@ -288,13 +298,22 @@ mod tests {
     fn total_cost_prefers_short_links_for_energy_metrics() {
         let topo = topo();
         let params = MetricParams::default();
-        let chain = MulticastTree::new(NodeId(0), vec![None, Some(NodeId(0)), Some(NodeId(1)), Some(NodeId(2))]);
-        let direct = MulticastTree::new(NodeId(0), vec![None, Some(NodeId(0)), Some(NodeId(1)), Some(NodeId(0))]);
+        let chain = MulticastTree::new(
+            NodeId(0),
+            vec![None, Some(NodeId(0)), Some(NodeId(1)), Some(NodeId(2))],
+        );
+        let direct = MulticastTree::new(
+            NodeId(0),
+            vec![None, Some(NodeId(0)), Some(NodeId(1)), Some(NodeId(0))],
+        );
         // Hop metric prefers the direct (shallow) tree; energy metrics prefer the chain of
         // short links over one 240 m transmission.
         let chain_e = chain.total_cost(MetricKind::TxLink, &params, &topo);
         let direct_e = direct.total_cost(MetricKind::TxLink, &params, &topo);
-        assert!(chain_e < direct_e, "3×100 m links are cheaper than one 240 m link: {chain_e} vs {direct_e}");
+        assert!(
+            chain_e < direct_e,
+            "3×100 m links are cheaper than one 240 m link: {chain_e} vs {direct_e}"
+        );
         assert!(chain.max_depth() > direct.max_depth());
     }
 
@@ -302,7 +321,10 @@ mod tests {
     fn per_packet_energy_counts_overhearing() {
         let topo = topo();
         let params = MetricParams::default();
-        let chain = MulticastTree::new(NodeId(0), vec![None, Some(NodeId(0)), Some(NodeId(1)), Some(NodeId(2))]);
+        let chain = MulticastTree::new(
+            NodeId(0),
+            vec![None, Some(NodeId(0)), Some(NodeId(1)), Some(NodeId(2))],
+        );
         let e = chain.per_packet_energy(&params, &topo);
         // Three transmissions at 100 m plus at least three receptions.
         assert!(e > 3.0 * params.tx(100.0));
@@ -312,7 +334,10 @@ mod tests {
     fn stale_edges_surface_as_none() {
         let topo = topo();
         // Parent pointer 2 -> 0 is not an edge of the topology.
-        let t = MulticastTree::new(NodeId(0), vec![None, Some(NodeId(0)), Some(NodeId(0)), Some(NodeId(2))]);
+        let t = MulticastTree::new(
+            NodeId(0),
+            vec![None, Some(NodeId(0)), Some(NodeId(0)), Some(NodeId(2))],
+        );
         let stale: Vec<_> = t.edges(&topo).filter(|(_, _, d)| d.is_none()).collect();
         assert_eq!(stale.len(), 1);
         assert_eq!(stale[0].1, NodeId(2));

@@ -45,10 +45,7 @@ impl<E> PartialOrd for ScheduledEvent<E> {
 impl<E> Ord for ScheduledEvent<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; reverse so the earliest event is popped first.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.id.cmp(&self.id))
+        other.time.cmp(&self.time).then_with(|| other.id.cmp(&self.id))
     }
 }
 

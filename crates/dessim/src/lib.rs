@@ -15,8 +15,8 @@
 //!
 //! The engine is deliberately single-threaded and deterministic: given the same seed and
 //! the same sequence of schedule calls it produces the same trajectory. Parallelism in
-//! this workspace lives one level up (independent scenario repetitions run on separate
-//! threads via rayon in `ssmcast-scenario`), which keeps the hot loop allocation-light and
+//! this workspace lives one level up (independent experiment cells run on a scoped
+//! thread pool in `ssmcast-scenario`), which keeps the hot loop allocation-light and
 //! free of synchronisation.
 //!
 //! ```

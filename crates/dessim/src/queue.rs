@@ -26,12 +26,7 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Create an empty queue.
     pub fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
-            next_seq: 0,
-            live: 0,
-        }
+        EventQueue { heap: BinaryHeap::new(), cancelled: HashSet::new(), next_seq: 0, live: 0 }
     }
 
     /// Create an empty queue with pre-allocated capacity for `cap` pending events.

@@ -55,8 +55,16 @@ impl SeedSequence {
     }
 
     /// A derived child sequence, e.g. one per repetition of a scenario.
+    ///
+    /// `master ^ splitmix64(index + γ)` is injective in `index` for any fixed master
+    /// (xor with a constant composed with a bijection), and the outer finaliser keeps
+    /// siblings statistically unrelated. An earlier formulation multiplied
+    /// `(master + γ)` by `index + 1`, which collapsed *every* child to the same value
+    /// for the adversarial master `-γ mod 2^64`.
     pub fn child(&self, index: u64) -> SeedSequence {
-        SeedSequence { master: splitmix64(self.master.wrapping_add(0x9e37_79b9_7f4a_7c15).wrapping_mul(index.wrapping_add(1))) }
+        SeedSequence {
+            master: splitmix64(self.master ^ splitmix64(index.wrapping_add(0x9e37_79b9_7f4a_7c15))),
+        }
     }
 }
 
@@ -76,8 +84,10 @@ mod tests {
     #[test]
     fn same_label_same_stream() {
         let s = SeedSequence::new(42);
-        let a: Vec<u32> = s.stream("mobility").sample_iter(rand::distributions::Standard).take(8).collect();
-        let b: Vec<u32> = s.stream("mobility").sample_iter(rand::distributions::Standard).take(8).collect();
+        let a: Vec<u32> =
+            s.stream("mobility").sample_iter(rand::distributions::Standard).take(8).collect();
+        let b: Vec<u32> =
+            s.stream("mobility").sample_iter(rand::distributions::Standard).take(8).collect();
         assert_eq!(a, b);
     }
 
@@ -109,6 +119,18 @@ mod tests {
         let s = SeedSequence::new(7);
         assert_ne!(s.child(0).master(), s.child(1).master());
         assert_eq!(s.child(3).master(), s.child(3).master());
+    }
+
+    #[test]
+    fn children_never_collapse_even_for_adversarial_masters() {
+        // 0x61c8864680b583eb is -γ mod 2^64 for γ = 0x9e3779b97f4a7c15; the old
+        // multiplicative derivation mapped every child of this master to one value.
+        for master in [0x61c8_8646_80b5_83ebu64, 0, 1, u64::MAX] {
+            let s = SeedSequence::new(master);
+            let children: std::collections::HashSet<u64> =
+                (0..1000).map(|i| s.child(i).master()).collect();
+            assert_eq!(children.len(), 1000, "children collapsed for master {master:#x}");
+        }
     }
 
     #[test]

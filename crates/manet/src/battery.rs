@@ -148,9 +148,15 @@ mod tests {
     #[test]
     fn breakdown_sums_to_total() {
         let mut b = Battery::unlimited();
-        for (i, u) in [EnergyUse::TxControl, EnergyUse::TxData, EnergyUse::RxControl, EnergyUse::RxData, EnergyUse::Overhear]
-            .into_iter()
-            .enumerate()
+        for (i, u) in [
+            EnergyUse::TxControl,
+            EnergyUse::TxData,
+            EnergyUse::RxControl,
+            EnergyUse::RxData,
+            EnergyUse::Overhear,
+        ]
+        .into_iter()
+        .enumerate()
         {
             b.consume((i + 1) as f64, u);
         }

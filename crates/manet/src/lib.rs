@@ -3,8 +3,8 @@
 //! Everything the paper gets "for free" from ns-2, rebuilt as a library:
 //!
 //! * [`geometry`] — 2-D points and deployment areas.
-//! * [`mobility`] — random-waypoint (with the non-zero minimum-speed fix) and stationary
-//!   trajectories.
+//! * [`mobility`] — random-waypoint (with the non-zero minimum-speed fix), Gauss–Markov,
+//!   grid placement and stationary trajectories.
 //! * [`energy`] — first-order radio energy model with power control, plus radio timing.
 //! * [`battery`] — per-node energy accounting split by purpose (tx/rx/overhear).
 //! * [`channel`] — broadcast medium occupancy and the capture-effect collision model.
@@ -35,7 +35,10 @@ pub use battery::{Battery, EnergyUse};
 pub use channel::Channel;
 pub use energy::{EnergyModel, RadioConfig};
 pub use geometry::{Area, Vec2};
-pub use mobility::{BoxedMobility, Mobility, RandomWaypoint, Stationary, WaypointConfig};
+pub use mobility::{
+    grid_positions, BoxedMobility, GaussMarkov, GaussMarkovConfig, Mobility, RandomWaypoint,
+    Stationary, WaypointConfig,
+};
 pub use node::{GroupId, GroupRole, NodeId};
 pub use packet::{DataTag, Packet, PacketClass};
 pub use report::{SimReport, Trace};

@@ -161,6 +161,211 @@ impl Mobility for RandomWaypoint {
     }
 }
 
+/// Parameters for [`GaussMarkov`].
+#[derive(Clone, Copy, Debug)]
+pub struct GaussMarkovConfig {
+    /// Deployment area.
+    pub area: Area,
+    /// Long-run mean speed in m/s.
+    pub mean_speed: f64,
+    /// Hard cap on the instantaneous speed, m/s (speeds are clamped to `[0, max_speed]`).
+    pub max_speed: f64,
+    /// Memory parameter `alpha` in `[0, 1]`: 1 is straight-line motion, 0 is memoryless
+    /// Brownian-like motion. The literature's usual default is 0.75.
+    pub alpha: f64,
+    /// Standard deviation of the speed innovation, m/s.
+    pub speed_sigma: f64,
+    /// Standard deviation of the direction innovation, radians.
+    pub direction_sigma: f64,
+    /// State-update period in seconds.
+    pub step_secs: f64,
+}
+
+impl GaussMarkovConfig {
+    /// A configuration matched to the paper's deployment: the node wanders at
+    /// `mean_speed` with moderate memory, updating once per simulated second.
+    pub fn with_mean_speed(area: Area, mean_speed: f64, max_speed: f64) -> Self {
+        let mean = mean_speed.max(0.0);
+        GaussMarkovConfig {
+            area,
+            mean_speed: mean,
+            max_speed: max_speed.max(mean),
+            alpha: 0.75,
+            speed_sigma: (mean * 0.3).max(0.1),
+            direction_sigma: 0.4,
+            step_secs: 1.0,
+        }
+    }
+
+    fn sanitized(mut self) -> Self {
+        self.alpha = self.alpha.clamp(0.0, 1.0);
+        self.mean_speed = self.mean_speed.max(0.0);
+        self.max_speed = self.max_speed.max(self.mean_speed).max(0.0);
+        self.speed_sigma = self.speed_sigma.max(0.0);
+        self.direction_sigma = self.direction_sigma.max(0.0);
+        if self.step_secs.is_nan() || self.step_secs <= 0.0 {
+            self.step_secs = 1.0;
+        }
+        self
+    }
+}
+
+/// Normalize an angle difference into `[-π, π)`.
+fn wrap_angle(a: f64) -> f64 {
+    use std::f64::consts::{PI, TAU};
+    let mut a = (a + PI) % TAU;
+    if a < 0.0 {
+        a += TAU;
+    }
+    a - PI
+}
+
+/// The Gauss–Markov mobility model (Liang & Haas): speed and direction evolve as
+/// first-order autoregressive processes, which avoids both the sharp turns of random
+/// waypoint and the unrealistic long-run behaviour of pure random walks.
+///
+/// Near the deployment boundary the mean direction is steered towards the area centre
+/// (the standard edge treatment), and positions are additionally clamped to the area, so
+/// trajectories never escape it.
+#[derive(Debug)]
+pub struct GaussMarkov {
+    config: GaussMarkovConfig,
+    rng: StdRng,
+    /// Position at the start of the current step.
+    from: Vec2,
+    /// Position at the end of the current step.
+    to: Vec2,
+    /// Step index of the current segment (`[step * step_secs, (step+1) * step_secs)`).
+    step: u64,
+    speed: f64,
+    direction: f64,
+    /// The heading the AR(1) direction process reverts to (the model's `d̄`). Drawn at
+    /// start-up; retargeted towards the area centre by the boundary treatment.
+    mean_direction: f64,
+}
+
+impl GaussMarkov {
+    /// Create a trajectory starting at `start` at time zero.
+    pub fn new(config: GaussMarkovConfig, start: Vec2, mut rng: StdRng) -> Self {
+        let config = config.sanitized();
+        let direction = rng.gen_range(0.0..std::f64::consts::TAU);
+        let mut m = GaussMarkov {
+            config,
+            rng,
+            from: start,
+            to: start,
+            step: 0,
+            speed: config.mean_speed,
+            direction,
+            mean_direction: direction,
+        };
+        m.to = m.advance_from(start);
+        m
+    }
+
+    /// Create a trajectory whose starting point is drawn uniformly from the area.
+    pub fn with_random_start(config: GaussMarkovConfig, mut rng: StdRng) -> Self {
+        let config = config.sanitized();
+        let start = config.area.random_point(&mut rng);
+        Self::new(config, start, rng)
+    }
+
+    /// The configured parameters.
+    pub fn config(&self) -> &GaussMarkovConfig {
+        &self.config
+    }
+
+    /// A standard normal draw (Box–Muller; one value per call is plenty here).
+    fn gaussian(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Update speed/direction with the AR(1) recurrences and return the next position.
+    fn advance_from(&mut self, pos: Vec2) -> Vec2 {
+        let c = self.config;
+        // Near an edge, retarget the *mean* heading towards the centre so the process
+        // reverts away from the boundary instead of hugging it (Liang & Haas's edge
+        // treatment). Away from edges the mean heading persists — it is the model's
+        // `d̄`, not the current heading, which is what makes `alpha` genuine memory:
+        // the direction reverts towards `d̄` rather than random-walking.
+        let margin = 0.1 * c.area.width.min(c.area.height);
+        let near_edge = pos.x < margin
+            || pos.y < margin
+            || pos.x > c.area.width - margin
+            || pos.y > c.area.height - margin;
+        if near_edge {
+            let centre = Vec2::new(c.area.width / 2.0, c.area.height / 2.0);
+            self.mean_direction = (centre.y - pos.y).atan2(centre.x - pos.x);
+        }
+        let root = (1.0 - c.alpha * c.alpha).max(0.0).sqrt();
+        let gs = self.gaussian();
+        let gd = self.gaussian();
+        self.speed =
+            (c.alpha * self.speed + (1.0 - c.alpha) * c.mean_speed + root * c.speed_sigma * gs)
+                .clamp(0.0, c.max_speed);
+        // Revert along the *shortest arc*: `alpha*d + (1-alpha)*d̄` applied to raw
+        // angles turns the wrong way through ±π (e.g. when the edge retarget flips
+        // atan2 from +π to −π), driving the node back into the boundary.
+        self.direction += (1.0 - c.alpha) * wrap_angle(self.mean_direction - self.direction)
+            + root * c.direction_sigma * gd;
+        let next = Vec2::new(
+            pos.x + self.speed * self.direction.cos() * c.step_secs,
+            pos.y + self.speed * self.direction.sin() * c.step_secs,
+        );
+        if !c.area.contains(&next) {
+            // Clamp to the boundary and point the process back inside on the next step.
+            let clamped = c.area.clamp(&next);
+            let centre = Vec2::new(c.area.width / 2.0, c.area.height / 2.0);
+            self.direction = (centre.y - clamped.y).atan2(centre.x - clamped.x);
+            self.mean_direction = self.direction;
+            clamped
+        } else {
+            next
+        }
+    }
+}
+
+impl Mobility for GaussMarkov {
+    fn position_at(&mut self, t: SimTime) -> Vec2 {
+        let t = t.as_secs_f64();
+        let step_secs = self.config.step_secs;
+        // Advance whole steps until `t` falls inside the current segment.
+        while t >= (self.step + 1) as f64 * step_secs {
+            self.from = self.to;
+            self.step += 1;
+            let from = self.from;
+            self.to = self.advance_from(from);
+        }
+        let seg_start = self.step as f64 * step_secs;
+        let frac = ((t - seg_start) / step_secs).clamp(0.0, 1.0);
+        self.from.lerp(&self.to, frac)
+    }
+}
+
+/// Positions of `n` nodes on a centred, near-square grid inside `area` — the degenerate
+/// "no mobility, regular topology" stress placement used by static scenarios.
+///
+/// Nodes fill row-major: `ceil(sqrt(n))` columns, cells of equal size, one node at each
+/// cell centre. Every returned point lies strictly inside the area.
+pub fn grid_positions(area: Area, n: usize) -> Vec<Vec2> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let cols = (n as f64).sqrt().ceil() as usize;
+    let rows = n.div_ceil(cols);
+    let dx = area.width / cols as f64;
+    let dy = area.height / rows as f64;
+    (0..n)
+        .map(|i| {
+            let c = i % cols;
+            let r = i / cols;
+            Vec2::new((c as f64 + 0.5) * dx, (r as f64 + 0.5) * dy)
+        })
+        .collect()
+}
+
 /// A boxed mobility trait object, used by the runtime so heterogeneous models can coexist.
 pub type BoxedMobility = Box<dyn Mobility + Send>;
 
@@ -218,14 +423,24 @@ mod tests {
 
     #[test]
     fn zero_min_speed_is_sanitized() {
-        let c = WaypointConfig { area: Area::square(100.0), min_speed: 0.0, max_speed: 1.0, pause_secs: 0.0 };
+        let c = WaypointConfig {
+            area: Area::square(100.0),
+            min_speed: 0.0,
+            max_speed: 1.0,
+            pause_secs: 0.0,
+        };
         let m = RandomWaypoint::with_random_start(c, StdRng::seed_from_u64(1));
         assert!(m.config().min_speed > 0.0, "Yoon/Noble fix: min speed must be positive");
     }
 
     #[test]
     fn pause_keeps_node_at_waypoint() {
-        let c = WaypointConfig { area: Area::square(50.0), min_speed: 10.0, max_speed: 10.0, pause_secs: 100.0 };
+        let c = WaypointConfig {
+            area: Area::square(50.0),
+            min_speed: 10.0,
+            max_speed: 10.0,
+            pause_secs: 100.0,
+        };
         let mut m = RandomWaypoint::new(c, Vec2::new(25.0, 25.0), StdRng::seed_from_u64(5));
         // After at most diag/10 ≈ 7 s the node reaches its first waypoint and then pauses
         // for 100 s; two samples inside the pause window must coincide.
@@ -242,5 +457,137 @@ mod tests {
             let t = SimTime::from_secs(k * 3);
             assert_eq!(a.position_at(t), b.position_at(t));
         }
+    }
+
+    #[test]
+    fn gauss_markov_stays_inside_area_over_a_long_horizon() {
+        for seed in 0..5u64 {
+            let c = GaussMarkovConfig::with_mean_speed(Area::square(750.0), 10.0, 20.0);
+            let mut m = GaussMarkov::with_random_start(c, StdRng::seed_from_u64(seed));
+            let mut t = SimTime::ZERO;
+            for _ in 0..5000 {
+                let p = m.position_at(t);
+                assert!(c.area.contains(&p), "seed {seed}: position {p:?} escaped the area");
+                t += SimDuration::from_millis(731);
+            }
+        }
+    }
+
+    #[test]
+    fn gauss_markov_moves_and_is_deterministic() {
+        let c = GaussMarkovConfig::with_mean_speed(Area::square(500.0), 5.0, 10.0);
+        let mut a = GaussMarkov::with_random_start(c, StdRng::seed_from_u64(9));
+        let mut b = GaussMarkov::with_random_start(c, StdRng::seed_from_u64(9));
+        let p0 = a.position_at(SimTime::ZERO);
+        assert_eq!(p0, b.position_at(SimTime::ZERO));
+        let p1 = a.position_at(SimTime::from_secs(120));
+        assert_eq!(p1, b.position_at(SimTime::from_secs(120)));
+        assert!(p0.distance(&p1) > 1.0, "the node should wander within two minutes");
+    }
+
+    #[test]
+    fn gauss_markov_speed_is_bounded_between_updates() {
+        let c = GaussMarkovConfig::with_mean_speed(Area::square(750.0), 8.0, 15.0);
+        let mut m = GaussMarkov::with_random_start(c, StdRng::seed_from_u64(13));
+        let dt = 0.25;
+        let mut prev = m.position_at(SimTime::ZERO);
+        for k in 1..4000u64 {
+            let t = SimTime::from_secs_f64(k as f64 * dt);
+            let p = m.position_at(t);
+            let speed = prev.distance(&p) / dt;
+            // Boundary clamping can only shorten a step, never lengthen it.
+            assert!(speed <= c.max_speed + 1e-6, "speed {speed} exceeds cap {}", c.max_speed);
+            prev = p;
+        }
+    }
+
+    fn noise_free_config() -> GaussMarkovConfig {
+        GaussMarkovConfig {
+            area: Area::square(100_000.0),
+            mean_speed: 5.0,
+            max_speed: 10.0,
+            alpha: 0.5,
+            speed_sigma: 0.0,
+            direction_sigma: 0.0,
+            step_secs: 1.0,
+        }
+    }
+
+    #[test]
+    fn gauss_markov_direction_reverts_to_its_mean_heading() {
+        // Start the heading 2 rad away from the mean heading: with zero innovation
+        // noise the AR(1) process must close that gap and settle into straight-line
+        // motion towards d̄. A random-walk heading (reverting to the *current*
+        // direction instead of d̄) would instead keep the initial offset forever.
+        let start = Vec2::new(50_000.0, 50_000.0);
+        let mut m = GaussMarkov::new(noise_free_config(), start, StdRng::seed_from_u64(21));
+        let target = m.mean_direction;
+        m.direction = target + 2.0;
+        // Re-derive the first segment from the perturbed heading.
+        m.to = m.advance_from(start);
+        let heading_at = |m: &mut GaussMarkov, k: u64| {
+            let a = m.position_at(SimTime::from_secs(k));
+            let b = m.position_at(SimTime::from_secs(k + 1));
+            (b.y - a.y).atan2(b.x - a.x)
+        };
+        let early = heading_at(&mut m, 1);
+        assert!(
+            wrap_angle(early - target).abs() > 0.2,
+            "the perturbation must be visible early (got {early} vs mean {target})"
+        );
+        let late = heading_at(&mut m, 30);
+        assert!(
+            wrap_angle(late - target).abs() < 1e-3,
+            "heading must revert to the mean heading: late {late} vs mean {target}"
+        );
+    }
+
+    #[test]
+    fn gauss_markov_reverts_along_the_shortest_arc() {
+        // Heading 3.0 rad, mean heading -3.0 rad: the short way is ~0.28 rad through
+        // ±π, the long way is ~6 rad through 0. A naive `alpha*d + (1-alpha)*d̄`
+        // interpolates the long way; the wrapped update must not.
+        let start = Vec2::new(50_000.0, 50_000.0);
+        let mut m = GaussMarkov::new(noise_free_config(), start, StdRng::seed_from_u64(5));
+        m.direction = 3.0;
+        m.mean_direction = -3.0;
+        m.to = m.advance_from(start);
+        for k in 1..30u64 {
+            let a = m.position_at(SimTime::from_secs(k));
+            let b = m.position_at(SimTime::from_secs(k + 1));
+            let heading = (b.y - a.y).atan2(b.x - a.x);
+            let from_mean = wrap_angle(heading - (-3.0)).abs();
+            assert!(
+                from_mean < 0.3 + 1e-9,
+                "step {k}: heading {heading} strayed {from_mean} rad from the mean — \
+                 turned the long way through zero"
+            );
+        }
+    }
+
+    #[test]
+    fn wrap_angle_normalizes_into_half_open_pi_range() {
+        use std::f64::consts::PI;
+        assert!((wrap_angle(3.0 * PI) - -PI).abs() < 1e-12);
+        assert!((wrap_angle(-3.0 * PI) - -PI).abs() < 1e-12);
+        assert_eq!(wrap_angle(0.0), 0.0);
+        assert!((wrap_angle(PI + 0.1) - (-PI + 0.1)).abs() < 1e-12);
+        assert!((wrap_angle(-PI - 0.1) - (PI - 0.1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_positions_are_inside_and_distinct() {
+        for n in [1usize, 2, 9, 10, 50] {
+            let area = Area::square(750.0);
+            let pts = grid_positions(area, n);
+            assert_eq!(pts.len(), n);
+            for (i, p) in pts.iter().enumerate() {
+                assert!(area.contains(p), "grid point {p:?} outside the area");
+                for q in &pts[i + 1..] {
+                    assert!(p.distance(q) > 1.0, "grid points coincide");
+                }
+            }
+        }
+        assert!(grid_positions(Area::square(100.0), 0).is_empty());
     }
 }

@@ -37,7 +37,9 @@ impl From<u16> for NodeId {
 
 /// A multicast group identifier. The paper evaluates a single group, but the substrate
 /// supports several concurrent groups.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
 pub struct GroupId(pub u16);
 
 /// Role of a node with respect to one multicast group.

@@ -77,7 +77,8 @@ mod tests {
         assert!(!c.is_data());
         assert!(c.data.is_none());
 
-        let tag = DataTag { group: GroupId(0), origin: NodeId(1), seq: 9, created_at: SimTime::ZERO };
+        let tag =
+            DataTag { group: GroupId(0), origin: NodeId(1), seq: 9, created_at: SimTime::ZERO };
         let d: Packet<u8> = Packet::data(NodeId(1), 512, tag, 7);
         assert!(d.is_data());
         assert_eq!(d.data.unwrap().seq, 9);

@@ -323,11 +323,7 @@ impl<A: ProtocolAgent> NetworkSim<A> {
         // Main loop. The closure trick: `run_until` hands us events one at a time; we
         // cannot call a method on `self` from inside a closure borrowing `self.sim`, so we
         // drive the loop manually.
-        loop {
-            let next = match self.sim.peek_time() {
-                Some(t) => t,
-                None => break,
-            };
+        while let Some(next) = self.sim.peek_time() {
             if next > horizon {
                 break;
             }
@@ -406,15 +402,16 @@ mod tests {
     }
 
     fn line_setup(n: usize, spacing: f64) -> (SimSetup, Vec<BoxedMobility>) {
-        let roles: Vec<GroupRole> = (0..n)
-            .map(|i| if i == 0 { GroupRole::Source } else { GroupRole::Member })
-            .collect();
+        let roles: Vec<GroupRole> =
+            (0..n).map(|i| if i == 0 { GroupRole::Source } else { GroupRole::Member }).collect();
         let mobility: Vec<BoxedMobility> = (0..n)
             .map(|i| Box::new(Stationary::new(Vec2::new(i as f64 * spacing, 0.0))) as BoxedMobility)
             .collect();
-        let mut radio = RadioConfig::default();
-        radio.loss_probability = 0.0;
-        radio.collisions_enabled = false;
+        let radio = RadioConfig {
+            loss_probability: 0.0,
+            collisions_enabled: false,
+            ..RadioConfig::default()
+        };
         let traffic = TrafficConfig {
             group: GroupId(0),
             source: NodeId(0),
@@ -443,7 +440,11 @@ mod tests {
         let report = sim.run(SimDuration::from_secs(20));
         assert!(report.generated > 100, "CBR source must generate packets");
         assert_eq!(report.expected_deliveries, report.generated * 3);
-        assert!((report.pdr - 1.0).abs() < 1e-9, "ideal channel flooding delivers all, pdr={}", report.pdr);
+        assert!(
+            (report.pdr - 1.0).abs() < 1e-9,
+            "ideal channel flooding delivers all, pdr={}",
+            report.pdr
+        );
         assert!(report.avg_delay_ms > 0.0);
         assert!(report.total_energy_j > 0.0);
         assert!(report.unavailability_ratio < 1e-9);

@@ -54,10 +54,7 @@ impl TopologySnapshot {
 
     /// All neighbours of `n`, in node-id order.
     pub fn neighbors(&self, n: NodeId) -> Vec<NodeId> {
-        (0..self.positions.len() as u16)
-            .map(NodeId)
-            .filter(|&m| self.are_neighbors(n, m))
-            .collect()
+        (0..self.positions.len() as u16).map(NodeId).filter(|&m| self.are_neighbors(n, m)).collect()
     }
 
     /// Degree of node `n`.

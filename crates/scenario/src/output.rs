@@ -13,10 +13,8 @@ pub fn series_to_csv(series: &[Series]) -> String {
         out.push_str(&s.label);
     }
     out.push('\n');
-    let xs: Vec<f64> = series
-        .first()
-        .map(|s| s.points.iter().map(|p| p.x).collect())
-        .unwrap_or_default();
+    let xs: Vec<f64> =
+        series.first().map(|s| s.points.iter().map(|p| p.x).collect()).unwrap_or_default();
     for &x in &xs {
         out.push_str(&format!("{x}"));
         for s in series {
@@ -41,10 +39,8 @@ pub fn series_to_markdown(title: &str, x_label: &str, series: &[Series]) -> Stri
         out.push_str("|---");
     }
     out.push_str("|\n");
-    let xs: Vec<f64> = series
-        .first()
-        .map(|s| s.points.iter().map(|p| p.x).collect())
-        .unwrap_or_default();
+    let xs: Vec<f64> =
+        series.first().map(|s| s.points.iter().map(|p| p.x).collect()).unwrap_or_default();
     for &x in &xs {
         out.push_str(&format!("| {x} "));
         for s in series {
@@ -60,11 +56,7 @@ pub fn series_to_markdown(title: &str, x_label: &str, series: &[Series]) -> Stri
 
 /// Render a figure result as a human-readable text block (title, metric, table).
 pub fn figure_to_text(result: &FigureResult) -> String {
-    let x_label = match result.spec.swept {
-        crate::presets::SweptParameter::Velocity => "Velocity (m/s)",
-        crate::presets::SweptParameter::BeaconInterval => "Beacon interval (s)",
-        crate::presets::SweptParameter::GroupSize => "Group size",
-    };
+    let x_label = result.spec.swept.x_label();
     let mut out = format!(
         "{} — {} [{}]\n",
         result.spec.id.short_name(),

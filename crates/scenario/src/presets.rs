@@ -3,9 +3,11 @@
 //! the plot and the y metric, so the bench harness and the examples can regenerate any
 //! figure with one call.
 
-use crate::runner::run_scenario;
+use crate::experiment::Experiment;
+use crate::runner::run_protocol;
 use crate::scenario::{ProtocolKind, Scenario};
-use crate::sweep::{sweep, to_series, Metric, SweepCell};
+use crate::sink::{MemorySink, RunSink, TeeSink};
+use crate::sweep::{to_series, Metric, SweepCell};
 use serde::{Deserialize, Serialize};
 use ssmcast_metrics::Series;
 
@@ -18,6 +20,26 @@ pub enum SweptParameter {
     BeaconInterval,
     /// Multicast group size (members including the source).
     GroupSize,
+}
+
+impl SweptParameter {
+    /// Apply a swept value to a scenario — the hook [`Experiment::sweep`] uses.
+    pub fn apply(self, scenario: &mut Scenario, x: f64) {
+        match self {
+            SweptParameter::Velocity => scenario.max_speed_mps = x,
+            SweptParameter::BeaconInterval => scenario.beacon_interval_s = x,
+            SweptParameter::GroupSize => scenario.group_size = x.round() as usize,
+        }
+    }
+
+    /// Axis label for tables and CSV headers.
+    pub fn x_label(self) -> &'static str {
+        match self {
+            SweptParameter::Velocity => "Velocity (m/s)",
+            SweptParameter::BeaconInterval => "Beacon interval (s)",
+            SweptParameter::GroupSize => "Group size",
+        }
+    }
 }
 
 /// Identifier of a figure in the paper's evaluation section.
@@ -206,14 +228,6 @@ pub fn base_scenario_for(spec: &FigureSpec) -> Scenario {
     s
 }
 
-fn apply(swept: SweptParameter, scenario: &mut Scenario, x: f64) {
-    match swept {
-        SweptParameter::Velocity => scenario.max_speed_mps = x,
-        SweptParameter::BeaconInterval => scenario.beacon_interval_s = x,
-        SweptParameter::GroupSize => scenario.group_size = x.round() as usize,
-    }
-}
-
 /// The raw result of regenerating one figure.
 #[derive(Clone, Debug, Serialize)]
 pub struct FigureResult {
@@ -225,26 +239,52 @@ pub struct FigureResult {
     pub series: Vec<Series>,
 }
 
-/// Regenerate one figure. `scale` shrinks the run length and repetition count so the same
-/// code serves quick smoke tests (`scale ≈ 0.2`), the bench harness (`scale ≈ 1`) and
-/// paper-fidelity runs (`scale = 10`, i.e. 1800 simulated seconds).
+/// Regenerate one figure. `scale` shrinks the run length so the same code serves quick
+/// smoke tests (`scale ≈ 0.2`), the bench harness (`scale ≈ 1`) and paper-fidelity runs
+/// (`scale = 10`, i.e. 1800 simulated seconds). See `EXPERIMENTS.md` for the mapping.
 pub fn run_figure(id: FigureId, scale: f64, reps: usize) -> FigureResult {
+    let mut null = crate::sink::NullSink;
+    run_figure_with_sink(id, scale, reps, &mut null)
+}
+
+/// Regenerate one figure while streaming every completed cell through `sink` (progress
+/// lines, incremental CSV/JSON, ...). The figure's own summary still needs the full grid,
+/// which is collected alongside the stream.
+pub fn run_figure_with_sink(
+    id: FigureId,
+    scale: f64,
+    reps: usize,
+    sink: &mut dyn RunSink,
+) -> FigureResult {
     let spec = id.spec();
     let mut base = base_scenario_for(&spec);
     base.duration_s = (base.duration_s * scale).max(30.0);
-    let swept = spec.swept;
-    let cells = sweep(&base, &spec.xs, &spec.protocols, reps.max(1), move |s, x| apply(swept, s, x));
+    let mut memory = MemorySink::new();
+    {
+        let mut tee = TeeSink::new(vec![&mut memory, sink]);
+        Experiment::new(base)
+            .protocol_kinds(&spec.protocols)
+            .sweep(spec.swept, spec.xs.clone())
+            .reps(reps.max(1))
+            .run_with_sink(&mut tee);
+    }
+    let cells = memory.into_cells();
     let series = to_series(&cells, spec.metric);
     FigureResult { spec, cells, series }
 }
 
 /// Run a single cell of a figure (used by the Criterion timing benchmarks).
-pub fn run_single_cell(id: FigureId, x: f64, protocol: ProtocolKind, scale: f64) -> ssmcast_manet::SimReport {
+pub fn run_single_cell(
+    id: FigureId,
+    x: f64,
+    protocol: ProtocolKind,
+    scale: f64,
+) -> ssmcast_manet::SimReport {
     let spec = id.spec();
     let mut base = base_scenario_for(&spec);
     base.duration_s = (base.duration_s * scale).max(30.0);
-    apply(spec.swept, &mut base, x);
-    run_scenario(&base, protocol)
+    spec.swept.apply(&mut base, x);
+    run_protocol(&base, protocol.to_protocol().as_ref())
 }
 
 #[cfg(test)]
@@ -282,11 +322,12 @@ mod tests {
     #[test]
     fn apply_sets_the_right_field() {
         let mut s = Scenario::paper_default();
-        apply(SweptParameter::Velocity, &mut s, 15.0);
+        SweptParameter::Velocity.apply(&mut s, 15.0);
         assert_eq!(s.max_speed_mps, 15.0);
-        apply(SweptParameter::BeaconInterval, &mut s, 3.0);
+        SweptParameter::BeaconInterval.apply(&mut s, 3.0);
         assert_eq!(s.beacon_interval_s, 3.0);
-        apply(SweptParameter::GroupSize, &mut s, 40.0);
+        SweptParameter::GroupSize.apply(&mut s, 40.0);
         assert_eq!(s.group_size, 40);
+        assert_eq!(SweptParameter::GroupSize.x_label(), "Group size");
     }
 }

@@ -1,0 +1,281 @@
+//! Pluggable protocol construction: the [`Protocol`] factory trait, a closure-based
+//! adapter for per-node agent construction, and the name-keyed [`ProtocolRegistry`].
+//!
+//! Before this module existed, adding a protocol meant editing a central `match` over
+//! [`ProtocolKind`]. Now a protocol is anything that can take a scenario plus the prebuilt
+//! simulation ingredients and produce a report; the registry maps figure-legend names
+//! ("SS-SPST-E", "ODMRP", ...) to factories, and [`ProtocolKind`] is a thin convenience
+//! layer over the same machinery.
+
+use crate::scenario::{ProtocolKind, Scenario};
+use ssmcast_baselines::{FloodingAgent, MaodvAgent, OdmrpAgent};
+use ssmcast_core::{MetricKind, MetricParams, SsSpstAgent, SsSpstConfig};
+use ssmcast_dessim::SimDuration;
+use ssmcast_manet::{BoxedMobility, NetworkSim, NodeId, ProtocolAgent, SimReport, SimSetup};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A multicast protocol, packaged for the experiment harness.
+///
+/// `run` receives the scenario plus the already-built [`SimSetup`] and mobility processes
+/// (so every protocol in a comparison sees *identical* roles, traffic and trajectories)
+/// and returns the per-run report. Implementations are type-erased: the harness never
+/// needs to know the concrete agent type, so new protocols register without touching any
+/// central dispatch.
+pub trait Protocol: Send + Sync {
+    /// Display name matching the paper's figure legends (also the registry key).
+    fn name(&self) -> &str;
+
+    /// Run `scenario` and return the report.
+    fn run(&self, scenario: &Scenario, setup: SimSetup, mobility: Vec<BoxedMobility>) -> SimReport;
+}
+
+type RunFn = Box<dyn Fn(&Scenario, SimSetup, Vec<BoxedMobility>) -> SimReport + Send + Sync>;
+
+/// A [`Protocol`] built from a per-node agent constructor.
+///
+/// The constructor receives the scenario and the node id, so heterogeneous deployments
+/// (different parameters — or different agents — per node) are first-class: see
+/// [`FnProtocol::from_agent_fn`].
+pub struct FnProtocol {
+    name: String,
+    run: RunFn,
+}
+
+impl FnProtocol {
+    /// Wrap a per-node agent constructor into a protocol.
+    ///
+    /// `make_agent(scenario, node)` is called once per node id, in order, letting a
+    /// deployment mix configurations across nodes (e.g. a low-power tier with a shorter
+    /// beacon interval) while still running inside the standard harness.
+    pub fn from_agent_fn<A, F>(name: impl Into<String>, make_agent: F) -> Self
+    where
+        A: ProtocolAgent + 'static,
+        F: Fn(&Scenario, NodeId) -> A + Send + Sync + 'static,
+    {
+        let run: RunFn =
+            Box::new(move |scenario: &Scenario, setup: SimSetup, mobility: Vec<BoxedMobility>| {
+                let agents: Vec<A> =
+                    (0..scenario.n_nodes).map(|i| make_agent(scenario, NodeId(i as u16))).collect();
+                let horizon = SimDuration::from_secs_f64(scenario.duration_s);
+                NetworkSim::new(setup, mobility, agents).run(horizon)
+            });
+        FnProtocol { name: name.into(), run }
+    }
+}
+
+impl Protocol for FnProtocol {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn run(&self, scenario: &Scenario, setup: SimSetup, mobility: Vec<BoxedMobility>) -> SimReport {
+        (self.run)(scenario, setup, mobility)
+    }
+}
+
+impl fmt::Debug for FnProtocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FnProtocol").field("name", &self.name).finish_non_exhaustive()
+    }
+}
+
+/// The SS-SPST configuration a scenario implies (beacon interval + energy pricing).
+fn ss_spst_config(scenario: &Scenario, kind: MetricKind) -> SsSpstConfig {
+    SsSpstConfig {
+        params: MetricParams {
+            energy: scenario.radio.energy,
+            data_packet_bytes: scenario.packet_size_bytes,
+        },
+        ..SsSpstConfig::with_beacon_interval(
+            kind,
+            SimDuration::from_secs_f64(scenario.beacon_interval_s),
+        )
+    }
+}
+
+impl ProtocolKind {
+    /// The factory implementing this protocol kind — the bridge from the closed enum to
+    /// the open [`Protocol`] world.
+    pub fn to_protocol(self) -> Arc<dyn Protocol> {
+        match self {
+            ProtocolKind::SsSpst(kind) => Arc::new(FnProtocol::from_agent_fn(
+                kind.protocol_name(),
+                move |scenario: &Scenario, _node| SsSpstAgent::new(ss_spst_config(scenario, kind)),
+            )),
+            ProtocolKind::Maodv => {
+                Arc::new(FnProtocol::from_agent_fn("MAODV", |_, _| MaodvAgent::with_defaults()))
+            }
+            ProtocolKind::Odmrp => {
+                Arc::new(FnProtocol::from_agent_fn("ODMRP", |_, _| OdmrpAgent::with_defaults()))
+            }
+            ProtocolKind::Flooding => {
+                Arc::new(FnProtocol::from_agent_fn("Flooding", |_, _| FloodingAgent::new()))
+            }
+        }
+    }
+
+    /// Every built-in protocol kind (all four SS-SPST variants plus the baselines).
+    pub fn all_builtin() -> Vec<ProtocolKind> {
+        let mut kinds: Vec<ProtocolKind> =
+            MetricKind::ALL.iter().map(|&k| ProtocolKind::SsSpst(k)).collect();
+        kinds.extend([ProtocolKind::Maodv, ProtocolKind::Odmrp, ProtocolKind::Flooding]);
+        kinds
+    }
+}
+
+/// Error returned when a registry lookup by name fails.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownProtocol(pub String);
+
+impl fmt::Display for UnknownProtocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown protocol {:?}", self.0)
+    }
+}
+
+impl std::error::Error for UnknownProtocol {}
+
+/// A name-keyed collection of protocol factories.
+///
+/// Lookup keys are the factories' own [`Protocol::name`]s, so names round-trip:
+/// `registry.lookup(p.name())` returns a factory producing `p`'s protocol.
+#[derive(Clone, Default)]
+pub struct ProtocolRegistry {
+    entries: BTreeMap<String, Arc<dyn Protocol>>,
+}
+
+impl ProtocolRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A registry pre-populated with every built-in protocol: the four SS-SPST variants,
+    /// MAODV, ODMRP and blind flooding, keyed by their figure-legend names.
+    pub fn with_builtins() -> Self {
+        let mut registry = Self::new();
+        for kind in ProtocolKind::all_builtin() {
+            registry.register(kind.to_protocol());
+        }
+        registry
+    }
+
+    /// Register a protocol under its own name; returns the factory it displaced, if any.
+    pub fn register(&mut self, protocol: Arc<dyn Protocol>) -> Option<Arc<dyn Protocol>> {
+        self.entries.insert(protocol.name().to_string(), protocol)
+    }
+
+    /// Register a per-node agent constructor under `name` (see
+    /// [`FnProtocol::from_agent_fn`]).
+    pub fn register_agent_fn<A, F>(&mut self, name: impl Into<String>, make_agent: F)
+    where
+        A: ProtocolAgent + 'static,
+        F: Fn(&Scenario, NodeId) -> A + Send + Sync + 'static,
+    {
+        self.register(Arc::new(FnProtocol::from_agent_fn(name, make_agent)));
+    }
+
+    /// The factory registered under `name`, if any.
+    pub fn lookup(&self, name: &str) -> Option<Arc<dyn Protocol>> {
+        self.entries.get(name).cloned()
+    }
+
+    /// Like [`Self::lookup`], but with a descriptive error for experiment plumbing.
+    pub fn get(&self, name: &str) -> Result<Arc<dyn Protocol>, UnknownProtocol> {
+        self.lookup(name).ok_or_else(|| UnknownProtocol(name.to_string()))
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.keys().map(String::as_str).collect()
+    }
+
+    /// Number of registered protocols.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl fmt::Debug for ProtocolRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("ProtocolRegistry").field(&self.names()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_protocol;
+
+    #[test]
+    fn builtin_names_round_trip_through_the_registry() {
+        let registry = ProtocolRegistry::with_builtins();
+        assert_eq!(registry.len(), 7, "4 SS-SPST variants + MAODV + ODMRP + Flooding");
+        for kind in ProtocolKind::all_builtin() {
+            let p = kind.to_protocol();
+            let found = registry
+                .lookup(p.name())
+                .unwrap_or_else(|| panic!("{} missing from the builtin registry", p.name()));
+            assert_eq!(found.name(), p.name());
+        }
+        assert!(registry.lookup("no-such-protocol").is_none());
+        assert_eq!(
+            registry.get("no-such-protocol").err(),
+            Some(UnknownProtocol("no-such-protocol".into()))
+        );
+    }
+
+    #[test]
+    fn registry_runs_a_protocol_end_to_end() {
+        let registry = ProtocolRegistry::with_builtins();
+        let mut s = Scenario::quick_test();
+        s.duration_s = 20.0;
+        s.n_nodes = 12;
+        s.group_size = 5;
+        let flooding = registry.lookup("Flooding").expect("builtin");
+        let report = run_protocol(&s, flooding.as_ref());
+        assert_eq!(report.protocol, "Flooding");
+        assert!(report.generated > 0);
+    }
+
+    #[test]
+    fn heterogeneous_agent_construction_is_first_class() {
+        use ssmcast_core::MetricKind;
+        // Odd nodes run a 1 s beacon interval, even nodes the scenario default: a
+        // two-tier deployment expressed as one protocol.
+        let mut registry = ProtocolRegistry::new();
+        registry.register_agent_fn("SS-SPST-E/two-tier", |scenario: &Scenario, node| {
+            let mut config = ss_spst_config(scenario, MetricKind::EnergyAware);
+            if node.0 % 2 == 1 {
+                config.beacon_interval = SimDuration::from_secs(1);
+            }
+            SsSpstAgent::new(config)
+        });
+        let mut s = Scenario::quick_test();
+        s.duration_s = 20.0;
+        s.n_nodes = 10;
+        s.group_size = 4;
+        let p = registry.lookup("SS-SPST-E/two-tier").expect("registered");
+        let report = run_protocol(&s, p.as_ref());
+        assert!(report.control_packets > 0);
+    }
+
+    #[test]
+    fn custom_registration_displaces_and_coexists() {
+        let mut registry = ProtocolRegistry::with_builtins();
+        let displaced = registry.register(ProtocolKind::Flooding.to_protocol());
+        assert!(displaced.is_some(), "re-registering a name returns the old factory");
+        assert_eq!(registry.len(), 7);
+        assert_eq!(
+            registry.names(),
+            vec!["Flooding", "MAODV", "ODMRP", "SS-SPST", "SS-SPST-E", "SS-SPST-F", "SS-SPST-T"]
+        );
+    }
+}

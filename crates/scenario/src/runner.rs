@@ -1,15 +1,18 @@
-//! Running one scenario under one protocol.
+//! Building and running one scenario: roles, mobility, setup, and protocol execution.
+//!
+//! The primary entry point is [`run_protocol`], which wires a [`crate::Protocol`] into
+//! the scenario's deterministic setup. [`run_scenario`] and [`run_repetitions`] remain as
+//! thin compatibility shims over the [`crate::Experiment`] machinery for callers that
+//! still speak [`ProtocolKind`].
 
-use crate::scenario::{ProtocolKind, Scenario};
+use crate::protocol::Protocol;
+use crate::scenario::{MobilityKind, ProtocolKind, Scenario};
 use rand::seq::SliceRandom;
-use ssmcast_baselines::{FloodingAgent, MaodvAgent, OdmrpAgent};
-use ssmcast_core::{MetricParams, SsSpstAgent, SsSpstConfig};
 use ssmcast_dessim::{SeedSequence, SimDuration, SimTime};
 use ssmcast_manet::{
-    BoxedMobility, GroupRole, NodeId, ProtocolAgent, RandomWaypoint, SimReport, SimSetup,
-    TrafficConfig, WaypointConfig,
+    grid_positions, Area, BoxedMobility, GaussMarkov, GaussMarkovConfig, GroupRole, NodeId,
+    RandomWaypoint, SimReport, SimSetup, Stationary, TrafficConfig, WaypointConfig,
 };
-use ssmcast_manet::{Area, NetworkSim};
 
 /// Assign group roles: node 0 is the source; `receiver_count` further members are drawn
 /// uniformly (but deterministically for the scenario seed) from the remaining nodes.
@@ -25,20 +28,50 @@ pub fn assign_roles(scenario: &Scenario, seeds: &SeedSequence) -> Vec<GroupRole>
     roles
 }
 
-/// Build one random-waypoint mobility process per node.
+/// Build one mobility process per node according to the scenario's [`MobilityKind`].
+///
+/// Every model draws from the same `"mobility"` seed streams, so switching models leaves
+/// all other randomness (membership, traffic, loss) untouched — protocol comparisons
+/// across mobility regimes stay paired.
 pub fn build_mobility(scenario: &Scenario, seeds: &SeedSequence) -> Vec<BoxedMobility> {
-    let cfg = WaypointConfig {
-        area: Area::square(scenario.area_side_m),
-        min_speed: scenario.min_speed_mps,
-        max_speed: scenario.max_speed_mps,
-        pause_secs: scenario.pause_secs,
-    };
-    (0..scenario.n_nodes as u64)
-        .map(|i| {
-            Box::new(RandomWaypoint::with_random_start(cfg, seeds.indexed_stream("mobility", i)))
-                as BoxedMobility
-        })
-        .collect()
+    let area = Area::square(scenario.area_side_m);
+    let n = scenario.n_nodes as u64;
+    match scenario.mobility {
+        MobilityKind::RandomWaypoint => {
+            let cfg = WaypointConfig {
+                area,
+                min_speed: scenario.min_speed_mps,
+                max_speed: scenario.max_speed_mps,
+                pause_secs: scenario.pause_secs,
+            };
+            (0..n)
+                .map(|i| {
+                    Box::new(RandomWaypoint::with_random_start(
+                        cfg,
+                        seeds.indexed_stream("mobility", i),
+                    )) as BoxedMobility
+                })
+                .collect()
+        }
+        MobilityKind::GaussMarkov => {
+            // Match random waypoint's long-run mean speed so velocity sweeps stay
+            // comparable across models.
+            let mean = 0.5 * (scenario.min_speed_mps + scenario.max_speed_mps.max(0.0));
+            let cfg = GaussMarkovConfig::with_mean_speed(area, mean, scenario.max_speed_mps);
+            (0..n)
+                .map(|i| {
+                    Box::new(GaussMarkov::with_random_start(
+                        cfg,
+                        seeds.indexed_stream("mobility", i),
+                    )) as BoxedMobility
+                })
+                .collect()
+        }
+        MobilityKind::StaticGrid => grid_positions(area, scenario.n_nodes)
+            .into_iter()
+            .map(|p| Box::new(Stationary::new(p)) as BoxedMobility)
+            .collect(),
+    }
 }
 
 /// Build the [`SimSetup`] shared by every protocol for this scenario.
@@ -63,55 +96,42 @@ pub fn build_setup(scenario: &Scenario, seeds: SeedSequence) -> SimSetup {
     }
 }
 
-fn run_with<A, F>(scenario: &Scenario, seeds: SeedSequence, make_agent: F) -> SimReport
-where
-    A: ProtocolAgent,
-    F: Fn(usize) -> A,
-{
+/// Run `scenario` under `protocol`: builds the deterministic setup and mobility for the
+/// scenario's seed and hands them to the protocol factory. This is the primitive every
+/// higher layer ([`crate::Experiment`], the compat shims) bottoms out in.
+pub fn run_protocol(scenario: &Scenario, protocol: &dyn Protocol) -> SimReport {
+    let seeds = SeedSequence::new(scenario.seed);
     let setup = build_setup(scenario, seeds);
     let mobility = build_mobility(scenario, &seeds);
-    let agents = (0..scenario.n_nodes).map(make_agent).collect();
-    let mut sim = NetworkSim::new(setup, mobility, agents);
-    sim.run(SimDuration::from_secs_f64(scenario.duration_s))
+    protocol.run(scenario, setup, mobility)
 }
 
-/// Run `scenario` under `protocol` and return the per-run report.
+/// Compatibility shim: run `scenario` under a built-in protocol kind.
+///
+/// Equivalent to `run_protocol(scenario, kind.to_protocol().as_ref())`; prefer
+/// [`run_protocol`] (or [`crate::Experiment`]) for new code.
 pub fn run_scenario(scenario: &Scenario, protocol: ProtocolKind) -> SimReport {
-    let seeds = SeedSequence::new(scenario.seed);
-    match protocol {
-        ProtocolKind::SsSpst(kind) => {
-            let config = SsSpstConfig {
-                params: MetricParams {
-                    energy: scenario.radio.energy,
-                    data_packet_bytes: scenario.packet_size_bytes,
-                },
-                ..SsSpstConfig::with_beacon_interval(
-                    kind,
-                    SimDuration::from_secs_f64(scenario.beacon_interval_s),
-                )
-            };
-            run_with(scenario, seeds, |_| SsSpstAgent::new(config))
-        }
-        ProtocolKind::Maodv => run_with(scenario, seeds, |_| MaodvAgent::with_defaults()),
-        ProtocolKind::Odmrp => run_with(scenario, seeds, |_| OdmrpAgent::with_defaults()),
-        ProtocolKind::Flooding => run_with(scenario, seeds, |_| FloodingAgent::new()),
-    }
+    run_protocol(scenario, protocol.to_protocol().as_ref())
 }
 
-/// Run the same scenario `reps` times with derived seeds and return every report.
+/// Compatibility shim: run the same scenario `reps` times with derived seeds.
+///
+/// New code should use [`crate::Experiment`] with [`crate::Experiment::reps`], which is
+/// what this delegates to (a single-column grid). Unlike the builder — which clamps to
+/// at least one repetition — this shim preserves the legacy `reps == 0` behaviour of
+/// running nothing.
 pub fn run_repetitions(scenario: &Scenario, protocol: ProtocolKind, reps: usize) -> Vec<SimReport> {
-    (0..reps)
-        .map(|r| {
-            let mut s = *scenario;
-            s.seed = SeedSequence::new(scenario.seed).child(r as u64).master();
-            run_scenario(&s, protocol)
-        })
-        .collect()
+    if reps == 0 {
+        return Vec::new();
+    }
+    let cells = crate::Experiment::new(*scenario).protocol_kinds(&[protocol]).reps(reps).run();
+    cells.into_iter().next().map(|c| c.reports).unwrap_or_default()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protocol::ProtocolRegistry;
     use ssmcast_core::MetricKind;
 
     #[test]
@@ -129,10 +149,45 @@ mod tests {
     }
 
     #[test]
-    fn mobility_is_one_process_per_node() {
-        let s = Scenario::quick_test();
+    fn mobility_is_one_process_per_node_for_every_kind() {
+        let mut s = Scenario::quick_test();
         let seeds = SeedSequence::new(1);
-        assert_eq!(build_mobility(&s, &seeds).len(), s.n_nodes);
+        for kind in MobilityKind::ALL {
+            s.mobility = kind;
+            assert_eq!(build_mobility(&s, &seeds).len(), s.n_nodes, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn every_mobility_kind_stays_inside_the_deployment_area() {
+        let mut s = Scenario::quick_test();
+        s.max_speed_mps = 20.0;
+        let area = Area::square(s.area_side_m);
+        let seeds = SeedSequence::new(7);
+        for kind in MobilityKind::ALL {
+            s.mobility = kind;
+            let mut mobility = build_mobility(&s, &seeds);
+            for (i, m) in mobility.iter_mut().enumerate() {
+                let mut t = SimTime::ZERO;
+                // Query a long horizon (≈ 30 simulated minutes) at coarse steps.
+                for _ in 0..1000 {
+                    let p = m.position_at(t);
+                    assert!(area.contains(&p), "{} node {i}: {p:?} escaped the area", kind.name());
+                    t += SimDuration::from_millis(1_873);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn static_grid_nodes_do_not_move() {
+        let s = Scenario::quick_test().with_mobility(MobilityKind::StaticGrid);
+        let seeds = SeedSequence::new(3);
+        let mut mobility = build_mobility(&s, &seeds);
+        for m in mobility.iter_mut() {
+            let p0 = m.position_at(SimTime::ZERO);
+            assert_eq!(p0, m.position_at(SimTime::from_secs(1800)));
+        }
     }
 
     #[test]
@@ -141,19 +196,26 @@ mod tests {
         s.duration_s = 30.0;
         s.n_nodes = 20;
         s.group_size = 8;
-        for protocol in [
-            ProtocolKind::SsSpst(MetricKind::EnergyAware),
-            ProtocolKind::SsSpst(MetricKind::Hop),
-            ProtocolKind::Maodv,
-            ProtocolKind::Odmrp,
-            ProtocolKind::Flooding,
-        ] {
-            let report = run_scenario(&s, protocol);
-            assert!(report.generated > 100, "{}: CBR must generate traffic", protocol.name());
+        let registry = ProtocolRegistry::with_builtins();
+        for name in registry.names() {
+            let protocol = registry.lookup(name).expect("listed name resolves");
+            let report = run_protocol(&s, protocol.as_ref());
+            assert!(report.generated > 100, "{name}: CBR must generate traffic");
             assert!(report.pdr >= 0.0 && report.pdr <= 1.0);
-            assert!(report.total_energy_j > 0.0, "{}: someone must transmit", protocol.name());
-            assert_eq!(report.protocol, protocol.name());
+            assert!(report.total_energy_j > 0.0, "{name}: someone must transmit");
+            assert_eq!(report.protocol, name);
         }
+    }
+
+    #[test]
+    fn gauss_markov_scenario_runs_end_to_end() {
+        let mut s = Scenario::quick_test().with_mobility(MobilityKind::GaussMarkov);
+        s.duration_s = 30.0;
+        s.n_nodes = 20;
+        s.group_size = 8;
+        let report = run_scenario(&s, ProtocolKind::SsSpst(MetricKind::EnergyAware));
+        assert!(report.generated > 100);
+        assert!(report.pdr > 0.0, "a connected-ish 20-node field should deliver something");
     }
 
     #[test]

@@ -54,6 +54,38 @@ impl ProtocolKind {
     }
 }
 
+/// Which mobility model drives node trajectories in a scenario.
+///
+/// The paper evaluates random waypoint only; the plugin enum opens the same experiment
+/// grid to other motion regimes (see `EXPERIMENTS.md`). New models plug in here and in
+/// [`crate::runner::build_mobility`] without touching any protocol code.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Serialize, Deserialize)]
+pub enum MobilityKind {
+    /// Random waypoint with the Yoon/Noble non-zero minimum-speed fix (the paper's model).
+    RandomWaypoint,
+    /// Gauss–Markov: temporally correlated speed and heading. Sustained drift stresses
+    /// tree repair differently from waypoint's stop-and-turn motion.
+    GaussMarkov,
+    /// No motion: nodes on a centred grid. The degenerate regular topology used for
+    /// stress and correctness scenarios.
+    StaticGrid,
+}
+
+impl MobilityKind {
+    /// Every built-in mobility model.
+    pub const ALL: [MobilityKind; 3] =
+        [MobilityKind::RandomWaypoint, MobilityKind::GaussMarkov, MobilityKind::StaticGrid];
+
+    /// Display name used in tables and file names.
+    pub fn name(self) -> &'static str {
+        match self {
+            MobilityKind::RandomWaypoint => "random-waypoint",
+            MobilityKind::GaussMarkov => "gauss-markov",
+            MobilityKind::StaticGrid => "static-grid",
+        }
+    }
+}
+
 /// One simulation scenario: the paper's Section 6 settings, all overridable.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct Scenario {
@@ -82,6 +114,8 @@ pub struct Scenario {
     pub packet_size_bytes: u32,
     /// Radio and energy configuration.
     pub radio: RadioConfig,
+    /// Mobility model plugged into [`crate::runner::build_mobility`].
+    pub mobility: MobilityKind,
     /// Master seed; repetitions derive child seeds from it.
     pub seed: u64,
 }
@@ -103,18 +137,20 @@ impl Scenario {
             data_rate_bps: 64_000.0,
             packet_size_bytes: 512,
             radio: RadioConfig::default(),
+            mobility: MobilityKind::RandomWaypoint,
             seed: 0x55_5357,
         }
     }
 
+    /// The same scenario under a different mobility model.
+    pub fn with_mobility(mut self, mobility: MobilityKind) -> Self {
+        self.mobility = mobility;
+        self
+    }
+
     /// A small, fast scenario for unit/integration tests: fewer nodes, shorter run.
     pub fn quick_test() -> Self {
-        Scenario {
-            n_nodes: 25,
-            duration_s: 60.0,
-            group_size: 10,
-            ..Self::paper_default()
-        }
+        Scenario { n_nodes: 25, duration_s: 60.0, group_size: 10, ..Self::paper_default() }
     }
 
     /// Number of group members excluding the source.
@@ -147,6 +183,15 @@ mod tests {
         assert_eq!(s.beacon_interval_s, 2.0);
         assert!(s.min_speed_mps > 0.0, "Yoon/Noble fix");
         assert_eq!(s.receiver_count(), 19);
+    }
+
+    #[test]
+    fn mobility_defaults_to_the_papers_model() {
+        assert_eq!(Scenario::paper_default().mobility, MobilityKind::RandomWaypoint);
+        let s = Scenario::paper_default().with_mobility(MobilityKind::GaussMarkov);
+        assert_eq!(s.mobility, MobilityKind::GaussMarkov);
+        assert_eq!(MobilityKind::ALL.len(), 3);
+        assert_eq!(MobilityKind::StaticGrid.name(), "static-grid");
     }
 
     #[test]

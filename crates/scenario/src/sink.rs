@@ -1,0 +1,407 @@
+//! Streaming consumers for experiment results.
+//!
+//! An [`crate::experiment::Experiment`] pushes every completed [`SweepCell`] through a
+//! [`RunSink`] the moment all of the cell's repetitions finish, instead of materialising
+//! the whole grid in memory first. That unlocks long production-scale sweeps: progress is
+//! visible while the run is in flight, partial results survive an interrupted run, and a
+//! line-oriented sink holds no per-grid state at all (the engine buffers only its
+//! out-of-order completion window; see `experiment`).
+//!
+//! Cells arrive in grid order (x-major, then protocol), so line-oriented sinks produce
+//! deterministic output regardless of worker scheduling.
+
+use crate::sweep::SweepCell;
+use std::io::Write;
+
+/// Grid coordinates and progress counters for one completed cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CellInfo {
+    /// Index of this cell in emission (grid) order, starting at 0.
+    pub cell_index: usize,
+    /// Total number of cells the experiment will emit.
+    pub total_cells: usize,
+    /// Index into the experiment's swept values.
+    pub xi: usize,
+    /// Index into the experiment's protocol list.
+    pub pi: usize,
+}
+
+/// A consumer of completed sweep cells.
+pub trait RunSink {
+    /// Called once per cell, in grid order, as soon as all its repetitions complete.
+    fn on_cell(&mut self, info: &CellInfo, cell: &SweepCell);
+
+    /// Called once after the last cell (flush buffers, print summaries, ...).
+    fn finish(&mut self) {}
+}
+
+/// Discards everything. Useful as a default and in tests.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl RunSink for NullSink {
+    fn on_cell(&mut self, _info: &CellInfo, _cell: &SweepCell) {}
+}
+
+/// Collects cells in memory — the adapter between the streaming engine and callers that
+/// do want the whole grid (e.g. to summarise it into figure series).
+#[derive(Clone, Debug, Default)]
+pub struct MemorySink {
+    cells: Vec<SweepCell>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The cells collected so far.
+    pub fn cells(&self) -> &[SweepCell] {
+        &self.cells
+    }
+
+    /// Consume the sink and return the collected cells.
+    pub fn into_cells(self) -> Vec<SweepCell> {
+        self.cells
+    }
+}
+
+impl RunSink for MemorySink {
+    fn on_cell(&mut self, _info: &CellInfo, cell: &SweepCell) {
+        self.cells.push(cell.clone());
+    }
+}
+
+/// Human-readable one-line-per-cell progress, e.g. for stderr during long sweeps.
+pub struct ProgressSink<W: Write> {
+    out: W,
+}
+
+impl<W: Write> ProgressSink<W> {
+    /// Report progress to `out`.
+    pub fn new(out: W) -> Self {
+        ProgressSink { out }
+    }
+
+    /// Consume the sink and return the writer (e.g. to inspect an in-memory buffer).
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl ProgressSink<std::io::Stderr> {
+    /// Progress to standard error — the common case alongside stdout result tables.
+    pub fn stderr() -> Self {
+        ProgressSink { out: std::io::stderr() }
+    }
+}
+
+impl<W: Write> RunSink for ProgressSink<W> {
+    fn on_cell(&mut self, info: &CellInfo, cell: &SweepCell) {
+        let mean_pdr = if cell.reports.is_empty() {
+            0.0
+        } else {
+            cell.reports.iter().map(|r| r.pdr).sum::<f64>() / cell.reports.len() as f64
+        };
+        let _ = writeln!(
+            self.out,
+            "[{}/{}] {} @ x={}: pdr={:.3} ({} rep{})",
+            info.cell_index + 1,
+            info.total_cells,
+            cell.protocol,
+            cell.x,
+            mean_pdr,
+            cell.reports.len(),
+            if cell.reports.len() == 1 { "" } else { "s" },
+        );
+    }
+
+    fn finish(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// Quote a CSV field per RFC 4180 when it contains a delimiter, quote or newline.
+/// Registry protocol names are user-chosen, so they cannot be trusted to be bare.
+fn csv_field(value: &str) -> String {
+    if value.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", value.replace('"', "\"\""))
+    } else {
+        value.to_string()
+    }
+}
+
+/// Streams one CSV row per repetition: `x,protocol,rep,pdr,unavailability,
+/// energy_per_packet_mj,control_overhead,delay_ms`. The header is written before the
+/// first row, so partial files from interrupted runs are still loadable.
+///
+/// Write failures do not abort the experiment (the simulation results still reach any
+/// other sinks in a tee), but they are not silent either: the first error is kept and
+/// reported by [`CsvStreamSink::error`], and every failure is logged to stderr once.
+pub struct CsvStreamSink<W: Write> {
+    out: W,
+    wrote_header: bool,
+    error: Option<std::io::Error>,
+}
+
+impl<W: Write> CsvStreamSink<W> {
+    /// Stream CSV rows to `out`.
+    pub fn new(out: W) -> Self {
+        CsvStreamSink { out, wrote_header: false, error: None }
+    }
+
+    /// The first write error encountered, if any. A long sweep whose disk filled up
+    /// mid-run surfaces here rather than masquerading as a complete file.
+    pub fn error(&self) -> Option<&std::io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Consume the sink and return the writer (e.g. to inspect an in-memory buffer).
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+
+    fn record(&mut self, result: std::io::Result<()>) {
+        if let Err(e) = result {
+            if self.error.is_none() {
+                eprintln!("CsvStreamSink: write failed, subsequent rows may be lost: {e}");
+                self.error = Some(e);
+            }
+        }
+    }
+}
+
+impl<W: Write> RunSink for CsvStreamSink<W> {
+    fn on_cell(&mut self, _info: &CellInfo, cell: &SweepCell) {
+        if !self.wrote_header {
+            self.wrote_header = true;
+            let header = writeln!(
+                self.out,
+                "x,protocol,rep,pdr,unavailability,energy_per_packet_mj,control_overhead,delay_ms"
+            );
+            self.record(header);
+        }
+        for (rep, r) in cell.reports.iter().enumerate() {
+            let row = writeln!(
+                self.out,
+                "{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6}",
+                cell.x,
+                csv_field(&cell.protocol),
+                rep,
+                r.pdr,
+                r.unavailability_ratio,
+                r.energy_per_delivered_mj,
+                r.control_bytes_per_data_byte,
+                r.avg_delay_ms,
+            );
+            self.record(row);
+        }
+        // Flush per cell (cells are seconds apart): an interrupted run must still leave
+        // every completed cell on disk — that is the point of streaming.
+        let flushed = self.out.flush();
+        self.record(flushed);
+    }
+
+    fn finish(&mut self) {
+        let flushed = self.out.flush();
+        self.record(flushed);
+    }
+}
+
+/// Streams one JSON object per cell (JSON Lines): each line is a full [`SweepCell`]
+/// including every repetition's report — the machine-readable counterpart of
+/// [`CsvStreamSink`], with the same error-reporting contract.
+pub struct JsonLinesSink<W: Write> {
+    out: W,
+    error: Option<std::io::Error>,
+}
+
+impl<W: Write> JsonLinesSink<W> {
+    /// Stream JSON lines to `out`.
+    pub fn new(out: W) -> Self {
+        JsonLinesSink { out, error: None }
+    }
+
+    /// The first write error encountered, if any.
+    pub fn error(&self) -> Option<&std::io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Consume the sink and return the writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+
+    fn record(&mut self, result: std::io::Result<()>) {
+        if let Err(e) = result {
+            if self.error.is_none() {
+                eprintln!("JsonLinesSink: write failed, subsequent cells may be lost: {e}");
+                self.error = Some(e);
+            }
+        }
+    }
+}
+
+impl<W: Write> RunSink for JsonLinesSink<W> {
+    fn on_cell(&mut self, _info: &CellInfo, cell: &SweepCell) {
+        if let Ok(line) = serde_json::to_string(cell) {
+            let row = writeln!(self.out, "{line}");
+            self.record(row);
+        }
+        // Same durability contract as the CSV sink: completed cells survive interrupts.
+        let flushed = self.out.flush();
+        self.record(flushed);
+    }
+
+    fn finish(&mut self) {
+        let flushed = self.out.flush();
+        self.record(flushed);
+    }
+}
+
+/// Fans every cell out to several sinks (e.g. memory + progress + CSV at once).
+pub struct TeeSink<'a> {
+    sinks: Vec<&'a mut dyn RunSink>,
+}
+
+impl<'a> TeeSink<'a> {
+    /// Combine `sinks`; cells are forwarded in the given order.
+    pub fn new(sinks: Vec<&'a mut dyn RunSink>) -> Self {
+        TeeSink { sinks }
+    }
+}
+
+impl RunSink for TeeSink<'_> {
+    fn on_cell(&mut self, info: &CellInfo, cell: &SweepCell) {
+        for sink in &mut self.sinks {
+            sink.on_cell(info, cell);
+        }
+    }
+
+    fn finish(&mut self) {
+        for sink in &mut self.sinks {
+            sink.finish();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssmcast_manet::SimReport;
+
+    fn cell(x: f64, protocol: &str, pdr: f64) -> SweepCell {
+        let report = SimReport {
+            protocol: protocol.to_string(),
+            duration_s: 1.0,
+            generated: 10,
+            expected_deliveries: 10,
+            delivered: (10.0 * pdr) as u64,
+            duplicate_deliveries: 0,
+            pdr,
+            avg_delay_ms: 5.0,
+            total_energy_j: 1.0,
+            overhear_energy_j: 0.1,
+            energy_per_delivered_mj: 2.0,
+            control_packets: 3,
+            control_bytes: 96,
+            data_packets_tx: 12,
+            data_bytes_tx: 6144,
+            control_bytes_per_data_byte: 0.015,
+            unavailability_ratio: 1.0 - pdr,
+            collisions: 0,
+        };
+        SweepCell { x, protocol: protocol.to_string(), reports: vec![report] }
+    }
+
+    fn info(i: usize) -> CellInfo {
+        CellInfo { cell_index: i, total_cells: 2, xi: i, pi: 0 }
+    }
+
+    #[test]
+    fn memory_sink_collects_in_order() {
+        let mut sink = MemorySink::new();
+        sink.on_cell(&info(0), &cell(1.0, "A", 0.9));
+        sink.on_cell(&info(1), &cell(5.0, "A", 0.8));
+        sink.finish();
+        assert_eq!(sink.cells().len(), 2);
+        assert_eq!(sink.cells()[0].x, 1.0);
+        assert_eq!(sink.into_cells()[1].x, 5.0);
+    }
+
+    #[test]
+    fn csv_sink_streams_header_then_rows() {
+        let mut sink = CsvStreamSink::new(Vec::new());
+        sink.on_cell(&info(0), &cell(1.0, "ODMRP", 0.9));
+        sink.on_cell(&info(1), &cell(5.0, "ODMRP", 0.8));
+        sink.finish();
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("x,protocol,rep,pdr"));
+        assert!(lines[1].starts_with("1,ODMRP,0,0.9"));
+        assert!(lines[2].starts_with("5,ODMRP,0,0.8"));
+    }
+
+    #[test]
+    fn csv_sink_quotes_protocol_names_that_need_it() {
+        let mut sink = CsvStreamSink::new(Vec::new());
+        sink.on_cell(&info(0), &cell(1.0, "SS-SPST, tuned \"v2\"", 0.9));
+        sink.finish();
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let row = text.lines().nth(1).unwrap();
+        assert!(
+            row.starts_with("1,\"SS-SPST, tuned \"\"v2\"\"\",0,"),
+            "protocol field must be RFC 4180-quoted, got: {row}"
+        );
+        // A plain name stays unquoted.
+        assert_eq!(csv_field("ODMRP"), "ODMRP");
+    }
+
+    #[test]
+    fn write_failures_are_recorded_not_swallowed() {
+        struct FullDisk;
+        impl std::io::Write for FullDisk {
+            fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::new(std::io::ErrorKind::StorageFull, "disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut csv = CsvStreamSink::new(FullDisk);
+        assert!(csv.error().is_none());
+        csv.on_cell(&info(0), &cell(1.0, "ODMRP", 0.9));
+        csv.finish();
+        assert!(csv.error().is_some(), "a failed CSV write must surface");
+        let mut jsonl = JsonLinesSink::new(FullDisk);
+        jsonl.on_cell(&info(0), &cell(1.0, "ODMRP", 0.9));
+        assert!(jsonl.error().is_some(), "a failed JSONL write must surface");
+    }
+
+    #[test]
+    fn json_lines_sink_emits_one_object_per_cell() {
+        let mut sink = JsonLinesSink::new(Vec::new());
+        sink.on_cell(&info(0), &cell(1.0, "MAODV", 0.75));
+        sink.finish();
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.contains("\"protocol\":\"MAODV\""));
+        assert!(text.trim_end().starts_with('{') && text.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn progress_and_tee_fan_out() {
+        let mut mem = MemorySink::new();
+        let mut progress = ProgressSink::new(Vec::new());
+        {
+            let mut tee = TeeSink::new(vec![&mut mem, &mut progress]);
+            tee.on_cell(&info(0), &cell(1.0, "Flooding", 1.0));
+            tee.finish();
+        }
+        assert_eq!(mem.cells().len(), 1);
+        let text = String::from_utf8(progress.out).unwrap();
+        assert!(text.contains("[1/2] Flooding @ x=1"));
+    }
+}

@@ -1,11 +1,8 @@
-//! Parameter sweeps: run many (x, protocol, repetition) cells, in parallel, and summarise
-//! them into figure series.
+//! Sweep result types ([`SweepCell`], [`Metric`], [`to_series`]) and the legacy [`sweep`]
+//! compatibility shim over [`crate::Experiment`].
 
-use crate::runner::run_scenario;
 use crate::scenario::{ProtocolKind, Scenario};
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use ssmcast_dessim::SeedSequence;
 use ssmcast_manet::SimReport;
 use ssmcast_metrics::Series;
 
@@ -59,8 +56,13 @@ pub struct SweepCell {
     pub reports: Vec<SimReport>,
 }
 
-/// Run a sweep: for every x in `xs`, apply `configure(x)` to a copy of `base`, and run
-/// every protocol `reps` times. Cells are independent and run on the rayon thread pool.
+/// Compatibility shim: run a sweep grid and collect every cell.
+///
+/// For every x in `xs`, apply `configure(x)` to a copy of `base`, and run every protocol
+/// `reps` times. Delegates to [`crate::Experiment`], which runs cells on a thread pool,
+/// indexes results directly by `(x, protocol)` and derives collision-free per-run seeds;
+/// prefer building an [`crate::Experiment`] directly (it can also *stream* cells through
+/// a [`crate::RunSink`] instead of materialising the grid).
 pub fn sweep<F>(
     base: &Scenario,
     xs: &[f64],
@@ -71,37 +73,25 @@ pub fn sweep<F>(
 where
     F: Fn(&mut Scenario, f64) + Sync,
 {
-    // Materialise every (x, protocol, rep) job, run them in parallel, then regroup.
-    let jobs: Vec<(usize, usize, usize)> = (0..xs.len())
-        .flat_map(|xi| {
-            (0..protocols.len()).flat_map(move |pi| (0..reps).map(move |r| (xi, pi, r)))
-        })
-        .collect();
-    let reports: Vec<(usize, usize, SimReport)> = jobs
-        .par_iter()
-        .map(|&(xi, pi, rep)| {
-            let mut s = *base;
-            configure(&mut s, xs[xi]);
-            s.seed = SeedSequence::new(base.seed)
-                .child(rep as u64)
-                .master()
-                .wrapping_add(xi as u64); // repetitions differ, x points differ
-            (xi, pi, run_scenario(&s, protocols[pi]))
-        })
-        .collect();
-
-    let mut cells: Vec<SweepCell> = Vec::with_capacity(xs.len() * protocols.len());
-    for (xi, &x) in xs.iter().enumerate() {
-        for (pi, p) in protocols.iter().enumerate() {
-            let r: Vec<SimReport> = reports
-                .iter()
-                .filter(|(rxi, rpi, _)| *rxi == xi && *rpi == pi)
-                .map(|(_, _, rep)| rep.clone())
-                .collect();
-            cells.push(SweepCell { x, protocol: p.name().to_string(), reports: r });
-        }
+    if reps == 0 {
+        // Legacy behaviour: a zero-repetition sweep does no work and yields the grid
+        // shape with empty report lists (the builder itself clamps to ≥ 1).
+        return xs
+            .iter()
+            .flat_map(|&x| {
+                protocols.iter().map(move |p| SweepCell {
+                    x,
+                    protocol: p.name().to_string(),
+                    reports: Vec::new(),
+                })
+            })
+            .collect();
     }
-    cells
+    crate::Experiment::new(*base)
+        .protocol_kinds(protocols)
+        .sweep_with(xs.to_vec(), configure)
+        .reps(reps)
+        .run()
 }
 
 /// Summarise sweep cells into one [`Series`] per protocol for the given metric.
@@ -128,6 +118,7 @@ pub fn to_series(cells: &[SweepCell], metric: Metric) -> Vec<Series> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::run_scenario;
     use ssmcast_core::MetricKind;
 
     #[test]
@@ -141,6 +132,16 @@ mod tests {
         assert_eq!(Metric::DelayMs.extract(&report), report.avg_delay_ms);
         assert_eq!(Metric::EnergyPerPacketMj.extract(&report), report.energy_per_delivered_mj);
         assert!(!Metric::ControlOverhead.label().is_empty());
+    }
+
+    #[test]
+    fn zero_repetitions_runs_nothing_but_keeps_the_grid_shape() {
+        let base = Scenario::quick_test();
+        let protocols = [ProtocolKind::Flooding, ProtocolKind::Odmrp];
+        let cells = sweep(&base, &[1.0, 5.0], &protocols, 0, |s, v| s.max_speed_mps = v);
+        assert_eq!(cells.len(), 4);
+        assert!(cells.iter().all(|c| c.reports.is_empty()));
+        assert_eq!(crate::runner::run_repetitions(&base, ProtocolKind::Flooding, 0), vec![]);
     }
 
     #[test]

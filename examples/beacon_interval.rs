@@ -1,16 +1,18 @@
 //! Figures 10 and 11: the beacon-interval trade-off. Short intervals detect faults faster
 //! (better delivery ratio) but cost more control energy; the paper finds the sweet spot
-//! around 2 s.
+//! around 2 s. Cell-by-cell progress streams to stderr while the sweep runs.
 //!
 //! Run with `cargo run --release --example beacon_interval`.
 
-use ssmcast::scenario::{figure_to_text, run_figure, FigureId};
+use ssmcast::scenario::{figure_to_text, run_figure_with_sink, FigureId, ProgressSink};
 
 fn main() {
-    let scale: f64 = std::env::var("SSMCAST_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(0.5);
+    let scale: f64 =
+        std::env::var("SSMCAST_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(0.5);
     let reps: usize = std::env::var("SSMCAST_REPS").ok().and_then(|s| s.parse().ok()).unwrap_or(2);
     for id in [FigureId::Fig10, FigureId::Fig11] {
-        let result = run_figure(id, scale, reps);
+        let mut progress = ProgressSink::stderr();
+        let result = run_figure_with_sink(id, scale, reps, &mut progress);
         println!("{}", figure_to_text(&result));
     }
 }

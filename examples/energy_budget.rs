@@ -1,20 +1,17 @@
 //! Network-lifetime extension: give every node a finite battery and watch how long the
 //! multicast service survives under each protocol. Not a figure from the paper, but the
 //! natural consequence of its motivation (battery-powered nodes) and a direct use of the
-//! public battery/runtime API.
+//! public protocol/runtime API: the registry supplies the protocol factory, and the
+//! example customises the `SimSetup` before handing it over.
 //!
 //! Run with `cargo run --release --example energy_budget`.
 
-use ssmcast::core::MetricKind;
-use ssmcast::dessim::{SeedSequence, SimDuration};
-use ssmcast::manet::NetworkSim;
-use ssmcast::scenario::{build_mobility, build_setup, ProtocolKind, Scenario};
-use ssmcast_baselines::{MaodvAgent, OdmrpAgent};
-use ssmcast_core::{SsSpstAgent, SsSpstConfig};
+use ssmcast::dessim::SeedSequence;
+use ssmcast::scenario::{build_mobility, build_setup, ProtocolRegistry, Scenario};
 
 /// Run a scenario where each node starts with `capacity_j` joules and report how many
 /// data packets were delivered before the network ran out of energy.
-fn run_with_budget(protocol: ProtocolKind, capacity_j: f64) -> (u64, f64) {
+fn run_with_budget(registry: &ProtocolRegistry, name: &str, capacity_j: f64) -> (u64, f64) {
     let mut scenario = Scenario::paper_default();
     scenario.duration_s = 120.0;
     scenario.max_speed_mps = 2.0;
@@ -22,23 +19,8 @@ fn run_with_budget(protocol: ProtocolKind, capacity_j: f64) -> (u64, f64) {
     let mut setup = build_setup(&scenario, seeds);
     setup.battery_capacity_j = capacity_j;
     let mobility = build_mobility(&scenario, &seeds);
-    let duration = SimDuration::from_secs_f64(scenario.duration_s);
-    let report = match protocol {
-        ProtocolKind::SsSpst(kind) => {
-            let agents =
-                (0..scenario.n_nodes).map(|_| SsSpstAgent::new(SsSpstConfig::paper_default(kind))).collect();
-            NetworkSim::new(setup, mobility, agents).run(duration)
-        }
-        ProtocolKind::Odmrp => {
-            let agents = (0..scenario.n_nodes).map(|_| OdmrpAgent::with_defaults()).collect();
-            NetworkSim::new(setup, mobility, agents).run(duration)
-        }
-        ProtocolKind::Maodv => {
-            let agents = (0..scenario.n_nodes).map(|_| MaodvAgent::with_defaults()).collect();
-            NetworkSim::new(setup, mobility, agents).run(duration)
-        }
-        ProtocolKind::Flooding => unreachable!("not part of this example"),
-    };
+    let protocol = registry.lookup(name).expect("protocol registered");
+    let report = protocol.run(&scenario, setup, mobility);
     (report.delivered, report.pdr)
 }
 
@@ -47,17 +29,15 @@ fn main() {
     // transmissions, so the protocols' energy discipline decides how much useful work the
     // network completes before dying.
     let capacity_j = 2.0;
+    let registry = ProtocolRegistry::with_builtins();
     println!("Per-node battery budget: {capacity_j} J, 120 simulated seconds\n");
     println!("{:<12} {:>20} {:>10}", "protocol", "packets delivered", "PDR");
-    for protocol in [
-        ProtocolKind::SsSpst(MetricKind::EnergyAware),
-        ProtocolKind::SsSpst(MetricKind::Hop),
-        ProtocolKind::Maodv,
-        ProtocolKind::Odmrp,
-    ] {
-        let (delivered, pdr) = run_with_budget(protocol, capacity_j);
-        println!("{:<12} {:>20} {:>10.3}", protocol.name(), delivered, pdr);
+    for name in ["SS-SPST-E", "SS-SPST", "MAODV", "ODMRP"] {
+        let (delivered, pdr) = run_with_budget(&registry, name, capacity_j);
+        println!("{:<12} {:>20} {:>10.3}", name, delivered, pdr);
     }
-    println!("\nWith a finite energy budget the energy-aware tree keeps the service alive longest —");
+    println!(
+        "\nWith a finite energy budget the energy-aware tree keeps the service alive longest —"
+    );
     println!("the same effect the paper's Figure 9/16 energy-per-packet curves predict.");
 }

@@ -10,7 +10,11 @@ fn main() {
     let topo = figure1_topology();
     let params = MetricParams::default();
 
-    println!("Figure 1 — the example topology ({} nodes, {} members):", topo.len(), topo.member_count());
+    println!(
+        "Figure 1 — the example topology ({} nodes, {} members):",
+        topo.len(),
+        topo.member_count()
+    );
     for v in topo.nodes() {
         let kind = if v == topo.source() {
             "source"
@@ -19,22 +23,19 @@ fn main() {
         } else {
             "non-group"
         };
-        let neighbours: Vec<String> = topo
-            .neighbors(v)
-            .iter()
-            .map(|(u, d)| format!("{u}({d:.1}m)"))
-            .collect();
+        let neighbours: Vec<String> =
+            topo.neighbors(v).iter().map(|(u, d)| format!("{u}({d:.1}m)")).collect();
         println!("  node {v:>2} [{kind:>9}]  neighbours: {}", neighbours.join(", "));
     }
 
     println!("\nFigures 2, 3, 4, 6 — stabilized trees per metric:");
-    println!("{:<12} {:>7} {:>10} {:>14} {:>16}", "protocol", "rounds", "max depth", "parent(3)", "energy/pkt (mJ)");
+    println!(
+        "{:<12} {:>7} {:>10} {:>14} {:>16}",
+        "protocol", "rounds", "max depth", "parent(3)", "energy/pkt (mJ)"
+    );
     for result in run_all_examples() {
-        let parent3 = result
-            .tree
-            .parent(NodeId(3))
-            .map(|p| p.to_string())
-            .unwrap_or_else(|| "-".to_string());
+        let parent3 =
+            result.tree.parent(NodeId(3)).map(|p| p.to_string()).unwrap_or_else(|| "-".to_string());
         println!(
             "{:<12} {:>7} {:>10} {:>14} {:>16.3}",
             result.kind.protocol_name(),

@@ -1,11 +1,12 @@
 //! Quickstart: build an energy-aware self-stabilizing multicast tree on the paper's
-//! Figure-1 topology, then run the same protocol inside the full MANET simulator.
+//! Figure-1 topology, then run the same protocol inside the full MANET simulator via the
+//! protocol registry.
 //!
 //! Run with `cargo run --release --example quickstart`.
 
 use ssmcast::core::{figure1_topology, MetricKind, MetricParams, SyncModel};
 use ssmcast::manet::NodeId;
-use ssmcast::scenario::{run_scenario, ProtocolKind, Scenario};
+use ssmcast::scenario::{run_protocol, ProtocolRegistry, Scenario};
 
 fn main() {
     // --- Part 1: the abstract, round-based view (what the paper's examples show) --------
@@ -32,10 +33,17 @@ fn main() {
     );
 
     // --- Part 2: the same protocol in the event-driven simulator ------------------------
+    // Protocols are looked up by their figure-legend name in the registry; anything
+    // registered there (including your own `Protocol` impls) runs in the same harness.
+    let registry = ProtocolRegistry::with_builtins();
+    let protocol = registry.lookup("SS-SPST-E").expect("built-in protocol");
     let mut scenario = Scenario::quick_test();
     scenario.duration_s = 60.0;
-    let report = run_scenario(&scenario, ProtocolKind::SsSpst(MetricKind::EnergyAware));
-    println!("\nEvent-driven run ({} nodes, {:.0} s, {} m/s max speed):", scenario.n_nodes, scenario.duration_s, scenario.max_speed_mps);
+    let report = run_protocol(&scenario, protocol.as_ref());
+    println!(
+        "\nEvent-driven run ({} nodes, {:.0} s, {} m/s max speed):",
+        scenario.n_nodes, scenario.duration_s, scenario.max_speed_mps
+    );
     println!("  packets generated          : {}", report.generated);
     println!("  packet delivery ratio      : {:.3}", report.pdr);
     println!("  avg end-to-end delay       : {:.2} ms", report.avg_delay_ms);

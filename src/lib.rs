@@ -12,8 +12,11 @@
 //!   protocol agent.
 //! * [`baselines`] — MAODV and ODMRP, the protocols the paper compares against.
 //! * [`metrics`] — summary statistics for the experiment harness.
-//! * [`scenario`] — the Section-6 simulation model, parameter sweeps, and one preset per
-//!   evaluation figure (Figures 7–16).
+//! * [`scenario`] — the Section-6 simulation model and the Experiment API: a name-keyed
+//!   protocol registry, pluggable mobility models (random waypoint, Gauss–Markov, static
+//!   grid), the `Experiment` builder with streaming run sinks, and one preset per
+//!   evaluation figure (Figures 7–16). See `EXPERIMENTS.md` for how to regenerate every
+//!   figure.
 //!
 //! This umbrella crate re-exports every sub-crate so downstream users can depend on a
 //! single `ssmcast` crate; the runnable binaries in `examples/` are the quickest way in.

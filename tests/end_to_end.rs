@@ -4,10 +4,12 @@
 use ssmcast::core::{MetricKind, MetricParams, SsSpstAgent, SsSpstConfig};
 use ssmcast::dessim::{SeedSequence, SimDuration, SimTime};
 use ssmcast::manet::{
-    BoxedMobility, GroupRole, NetworkSim, NodeId, RadioConfig, SimSetup, Stationary,
-    TrafficConfig, Vec2,
+    BoxedMobility, GroupRole, NetworkSim, NodeId, RadioConfig, SimSetup, Stationary, TrafficConfig,
+    Vec2,
 };
-use ssmcast::scenario::{run_figure, run_scenario, FigureId, Metric, ProtocolKind, Scenario};
+use ssmcast::scenario::{
+    run_figure, run_protocol, FigureId, Metric, ProtocolKind, ProtocolRegistry, Scenario,
+};
 
 /// A stationary 3×3 grid with 150 m spacing and 250 m range: fully connected, no mobility,
 /// so a correct proactive protocol should deliver essentially every packet.
@@ -21,8 +23,7 @@ fn grid_setup(kind_members: &[GroupRole]) -> (SimSetup, Vec<BoxedMobility>) {
             Box::new(Stationary::new(Vec2::new(x, y))) as BoxedMobility
         })
         .collect();
-    let mut radio = RadioConfig::default();
-    radio.loss_probability = 0.0;
+    let radio = RadioConfig { loss_probability: 0.0, ..RadioConfig::default() };
     let traffic = TrafficConfig {
         group: Default::default(),
         source: NodeId(0),
@@ -88,7 +89,8 @@ fn all_ss_variants_build_working_trees_on_the_static_grid() {
             GroupRole::Member,
         ];
         let (setup, mobility) = grid_setup(&roles);
-        let config = SsSpstConfig { params: MetricParams::default(), ..SsSpstConfig::paper_default(kind) };
+        let config =
+            SsSpstConfig { params: MetricParams::default(), ..SsSpstConfig::paper_default(kind) };
         let agents = (0..9).map(|_| SsSpstAgent::new(config)).collect();
         let mut sim = NetworkSim::new(setup, mobility, agents);
         let report = sim.run(SimDuration::from_secs(80));
@@ -120,18 +122,15 @@ fn mobile_scenario_sanity_for_all_protocols() {
     s.n_nodes = 20;
     s.group_size = 8;
     s.max_speed_mps = 5.0;
+    let registry = ProtocolRegistry::with_builtins();
     let mut reports = Vec::new();
-    for protocol in [
-        ProtocolKind::SsSpst(MetricKind::Hop),
-        ProtocolKind::SsSpst(MetricKind::EnergyAware),
-        ProtocolKind::Maodv,
-        ProtocolKind::Odmrp,
-    ] {
-        let r = run_scenario(&s, protocol);
-        assert!(r.pdr > 0.05, "{} delivered essentially nothing", protocol.name());
+    for name in ["SS-SPST", "SS-SPST-E", "MAODV", "ODMRP"] {
+        let protocol = registry.lookup(name).expect("built-in protocol");
+        let r = run_protocol(&s, protocol.as_ref());
+        assert!(r.pdr > 0.05, "{name} delivered essentially nothing");
         assert!(r.pdr <= 1.0);
         assert!(r.total_energy_j > 0.0);
-        assert!(r.control_bytes > 0, "{} sent no control traffic", protocol.name());
+        assert!(r.control_bytes > 0, "{name} sent no control traffic");
         reports.push(r);
     }
     // Proactive beaconing vs on-demand: the SS-SPST family keeps sending control traffic
@@ -163,11 +162,12 @@ fn unavailability_mirrors_pdr_in_reports() {
     s.duration_s = 40.0;
     s.n_nodes = 20;
     s.group_size = 8;
-    let good = run_scenario(&s, ProtocolKind::Flooding);
+    let flooding = ProtocolKind::Flooding.to_protocol();
+    let good = run_protocol(&s, flooding.as_ref());
     // Cripple the channel to force losses and compare.
     let mut bad_scenario = s;
     bad_scenario.radio.loss_probability = 0.6;
-    let bad = run_scenario(&bad_scenario, ProtocolKind::Flooding);
+    let bad = run_protocol(&bad_scenario, flooding.as_ref());
     assert!(good.pdr > bad.pdr);
     assert!(
         good.unavailability_ratio <= bad.unavailability_ratio,

@@ -30,7 +30,8 @@ fn random_connected_topology(seed: u64, n: usize, member_bits: u64) -> Multicast
             (0..n).map(|_| Vec2::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side))).collect();
         let snap = TopologySnapshot::new(positions, range);
         if snap.is_connected() {
-            let members: Vec<bool> = (0..n).map(|i| i == 0 || (member_bits >> i) & 1 == 1).collect();
+            let members: Vec<bool> =
+                (0..n).map(|i| i == 0 || (member_bits >> i) & 1 == 1).collect();
             return MulticastTopology::from_snapshot(&snap, NodeId(0), members);
         }
         // Too sparse: shrink the field and try again (always terminates — eventually every
