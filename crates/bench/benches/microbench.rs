@@ -1,9 +1,12 @@
-//! Engine and algorithm microbenchmarks: event-queue throughput, metric evaluation and
-//! synchronous stabilization of the paper's example topology.
+//! Engine and algorithm microbenchmarks: event-queue throughput, metric evaluation,
+//! synchronous stabilization of the paper's example topology, and the radio-medium
+//! broadcast path (grid-indexed vs brute-force neighbour queries) at large n.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use ssmcast_core::{cost_via, figure1_topology, MetricKind, MetricParams, ParentView, SyncModel};
-use ssmcast_dessim::{SimTime, Simulator};
+use ssmcast_dessim::{SimDuration, SimTime, Simulator};
+use ssmcast_manet::MediumConfig;
+use ssmcast_scenario::{run_protocol, ProtocolKind, Scenario};
 
 fn bench_event_queue(c: &mut Criterion) {
     c.bench_function("dessim/schedule_and_drain_10k_events", |b| {
@@ -56,5 +59,46 @@ fn bench_sync_stabilization(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_event_queue, bench_metric_evaluation, bench_sync_stabilization);
+/// The grid-indexed broadcast path against the brute-force O(n) scan on a flood-heavy
+/// 1000-node scenario (≈ 12 neighbours per node). Both modes share a 200 ms position
+/// epoch, so they simulate the same physics (and produce identical reports); only the
+/// neighbour-query cost differs.
+fn bench_broadcast_medium(c: &mut Criterion) {
+    let base = {
+        let mut s = Scenario::paper_default();
+        s.n_nodes = 1_000;
+        s.area_side_m = 4_000.0;
+        s.group_size = 50;
+        s.duration_s = 1.0;
+        s.warmup_s = 0.25;
+        s
+    };
+    let epoch = SimDuration::from_millis(200);
+    let mut group = c.benchmark_group("manet/flood_n1000");
+    group.sample_size(3);
+    for (name, medium) in [
+        ("grid", MediumConfig::grid().with_epoch(epoch)),
+        ("bruteforce", MediumConfig::brute_force().with_epoch(epoch)),
+    ] {
+        let scenario = base.with_medium(medium);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let report = run_protocol(
+                    black_box(&scenario),
+                    ProtocolKind::Flooding.to_protocol().as_ref(),
+                );
+                black_box(report)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_metric_evaluation,
+    bench_sync_stabilization,
+    bench_broadcast_medium
+);
 criterion_main!(benches);

@@ -8,10 +8,22 @@
 //! maximum per-iteration wall time are printed. This is deliberately simpler than real
 //! criterion (no outlier analysis, no HTML reports) but keeps `cargo bench` functional in
 //! an offline build.
+//!
+//! Passing `--quick` on the bench binary's command line (e.g.
+//! `cargo bench --bench microbench -- --quick`) clamps every benchmark to 2 samples and a
+//! 1 ms batch target — a smoke mode for CI that proves the benches compile and run
+//! without paying for statistically meaningful timings.
 
 #![warn(missing_docs)]
 
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+/// True if `--quick` was passed to the bench binary (CI smoke mode).
+fn quick_mode() -> bool {
+    static QUICK: OnceLock<bool> = OnceLock::new();
+    *QUICK.get_or_init(|| std::env::args().skip(1).any(|a| a == "--quick"))
+}
 
 /// Re-export of the standard black box.
 pub fn black_box<T>(x: T) -> T {
@@ -86,7 +98,10 @@ impl Bencher {
     where
         F: FnMut() -> O,
     {
-        // Warm-up and batch sizing: grow the batch until one batch takes >= 10 ms.
+        // Warm-up and batch sizing: grow the batch until one batch takes >= 10 ms
+        // (1 ms in `--quick` smoke mode).
+        let target =
+            if quick_mode() { Duration::from_millis(1) } else { Duration::from_millis(10) };
         let mut batch = 1u64;
         loop {
             let start = Instant::now();
@@ -94,7 +109,7 @@ impl Bencher {
                 black_box(f());
             }
             let elapsed = start.elapsed();
-            if elapsed >= Duration::from_millis(10) || batch >= 1 << 20 {
+            if elapsed >= target || batch >= 1 << 20 {
                 break;
             }
             batch *= 2;
@@ -113,6 +128,7 @@ fn run_benchmark<F>(name: &str, sample_size: usize, mut f: F)
 where
     F: FnMut(&mut Bencher),
 {
+    let sample_size = if quick_mode() { sample_size.min(2) } else { sample_size };
     let mut b = Bencher { samples: Vec::new(), sample_size };
     f(&mut b);
     if b.samples.is_empty() {

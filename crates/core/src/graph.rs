@@ -49,14 +49,18 @@ impl MulticastTopology {
     }
 
     /// Build from a geometric snapshot: nodes are adjacent iff within the snapshot range.
+    ///
+    /// Adjacency comes from the snapshot's grid-indexed [`TopologySnapshot::neighbors`]
+    /// query — the same path the event-driven runtime uses — so construction is
+    /// O(n·k) in the average neighbourhood size `k` rather than an O(n²) pairwise scan.
     pub fn from_snapshot(snap: &TopologySnapshot, source: NodeId, members: Vec<bool>) -> Self {
         let n = snap.len();
         assert_eq!(members.len(), n);
         let mut edges = Vec::new();
         for i in 0..n as u16 {
-            for j in (i + 1)..n as u16 {
-                if snap.are_neighbors(NodeId(i), NodeId(j)) {
-                    edges.push((i, j, snap.distance(NodeId(i), NodeId(j))));
+            for j in snap.neighbors(NodeId(i)) {
+                if j.0 > i {
+                    edges.push((i, j.0, snap.distance(NodeId(i), j)));
                 }
             }
         }

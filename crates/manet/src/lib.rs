@@ -10,7 +10,12 @@
 //! * [`channel`] — broadcast medium occupancy and the capture-effect collision model.
 //! * [`packet`] / [`node`] — frames, node ids, multicast group roles.
 //! * [`agent`] — the [`agent::ProtocolAgent`] trait protocol crates implement.
-//! * [`snapshot`] — frozen connectivity graphs for the synchronous protocol model.
+//! * [`spatial`] — the uniform-grid [`spatial::SpatialIndex`] answering range queries in
+//!   O(k) candidates instead of O(n).
+//! * [`medium`] — the radio medium layer: [`medium::RadioMedium`] with epoch-cached
+//!   positions and pluggable (grid / brute-force) neighbour queries.
+//! * [`snapshot`] — frozen connectivity graphs for the synchronous protocol model,
+//!   backed by the same spatial index.
 //! * [`traffic`] — CBR multicast workload.
 //! * [`runtime`] — [`runtime::NetworkSim`], the event loop that ties it all together and
 //!   produces a [`report::SimReport`].
@@ -22,12 +27,14 @@ pub mod battery;
 pub mod channel;
 pub mod energy;
 pub mod geometry;
+pub mod medium;
 pub mod mobility;
 pub mod node;
 pub mod packet;
 pub mod report;
 pub mod runtime;
 pub mod snapshot;
+pub mod spatial;
 pub mod traffic;
 
 pub use agent::{Action, Disposition, NodeCtx, ProtocolAgent};
@@ -35,6 +42,7 @@ pub use battery::{Battery, EnergyUse};
 pub use channel::Channel;
 pub use energy::{EnergyModel, RadioConfig};
 pub use geometry::{Area, Vec2};
+pub use medium::{MediumConfig, NeighborQuery, RadioMedium};
 pub use mobility::{
     grid_positions, BoxedMobility, GaussMarkov, GaussMarkovConfig, Mobility, RandomWaypoint,
     Stationary, WaypointConfig,
@@ -44,4 +52,5 @@ pub use packet::{DataTag, Packet, PacketClass};
 pub use report::{SimReport, Trace};
 pub use runtime::{NetEvent, NetworkSim, SimSetup};
 pub use snapshot::TopologySnapshot;
+pub use spatial::SpatialIndex;
 pub use traffic::TrafficConfig;

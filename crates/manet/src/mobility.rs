@@ -12,10 +12,19 @@ use ssmcast_dessim::SimTime;
 
 /// A mobility process: the trajectory of one node as a function of simulated time.
 ///
+/// # Monotonicity contract
+///
 /// Implementations must be *monotone*: they may only be queried with non-decreasing
-/// timestamps (the runtime always queries at the current simulation time).
+/// timestamps. The discrete-event runtime honours this by construction (events are
+/// dispatched in time order, and the position cache in [`crate::medium::RadioMedium`]
+/// snaps queries to non-decreasing epoch starts), and the stateful built-in models
+/// ([`RandomWaypoint`], [`GaussMarkov`]) rely on it: they advance internal RNG-driven
+/// state as time moves forward and cannot rewind. Both enforce the contract with a
+/// `debug_assert!`, so a violating caller fails loudly in debug/test builds instead of
+/// silently returning a position from the wrong trajectory.
 pub trait Mobility {
-    /// Position of the node at time `t`.
+    /// Position of the node at time `t`. `t` must be `>=` every previously queried
+    /// timestamp (see the trait-level contract).
     fn position_at(&mut self, t: SimTime) -> Vec2;
 }
 
@@ -100,6 +109,8 @@ pub struct RandomWaypoint {
     config: WaypointConfig,
     rng: StdRng,
     leg: Leg,
+    /// Latest queried timestamp, for the monotonicity `debug_assert!`.
+    last_query: SimTime,
 }
 
 impl RandomWaypoint {
@@ -110,6 +121,7 @@ impl RandomWaypoint {
             config,
             rng,
             leg: Leg { from: start, to: start, depart: 0.0, arrive: 0.0, next_depart: 0.0 },
+            last_query: SimTime::ZERO,
         };
         m.leg = m.next_leg(start, 0.0);
         m
@@ -143,6 +155,12 @@ impl RandomWaypoint {
 
 impl Mobility for RandomWaypoint {
     fn position_at(&mut self, t: SimTime) -> Vec2 {
+        debug_assert!(
+            t >= self.last_query,
+            "RandomWaypoint queried non-monotonically: {t} after {}",
+            self.last_query
+        );
+        self.last_query = t;
         let t = t.as_secs_f64();
         // Advance legs until `t` falls within the current one.
         while t >= self.leg.next_depart {
@@ -242,6 +260,8 @@ pub struct GaussMarkov {
     /// The heading the AR(1) direction process reverts to (the model's `d̄`). Drawn at
     /// start-up; retargeted towards the area centre by the boundary treatment.
     mean_direction: f64,
+    /// Latest queried timestamp, for the monotonicity `debug_assert!`.
+    last_query: SimTime,
 }
 
 impl GaussMarkov {
@@ -258,6 +278,7 @@ impl GaussMarkov {
             speed: config.mean_speed,
             direction,
             mean_direction: direction,
+            last_query: SimTime::ZERO,
         };
         m.to = m.advance_from(start);
         m
@@ -329,6 +350,12 @@ impl GaussMarkov {
 
 impl Mobility for GaussMarkov {
     fn position_at(&mut self, t: SimTime) -> Vec2 {
+        debug_assert!(
+            t >= self.last_query,
+            "GaussMarkov queried non-monotonically: {t} after {}",
+            self.last_query
+        );
+        self.last_query = t;
         let t = t.as_secs_f64();
         let step_secs = self.config.step_secs;
         // Advance whole steps until `t` falls inside the current segment.
@@ -573,6 +600,39 @@ mod tests {
         assert_eq!(wrap_angle(0.0), 0.0);
         assert!((wrap_angle(PI + 0.1) - (-PI + 0.1)).abs() < 1e-12);
         assert!((wrap_angle(-PI - 0.1) - (PI - 0.1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_queries_are_accepted_including_repeats() {
+        let mut w = RandomWaypoint::with_random_start(cfg(5.0), StdRng::seed_from_u64(2));
+        let c = GaussMarkovConfig::with_mean_speed(Area::square(500.0), 5.0, 10.0);
+        let mut g = GaussMarkov::with_random_start(c, StdRng::seed_from_u64(2));
+        for secs in [0u64, 0, 3, 3, 10, 10, 11] {
+            let t = SimTime::from_secs(secs);
+            let wp = w.position_at(t);
+            assert_eq!(wp, w.position_at(t), "repeated query at {secs}s must be stable");
+            let gp = g.position_at(t);
+            assert_eq!(gp, g.position_at(t), "repeated query at {secs}s must be stable");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-monotonically")]
+    #[cfg(debug_assertions)]
+    fn waypoint_rejects_time_running_backwards() {
+        let mut m = RandomWaypoint::with_random_start(cfg(5.0), StdRng::seed_from_u64(4));
+        m.position_at(SimTime::from_secs(10));
+        m.position_at(SimTime::from_secs(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-monotonically")]
+    #[cfg(debug_assertions)]
+    fn gauss_markov_rejects_time_running_backwards() {
+        let c = GaussMarkovConfig::with_mean_speed(Area::square(500.0), 5.0, 10.0);
+        let mut m = GaussMarkov::with_random_start(c, StdRng::seed_from_u64(4));
+        m.position_at(SimTime::from_secs(10));
+        m.position_at(SimTime::from_secs(9));
     }
 
     #[test]

@@ -6,6 +6,7 @@ use crate::battery::{Battery, EnergyUse};
 use crate::channel::Channel;
 use crate::energy::RadioConfig;
 use crate::geometry::Vec2;
+use crate::medium::{MediumConfig, RadioMedium};
 use crate::mobility::BoxedMobility;
 use crate::node::{GroupRole, NodeId};
 use crate::packet::{DataTag, Packet, PacketClass};
@@ -34,6 +35,8 @@ pub struct SimSetup {
     pub availability_threshold: f64,
     /// Seed sequence for loss sampling and per-node protocol jitter.
     pub seeds: SeedSequence,
+    /// Radio medium configuration: position-cache epoch and neighbour-query mode.
+    pub medium: MediumConfig,
 }
 
 impl SimSetup {
@@ -83,7 +86,7 @@ pub struct NetworkSim<A: ProtocolAgent> {
     sim: Simulator<NetEvent<A::Payload>>,
     setup: SimSetup,
     agents: Vec<A>,
-    mobility: Vec<BoxedMobility>,
+    medium: RadioMedium,
     batteries: Vec<Battery>,
     rngs: Vec<StdRng>,
     loss_rng: StdRng,
@@ -91,6 +94,7 @@ pub struct NetworkSim<A: ProtocolAgent> {
     timers: HashMap<(u16, u64, u64), ssmcast_dessim::EventId>,
     trace: Trace,
     scratch_actions: Vec<Action<A::Payload>>,
+    scratch_receivers: Vec<NodeId>,
 }
 
 impl<A: ProtocolAgent> NetworkSim<A> {
@@ -105,17 +109,19 @@ impl<A: ProtocolAgent> NetworkSim<A> {
         let rngs = (0..n as u64).map(|i| setup.seeds.indexed_stream("protocol", i)).collect();
         let loss_rng = setup.seeds.stream("channel-loss");
         let trace = Trace::new(setup.n_receivers(), setup.unavailability_window);
+        let medium = RadioMedium::new(mobility, setup.medium, setup.radio.max_range_m);
         NetworkSim {
             sim: Simulator::with_capacity(1024),
             channel: Channel::new(n),
             timers: HashMap::new(),
             scratch_actions: Vec::with_capacity(16),
+            scratch_receivers: Vec::with_capacity(16),
             batteries,
             rngs,
             loss_rng,
             trace,
             setup,
-            mobility,
+            medium,
             agents,
         }
     }
@@ -124,8 +130,12 @@ impl<A: ProtocolAgent> NetworkSim<A> {
     /// range as the neighbour relation).
     pub fn snapshot(&mut self) -> TopologySnapshot {
         let t = self.sim.now();
-        let pos: Vec<Vec2> = self.mobility.iter_mut().map(|m| m.position_at(t)).collect();
-        TopologySnapshot::new(pos, self.setup.radio.max_range_m)
+        self.medium.snapshot(t, self.setup.radio.max_range_m)
+    }
+
+    /// The radio medium (position cache + spatial index) driving this simulation.
+    pub fn medium(&self) -> &RadioMedium {
+        &self.medium
     }
 
     /// Access a node's battery (for tests and the energy-budget example).
@@ -143,15 +153,11 @@ impl<A: ProtocolAgent> NetworkSim<A> {
         self.sim.events_processed()
     }
 
-    fn position_of(&mut self, n: NodeId, t: SimTime) -> Vec2 {
-        self.mobility[n.index()].position_at(t)
-    }
-
     fn make_ctx_and_call<F>(&mut self, node: NodeId, t: SimTime, f: F)
     where
         F: FnOnce(&mut A, &mut NodeCtx<'_, A::Payload>),
     {
-        let pos = self.mobility[node.index()].position_at(t);
+        let pos = self.medium.position_of(node, t);
         let role = self.setup.roles[node.index()];
         let n_nodes = self.setup.roles.len();
         let mut actions = std::mem::take(&mut self.scratch_actions);
@@ -169,15 +175,24 @@ impl<A: ProtocolAgent> NetworkSim<A> {
             );
             f(&mut self.agents[node.index()], &mut ctx);
         }
-        self.apply_actions(node, t, &mut actions);
+        self.apply_actions(node, t, pos, &mut actions);
         self.scratch_actions = actions;
     }
 
-    fn apply_actions(&mut self, node: NodeId, t: SimTime, actions: &mut Vec<Action<A::Payload>>) {
+    /// Apply the actions a protocol emitted at `node`. `node_pos` is the position the
+    /// protocol context already saw, threaded through so broadcasts do not query the
+    /// mobility model a second time at the same timestamp.
+    fn apply_actions(
+        &mut self,
+        node: NodeId,
+        t: SimTime,
+        node_pos: Vec2,
+        actions: &mut Vec<Action<A::Payload>>,
+    ) {
         for action in actions.drain(..) {
             match action {
                 Action::Broadcast { class, size_bytes, range_m, data, payload } => {
-                    self.do_broadcast(node, t, class, size_bytes, range_m, data, payload);
+                    self.do_broadcast(node, t, node_pos, class, size_bytes, range_m, data, payload);
                 }
                 Action::SetTimer { delay, kind, key } => {
                     let ev = NetEvent::Timer { node, kind, key };
@@ -203,6 +218,7 @@ impl<A: ProtocolAgent> NetworkSim<A> {
         &mut self,
         sender: NodeId,
         t: SimTime,
+        sender_pos: Vec2,
         class: PacketClass,
         size_bytes: u32,
         range_m: f64,
@@ -235,15 +251,13 @@ impl<A: ProtocolAgent> NetworkSim<A> {
         let tx_start = t + backoff;
         let tx_end = tx_start + radio.tx_duration(size_bytes);
         let delivery_at = tx_start + radio.delivery_delay(size_bytes);
-        let sender_pos = self.position_of(sender, t);
-        let n = self.setup.roles.len();
-        for i in 0..n {
-            let rx = NodeId(i as u16);
-            if rx == sender || self.batteries[i].is_depleted() {
-                continue;
-            }
-            let rx_pos = self.position_of(rx, t);
-            if sender_pos.distance(&rx_pos) > range {
+        // Receivers come back in ascending node-id order regardless of query mode, so
+        // the per-receiver channel and loss draws below consume `loss_rng` in exactly
+        // the sequence the brute-force scan would.
+        let mut receivers = std::mem::take(&mut self.scratch_receivers);
+        self.medium.receivers_within(sender, sender_pos, range, t, &mut receivers);
+        for &rx in &receivers {
+            if self.batteries[rx.index()].is_depleted() {
                 continue;
             }
             let clean = if radio.collisions_enabled {
@@ -256,6 +270,7 @@ impl<A: ProtocolAgent> NetworkSim<A> {
             let packet = Packet { sender, class, size_bytes, data, payload: payload.clone() };
             self.sim.schedule_at(delivery_at, NetEvent::Deliver { rx, packet, corrupted });
         }
+        self.scratch_receivers = receivers;
     }
 
     fn dispatch(&mut self, t: SimTime, ev: NetEvent<A::Payload>) {
@@ -428,6 +443,7 @@ mod tests {
             unavailability_window: SimDuration::from_secs(1),
             availability_threshold: 0.95,
             seeds: SeedSequence::new(7),
+            medium: MediumConfig::default(),
         };
         (setup, mobility)
     }
@@ -511,5 +527,25 @@ mod tests {
             sim.run(SimDuration::from_secs(15))
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn grid_and_brute_force_query_modes_agree_byte_for_byte() {
+        use crate::medium::MediumConfig;
+        let run = |medium: MediumConfig| {
+            let (mut setup, mobility) = line_setup(6, 150.0);
+            setup.radio.loss_probability = 0.1; // exercise the loss RNG draw order
+            setup.medium = medium;
+            let agents = (0..6).map(|_| Flood::new()).collect();
+            let mut sim = NetworkSim::new(setup, mobility, agents);
+            sim.run(SimDuration::from_secs(15))
+        };
+        assert_eq!(run(MediumConfig::grid()), run(MediumConfig::brute_force()));
+        // The same holds under a coarse position epoch (both paths quantised alike).
+        let epoch = SimDuration::from_millis(250);
+        assert_eq!(
+            run(MediumConfig::grid().with_epoch(epoch)),
+            run(MediumConfig::brute_force().with_epoch(epoch))
+        );
     }
 }

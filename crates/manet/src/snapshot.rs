@@ -4,22 +4,29 @@
 //! unit-disc connectivity graph (two nodes are neighbours iff their distance is at most
 //! the transmission range). The synchronous SS-SPST model in `ssmcast-core` runs directly
 //! on snapshots; the event-driven runtime uses them for connectivity statistics.
+//!
+//! Neighbour queries run on the same uniform-grid [`SpatialIndex`] the event-driven
+//! [`crate::medium::RadioMedium`] uses, so the synchronous model and the runtime share a
+//! single neighbour-query path (and its exactness guarantees).
 
 use crate::geometry::Vec2;
 use crate::node::NodeId;
+use crate::spatial::SpatialIndex;
 
 /// A frozen view of node positions and the resulting neighbour graph.
 #[derive(Clone, Debug)]
 pub struct TopologySnapshot {
     positions: Vec<Vec2>,
     range_m: f64,
+    index: SpatialIndex,
 }
 
 impl TopologySnapshot {
     /// Build a snapshot from node positions (indexed by [`NodeId::index`]) and a common
     /// transmission range.
     pub fn new(positions: Vec<Vec2>, range_m: f64) -> Self {
-        TopologySnapshot { positions, range_m }
+        let index = SpatialIndex::build(&positions, range_m);
+        TopologySnapshot { positions, range_m, index }
     }
 
     /// Number of nodes.
@@ -49,12 +56,17 @@ impl TopologySnapshot {
 
     /// True if `a` and `b` are within range of each other (and distinct).
     pub fn are_neighbors(&self, a: NodeId, b: NodeId) -> bool {
-        a != b && self.distance(a, b) <= self.range_m
+        a != b
+            && self.positions[a.index()].distance_sq(&self.positions[b.index()])
+                <= self.range_m * self.range_m
     }
 
-    /// All neighbours of `n`, in node-id order.
+    /// All neighbours of `n`, in node-id order (grid-indexed range query).
     pub fn neighbors(&self, n: NodeId) -> Vec<NodeId> {
-        (0..self.positions.len() as u16).map(NodeId).filter(|&m| self.are_neighbors(n, m)).collect()
+        let mut out = Vec::new();
+        self.index.query_disc(self.positions[n.index()], self.range_m, &self.positions, &mut out);
+        out.retain(|&m| m != n);
+        out
     }
 
     /// Degree of node `n`.
@@ -163,5 +175,20 @@ mod tests {
     fn empty_and_singleton_are_connected() {
         assert!(TopologySnapshot::new(vec![], 100.0).is_connected());
         assert!(TopologySnapshot::new(vec![Vec2::ZERO], 100.0).is_connected());
+    }
+
+    #[test]
+    fn indexed_neighbors_match_pairwise_predicate() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        let positions: Vec<Vec2> = (0..60)
+            .map(|_| Vec2::new(rng.gen_range(0.0..750.0), rng.gen_range(0.0..750.0)))
+            .collect();
+        let t = TopologySnapshot::new(positions, 250.0);
+        for n in t.nodes() {
+            let brute: Vec<NodeId> = t.nodes().filter(|&m| t.are_neighbors(n, m)).collect();
+            assert_eq!(t.neighbors(n), brute, "node {n:?}");
+        }
     }
 }

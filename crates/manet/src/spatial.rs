@@ -1,0 +1,315 @@
+//! Uniform-grid spatial index over node positions.
+//!
+//! Broadcast propagation and snapshot neighbour queries are range queries: "which nodes
+//! lie within `r` metres of this point?". The brute-force answer scans all `n` nodes per
+//! query; [`SpatialIndex`] buckets nodes into a uniform grid whose cell side is the
+//! maximum radio range, so a query only inspects the O(1) cells overlapping the query
+//! disc and touches O(k) candidates.
+//!
+//! Exactness: candidates from the overlapping cells are filtered with the same
+//! `distance² ≤ r²` predicate a brute-force scan uses, and results are returned in
+//! ascending [`NodeId`] order, so callers that consume randomness per neighbour (the
+//! channel loss draws in the runtime) see *byte-identical* sequences regardless of which
+//! query path produced the set. The property tests at the bottom of this file assert the
+//! set equality against the brute-force scan across random and boundary-straddling
+//! placements.
+
+use crate::geometry::Vec2;
+use crate::node::NodeId;
+
+/// Hard cap on the number of grid cells: pathological inputs (a huge position spread with
+/// a tiny cell size) coarsen the grid instead of exhausting memory. Queries stay exact —
+/// coarser cells only mean more candidates per cell. The effective cap also scales with
+/// the node count (see [`SpatialIndex::rebuild`]) so the per-rebuild CSR work stays O(n)
+/// for sparse wide-area inputs.
+const MAX_CELLS: usize = 1 << 18;
+
+/// A uniform bucket grid over a fixed set of positions.
+///
+/// The index stores node ids only; positions are passed back in at query time, so the
+/// caller (normally [`crate::medium::RadioMedium`]) remains the single owner of the
+/// position buffer. Rebuilds reuse the internal allocations.
+#[derive(Clone, Debug, Default)]
+pub struct SpatialIndex {
+    origin: Vec2,
+    cell_w: f64,
+    cell_h: f64,
+    cols: usize,
+    rows: usize,
+    /// CSR layout: `starts[c]..starts[c + 1]` indexes `items` for cell `c` (row-major).
+    starts: Vec<u32>,
+    /// Node ids grouped by cell, ascending within each cell.
+    items: Vec<u16>,
+    /// Scratch cursor reused across rebuilds.
+    cursor: Vec<u32>,
+}
+
+impl SpatialIndex {
+    /// Build an index over `positions` with the given nominal cell size (normally the
+    /// maximum radio range, so any clamped transmission disc overlaps at most 3×3 cells).
+    pub fn build(positions: &[Vec2], cell_size: f64) -> Self {
+        let mut index = SpatialIndex::default();
+        index.rebuild(positions, cell_size);
+        index
+    }
+
+    /// Rebuild in place over a new position buffer, reusing allocations.
+    pub fn rebuild(&mut self, positions: &[Vec2], cell_size: f64) {
+        let n = positions.len();
+        if n == 0 {
+            self.cols = 0;
+            self.rows = 0;
+            self.starts.clear();
+            self.items.clear();
+            return;
+        }
+        let cell = if cell_size.is_finite() && cell_size > 0.0 { cell_size } else { f64::MAX };
+        let (mut min, mut max) = (positions[0], positions[0]);
+        for p in &positions[1..] {
+            min = Vec2::new(min.x.min(p.x), min.y.min(p.y));
+            max = Vec2::new(max.x.max(p.x), max.y.max(p.y));
+        }
+        let span_w = (max.x - min.x).max(0.0);
+        let span_h = (max.y - min.y).max(0.0);
+        // Never allocate far more cells than there are nodes: rebuilds zero and
+        // prefix-sum the whole `starts` vector, so the cell count must stay O(n).
+        let cap = MAX_CELLS.min(4 * n + 64);
+        let mut cols = ((span_w / cell).ceil() as usize).clamp(1, cap);
+        let mut rows = ((span_h / cell).ceil() as usize).clamp(1, cap);
+        while cols * rows > cap {
+            if cols >= rows {
+                cols = cols.div_ceil(2);
+            } else {
+                rows = rows.div_ceil(2);
+            }
+        }
+        self.origin = min;
+        self.cols = cols;
+        self.rows = rows;
+        // Effective cell extents: dividing the observed span keeps the point→cell map
+        // total even when the cap coarsened the grid. Degenerate spans fall back to the
+        // nominal cell so the map stays finite.
+        self.cell_w = if span_w > 0.0 { span_w / cols as f64 } else { cell.min(1.0) };
+        self.cell_h = if span_h > 0.0 { span_h / rows as f64 } else { cell.min(1.0) };
+
+        let n_cells = cols * rows;
+        self.starts.clear();
+        self.starts.resize(n_cells + 1, 0);
+        for p in positions {
+            let c = self.cell_of(p);
+            self.starts[c + 1] += 1;
+        }
+        for c in 0..n_cells {
+            self.starts[c + 1] += self.starts[c];
+        }
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.starts[..n_cells]);
+        self.items.clear();
+        self.items.resize(n, 0);
+        // Placing ids in ascending order keeps each cell's slice id-sorted (stable
+        // counting sort).
+        for (i, p) in positions.iter().enumerate() {
+            let c = self.cell_of(p);
+            self.items[self.cursor[c] as usize] = i as u16;
+            self.cursor[c] += 1;
+        }
+    }
+
+    /// Row-major cell index of a position (clamped onto the grid).
+    fn cell_of(&self, p: &Vec2) -> usize {
+        let cx = (((p.x - self.origin.x) / self.cell_w) as usize).min(self.cols - 1);
+        let cy = (((p.y - self.origin.y) / self.cell_h) as usize).min(self.rows - 1);
+        cy * self.cols + cx
+    }
+
+    /// Number of grid cells (for tests and diagnostics).
+    pub fn cell_count(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// Collect every node within `radius` of `center` (including a node located exactly
+    /// at `center`, if any) into `out`, ascending by node id.
+    ///
+    /// `positions` must be the buffer the index was built over.
+    pub fn query_disc(&self, center: Vec2, radius: f64, positions: &[Vec2], out: &mut Vec<NodeId>) {
+        out.clear();
+        if self.cols == 0 || radius < 0.0 {
+            return;
+        }
+        debug_assert_eq!(positions.len(), self.items.len(), "index built over other positions");
+        let r2 = radius * radius;
+        let lo_x = ((center.x - radius - self.origin.x) / self.cell_w).floor();
+        let hi_x = ((center.x + radius - self.origin.x) / self.cell_w).floor();
+        let lo_y = ((center.y - radius - self.origin.y) / self.cell_h).floor();
+        let hi_y = ((center.y + radius - self.origin.y) / self.cell_h).floor();
+        let (cx0, cx1) = clamp_cell_range(lo_x, hi_x, self.cols);
+        let (cy0, cy1) = clamp_cell_range(lo_y, hi_y, self.rows);
+        for cy in cy0..=cy1 {
+            for cx in cx0..=cx1 {
+                let c = cy * self.cols + cx;
+                let (s, e) = (self.starts[c] as usize, self.starts[c + 1] as usize);
+                for &id in &self.items[s..e] {
+                    if positions[id as usize].distance_sq(&center) <= r2 {
+                        out.push(NodeId(id));
+                    }
+                }
+            }
+        }
+        // Cells are visited row-major, so ids are sorted within but not across cells.
+        out.sort_unstable();
+    }
+}
+
+/// Clamp a floating cell span onto `[0, n)`; an empty range means the disc misses the
+/// grid entirely. Returns an empty-by-construction `(1, 0)` range in that case.
+fn clamp_cell_range(lo: f64, hi: f64, n: usize) -> (usize, usize) {
+    if hi < 0.0 || lo >= n as f64 || hi < lo {
+        return (1, 0);
+    }
+    let lo = if lo <= 0.0 { 0 } else { (lo as usize).min(n - 1) };
+    let hi = if hi >= (n - 1) as f64 { n - 1 } else { hi as usize };
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// The reference implementation the index must match exactly.
+    fn brute_force(center: Vec2, radius: f64, positions: &[Vec2]) -> Vec<NodeId> {
+        let r2 = radius * radius;
+        (0..positions.len() as u16)
+            .map(NodeId)
+            .filter(|id| positions[id.index()].distance_sq(&center) <= r2)
+            .collect()
+    }
+
+    fn assert_matches_brute_force(positions: &[Vec2], cell: f64, center: Vec2, radius: f64) {
+        let index = SpatialIndex::build(positions, cell);
+        let mut got = Vec::new();
+        index.query_disc(center, radius, positions, &mut got);
+        let want = brute_force(center, radius, positions);
+        assert_eq!(
+            got,
+            want,
+            "disc({center:?}, r={radius}) over {} nodes, cell={cell}",
+            positions.len()
+        );
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let index = SpatialIndex::build(&[], 100.0);
+        let mut out = vec![NodeId(9)];
+        index.query_disc(Vec2::ZERO, 50.0, &[], &mut out);
+        assert!(out.is_empty());
+
+        let pos = [Vec2::new(10.0, 10.0)];
+        let index = SpatialIndex::build(&pos, 100.0);
+        index.query_disc(Vec2::ZERO, 50.0, &pos, &mut out);
+        assert_eq!(out, vec![NodeId(0)]);
+        index.query_disc(Vec2::ZERO, 5.0, &pos, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn results_are_sorted_and_exact_on_a_grid_layout() {
+        // 10×10 lattice with 100 m spacing, cell size 250 m: queries straddle cells.
+        let positions: Vec<Vec2> =
+            (0..100).map(|i| Vec2::new((i % 10) as f64 * 100.0, (i / 10) as f64 * 100.0)).collect();
+        for r in [0.0, 99.9, 100.0, 141.5, 250.0, 2_000.0] {
+            assert_matches_brute_force(&positions, 250.0, Vec2::new(450.0, 450.0), r);
+        }
+        // Query centred far off the grid.
+        assert_matches_brute_force(&positions, 250.0, Vec2::new(-500.0, 2_000.0), 600.0);
+        assert_matches_brute_force(&positions, 250.0, Vec2::new(5_000.0, 5_000.0), 10.0);
+    }
+
+    #[test]
+    fn degenerate_cell_sizes_fall_back_to_one_cell() {
+        let positions: Vec<Vec2> = (0..20).map(|i| Vec2::new(i as f64 * 10.0, 0.0)).collect();
+        for cell in [0.0, -5.0, f64::NAN, f64::INFINITY] {
+            let index = SpatialIndex::build(&positions, cell);
+            assert_eq!(index.cell_count(), 1, "cell={cell}");
+            let mut out = Vec::new();
+            index.query_disc(Vec2::new(45.0, 0.0), 25.0, &positions, &mut out);
+            assert_eq!(out, brute_force(Vec2::new(45.0, 0.0), 25.0, &positions));
+        }
+    }
+
+    #[test]
+    fn coincident_points_and_zero_radius() {
+        let positions = vec![Vec2::new(5.0, 5.0); 4];
+        assert_matches_brute_force(&positions, 10.0, Vec2::new(5.0, 5.0), 0.0);
+        let index = SpatialIndex::build(&positions, 10.0);
+        let mut out = Vec::new();
+        index.query_disc(Vec2::new(5.0, 5.0), 0.0, &positions, &mut out);
+        assert_eq!(out, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn huge_spread_is_capped_but_exact() {
+        // A tiny cell over a vast spread would want ~10^12 cells; the cap coarsens it
+        // down to O(n) cells so rebuild work tracks the node count, not the area.
+        let positions =
+            vec![Vec2::ZERO, Vec2::new(1.0e6, 1.0e6), Vec2::new(5.0e5, 5.0e5), Vec2::new(3.0, 4.0)];
+        let index = SpatialIndex::build(&positions, 1.0);
+        assert!(index.cell_count() <= 4 * positions.len() + 64);
+        let mut out = Vec::new();
+        index.query_disc(Vec2::ZERO, 6.0, &positions, &mut out);
+        assert_eq!(out, vec![NodeId(0), NodeId(3)]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        /// Random clouds: the index must return exactly the brute-force neighbour set for
+        /// arbitrary centres, radii and cell sizes.
+        #[test]
+        fn random_clouds_match_brute_force(
+            seed in 0u64..1_000,
+            n in 1usize..80,
+            cell in 10.0f64..400.0,
+            radius in 0.0f64..900.0,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let positions: Vec<Vec2> = (0..n)
+                .map(|_| Vec2::new(rng.gen_range(0.0..750.0), rng.gen_range(0.0..750.0)))
+                .collect();
+            let center =
+                Vec2::new(rng.gen_range(-200.0..950.0), rng.gen_range(-200.0..950.0));
+            assert_matches_brute_force(&positions, cell, center, radius);
+        }
+
+        /// Positions snapped onto cell corners and edges: the adversarial case for an
+        /// off-by-one in the point→cell map or the query's cell-range arithmetic.
+        #[test]
+        fn boundary_straddling_points_match_brute_force(
+            seed in 0u64..1_000,
+            n in 1usize..60,
+            radius in 0.0f64..600.0,
+        ) {
+            let cell = 250.0;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let positions: Vec<Vec2> = (0..n)
+                .map(|_| {
+                    // Multiples of half a cell land exactly on cell boundaries.
+                    let snap = |v: f64| (v / (cell / 2.0)).round() * (cell / 2.0);
+                    Vec2::new(snap(rng.gen_range(0.0..1_000.0)), snap(rng.gen_range(0.0..1_000.0)))
+                })
+                .collect();
+            let center = positions[0];
+            assert_matches_brute_force(&positions, cell, center, radius);
+            // Also query from exactly one cell-width away.
+            assert_matches_brute_force(
+                &positions,
+                cell,
+                Vec2::new(center.x + cell, center.y),
+                radius,
+            );
+        }
+    }
+}

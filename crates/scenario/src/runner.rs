@@ -93,6 +93,7 @@ pub fn build_setup(scenario: &Scenario, seeds: SeedSequence) -> SimSetup {
         unavailability_window: SimDuration::from_secs(1),
         availability_threshold: 0.95,
         seeds,
+        medium: scenario.medium,
     }
 }
 

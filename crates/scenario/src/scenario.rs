@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use ssmcast_core::MetricKind;
-use ssmcast_manet::RadioConfig;
+use ssmcast_manet::{MediumConfig, RadioConfig};
 
 /// Which multicast protocol to run on a scenario.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Serialize, Deserialize)]
@@ -116,6 +116,10 @@ pub struct Scenario {
     pub radio: RadioConfig,
     /// Mobility model plugged into [`crate::runner::build_mobility`].
     pub mobility: MobilityKind,
+    /// Radio medium layer: position-cache epoch and neighbour-query mode. The default
+    /// (exact positions, grid index) reproduces the brute-force physics byte for byte;
+    /// a non-zero epoch trades position fidelity for large-n throughput.
+    pub medium: MediumConfig,
     /// Master seed; repetitions derive child seeds from it.
     pub seed: u64,
 }
@@ -138,6 +142,7 @@ impl Scenario {
             packet_size_bytes: 512,
             radio: RadioConfig::default(),
             mobility: MobilityKind::RandomWaypoint,
+            medium: MediumConfig::default(),
             seed: 0x55_5357,
         }
     }
@@ -145,6 +150,12 @@ impl Scenario {
     /// The same scenario under a different mobility model.
     pub fn with_mobility(mut self, mobility: MobilityKind) -> Self {
         self.mobility = mobility;
+        self
+    }
+
+    /// The same scenario under a different radio medium configuration.
+    pub fn with_medium(mut self, medium: MediumConfig) -> Self {
+        self.medium = medium;
         self
     }
 
@@ -183,6 +194,20 @@ mod tests {
         assert_eq!(s.beacon_interval_s, 2.0);
         assert!(s.min_speed_mps > 0.0, "Yoon/Noble fix");
         assert_eq!(s.receiver_count(), 19);
+    }
+
+    #[test]
+    fn medium_defaults_to_exact_grid_and_is_overridable() {
+        use ssmcast_dessim::SimDuration;
+        use ssmcast_manet::NeighborQuery;
+        let s = Scenario::paper_default();
+        assert_eq!(s.medium, MediumConfig::default());
+        assert!(s.medium.position_epoch.is_zero(), "exact physics by default");
+        assert_eq!(s.medium.neighbor_query, NeighborQuery::Grid);
+        let tuned =
+            s.with_medium(MediumConfig::brute_force().with_epoch(SimDuration::from_millis(100)));
+        assert_eq!(tuned.medium.neighbor_query, NeighborQuery::BruteForce);
+        assert_eq!(tuned.medium.position_epoch, SimDuration::from_millis(100));
     }
 
     #[test]

@@ -4,8 +4,8 @@
 use ssmcast::core::{MetricKind, MetricParams, SsSpstAgent, SsSpstConfig};
 use ssmcast::dessim::{SeedSequence, SimDuration, SimTime};
 use ssmcast::manet::{
-    BoxedMobility, GroupRole, NetworkSim, NodeId, RadioConfig, SimSetup, Stationary, TrafficConfig,
-    Vec2,
+    BoxedMobility, GroupRole, MediumConfig, NetworkSim, NodeId, RadioConfig, SimSetup, Stationary,
+    TrafficConfig, Vec2,
 };
 use ssmcast::scenario::{
     run_figure, run_protocol, FigureId, Metric, ProtocolKind, ProtocolRegistry, Scenario,
@@ -40,6 +40,7 @@ fn grid_setup(kind_members: &[GroupRole]) -> (SimSetup, Vec<BoxedMobility>) {
         unavailability_window: SimDuration::from_secs(1),
         availability_threshold: 0.95,
         seeds: SeedSequence::new(2024),
+        medium: MediumConfig::default(),
     };
     (setup, mobility)
 }

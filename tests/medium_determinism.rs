@@ -1,0 +1,65 @@
+//! Seeded-determinism guarantees of the radio medium layer: the grid-indexed broadcast
+//! path must reproduce the brute-force scan *byte for byte* for the same seeds, because
+//! both modes share one epoch-cached position buffer, the same `distance² ≤ r²`
+//! neighbour predicate, and NodeId-sorted receiver iteration (so every `loss_rng` draw
+//! lands on the same receiver in the same order).
+
+use ssmcast::dessim::SimDuration;
+use ssmcast::manet::{MediumConfig, SimReport};
+use ssmcast::scenario::{run_protocol, MobilityKind, ProtocolKind, Scenario};
+
+fn run_with(base: &Scenario, medium: MediumConfig, kind: ProtocolKind) -> SimReport {
+    let mut s = *base;
+    s.medium = medium;
+    run_protocol(&s, kind.to_protocol().as_ref())
+}
+
+/// The acceptance scenario: a preset (quick-test) mobile scenario, several protocols,
+/// identical reports for grid vs brute force.
+#[test]
+fn grid_and_brute_force_paths_produce_identical_reports() {
+    let mut s = Scenario::quick_test();
+    s.duration_s = 40.0;
+    for kind in [
+        ProtocolKind::Flooding,
+        ProtocolKind::SsSpst(ssmcast::core::MetricKind::EnergyAware),
+        ProtocolKind::Odmrp,
+    ] {
+        let grid = run_with(&s, MediumConfig::grid(), kind);
+        let brute = run_with(&s, MediumConfig::brute_force(), kind);
+        assert!(grid.generated > 100, "{}: CBR must generate traffic", kind.name());
+        assert_eq!(grid, brute, "{}: query mode changed a seeded result", kind.name());
+    }
+}
+
+/// The epoch knob changes physics (positions quantise to epoch starts) but never breaks
+/// the cross-mode guarantee: for any epoch, grid and brute force still agree exactly.
+#[test]
+fn epoch_cached_positions_keep_query_modes_in_lockstep() {
+    let mut s = Scenario::quick_test();
+    s.duration_s = 40.0;
+    s.max_speed_mps = 10.0;
+    let kind = ProtocolKind::Flooding;
+    for epoch_ms in [50u64, 250, 1_000] {
+        let epoch = SimDuration::from_millis(epoch_ms);
+        let grid = run_with(&s, MediumConfig::grid().with_epoch(epoch), kind);
+        let brute = run_with(&s, MediumConfig::brute_force().with_epoch(epoch), kind);
+        assert_eq!(grid, brute, "epoch {epoch_ms} ms: query mode changed a seeded result");
+    }
+}
+
+/// The guarantee holds across mobility plugins (waypoint, Gauss–Markov, static grid),
+/// since all of them are read through the same position cache.
+#[test]
+fn every_mobility_kind_agrees_across_query_modes() {
+    let mut s = Scenario::quick_test();
+    s.duration_s = 30.0;
+    s.n_nodes = 20;
+    s.group_size = 8;
+    for mobility in MobilityKind::ALL {
+        let base = s.with_mobility(mobility);
+        let grid = run_with(&base, MediumConfig::grid(), ProtocolKind::Flooding);
+        let brute = run_with(&base, MediumConfig::brute_force(), ProtocolKind::Flooding);
+        assert_eq!(grid, brute, "{}: query mode changed a seeded result", mobility.name());
+    }
+}
