@@ -266,6 +266,31 @@ impl ProtocolAgent for MaodvAgent {
     fn label(&self) -> &'static str {
         "MAODV"
     }
+
+    fn tree_parent(&self) -> Option<NodeId> {
+        // The reverse-path next hop towards the group leader — MAODV's tree edge. No
+        // freshness filter here: a stale pointer *should* read as illegitimate until
+        // the next Group Hello repairs it.
+        self.upstream
+    }
+
+    /// Transient-fault injection: either plant a false belief (a bogus upstream held
+    /// forever) or wipe the route state entirely. Repair has to wait for the next
+    /// Group Hello flood, which is what makes MAODV recover more slowly than a
+    /// beacon-every-2-s SS-SPST variant under the same fault schedule.
+    fn corrupt_state(&mut self, rng: &mut rand::rngs::StdRng) {
+        use rand::Rng;
+        if rng.gen::<bool>() {
+            self.upstream = ssmcast_manet::scrambled_parent(rng);
+            self.upstream_expires = SimTime::MAX;
+            self.on_tree_until = if rng.gen::<bool>() { SimTime::MAX } else { SimTime::ZERO };
+        } else {
+            self.upstream = None;
+            self.upstream_expires = SimTime::ZERO;
+            self.on_tree_until = SimTime::ZERO;
+            self.tree_established = false;
+        }
+    }
 }
 
 #[cfg(test)]

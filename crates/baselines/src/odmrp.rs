@@ -263,6 +263,27 @@ impl ProtocolAgent for OdmrpAgent {
     fn label(&self) -> &'static str {
         "ODMRP"
     }
+
+    fn tree_parent(&self) -> Option<NodeId> {
+        // The reverse-path next hop learned from the freshest Join Query — the closest
+        // thing ODMRP's mesh has to a tree edge towards the source.
+        self.upstream
+    }
+
+    /// Transient-fault injection: scramble the reverse path and forwarding-group soft
+    /// state. The sub-second Join-Query refresh repairs this quickly — ODMRP pays for
+    /// its robustness in control overhead, not recovery time.
+    fn corrupt_state(&mut self, rng: &mut rand::rngs::StdRng) {
+        use rand::Rng;
+        if rng.gen::<bool>() {
+            self.upstream = ssmcast_manet::scrambled_parent(rng);
+            self.forwarding_until = if rng.gen::<bool>() { SimTime::MAX } else { SimTime::ZERO };
+        } else {
+            self.upstream = None;
+            self.forwarding_until = SimTime::ZERO;
+            self.mesh_established = false;
+        }
+    }
 }
 
 #[cfg(test)]

@@ -5,7 +5,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use ssmcast_core::{cost_via, figure1_topology, MetricKind, MetricParams, ParentView, SyncModel};
 use ssmcast_dessim::{SimDuration, SimTime, Simulator};
-use ssmcast_manet::MediumConfig;
+use ssmcast_manet::{FaultPlanSpec, MediumConfig};
 use ssmcast_scenario::{run_protocol, ProtocolKind, Scenario};
 
 fn bench_event_queue(c: &mut Criterion) {
@@ -94,11 +94,50 @@ fn bench_broadcast_medium(c: &mut Criterion) {
     group.finish();
 }
 
+/// The fault-injection + stabilization-probe path at n = 500: one corruption burst plus
+/// crashes and blackouts during a short SS-SPST-E run, with the legitimacy predicate
+/// probed every 500 ms. The fault-free run of the same scenario is the baseline, so the
+/// pair prices the whole subsystem (fault dispatch, per-epoch snapshot + BFS legitimacy
+/// check, convergence accounting).
+fn bench_fault_recovery(c: &mut Criterion) {
+    let base = {
+        let mut s = Scenario::paper_default();
+        s.n_nodes = 500;
+        s.area_side_m = 2_800.0;
+        s.group_size = 40;
+        s.duration_s = 8.0;
+        s.warmup_s = 1.0;
+        s.medium = MediumConfig::grid().with_epoch(SimDuration::from_millis(200));
+        s
+    };
+    let faulted = {
+        let mut s = base;
+        s.faults = FaultPlanSpec::stress(2.0, 6.0);
+        s.faults.probe_epoch_s = 0.5;
+        s
+    };
+    let mut group = c.benchmark_group("manet/faults_n500");
+    group.sample_size(3);
+    for (name, scenario) in [("faultfree", base), ("stress_probe", faulted)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let report = run_protocol(
+                    black_box(&scenario),
+                    ProtocolKind::SsSpst(MetricKind::EnergyAware).to_protocol().as_ref(),
+                );
+                black_box(report)
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_event_queue,
     bench_metric_evaluation,
     bench_sync_stabilization,
-    bench_broadcast_medium
+    bench_broadcast_medium,
+    bench_fault_recovery
 );
 criterion_main!(benches);

@@ -426,6 +426,34 @@ impl ProtocolAgent for SsSpstAgent {
     fn label(&self) -> &'static str {
         self.config.kind.protocol_name()
     }
+
+    fn tree_parent(&self) -> Option<NodeId> {
+        self.parent
+    }
+
+    /// Scramble every stabilization variable with the node's seeded RNG: cost, hop,
+    /// parent pointer, pruning flag, and the cached neighbour views the guarded
+    /// commands read. Self-stabilization means the protocol must converge back to a
+    /// legitimate tree from *any* of these states.
+    fn corrupt_state(&mut self, rng: &mut rand::rngs::StdRng) {
+        use rand::Rng;
+        let bound = if self.infinity_cost.is_finite() { self.infinity_cost * 2.0 } else { 1.0e6 };
+        self.cost = rng.gen::<f64>() * bound;
+        self.hop = rng.gen::<u32>();
+        self.parent = ssmcast_manet::scrambled_parent(rng);
+        self.has_downstream_member = rng.gen::<bool>();
+        // Deterministic corruption: HashMap iteration order varies between runs, so
+        // walk the neighbour table in id order to keep RNG draws reproducible.
+        let mut ids: Vec<NodeId> = self.neighbors.keys().copied().collect();
+        ids.sort();
+        for id in ids {
+            let entry = self.neighbors.get_mut(&id).expect("id collected above");
+            entry.cost = rng.gen::<f64>() * bound;
+            entry.hop = rng.gen::<u32>();
+            entry.parent_is_me = rng.gen::<bool>();
+            entry.has_downstream_member = rng.gen::<bool>();
+        }
+    }
 }
 
 #[cfg(test)]

@@ -69,6 +69,8 @@ impl SimTime {
 impl SimDuration {
     /// The zero-length duration.
     pub const ZERO: SimDuration = SimDuration(0);
+    /// The largest representable span; used as an "effectively forever" downtime.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
 
     /// Construct from raw nanoseconds.
     pub const fn from_nanos(nanos: u64) -> Self {

@@ -184,6 +184,23 @@ pub trait ProtocolAgent {
     fn label(&self) -> &'static str {
         "protocol"
     }
+
+    /// The node's current parent in the protocol's distribution structure, if it
+    /// maintains one. Stabilization probes use this to evaluate the legitimacy
+    /// predicate (valid, loop-free, source-rooted tree); structure-free protocols such
+    /// as blind flooding keep the default `None` and are never structurally legitimate.
+    fn tree_parent(&self) -> Option<NodeId> {
+        None
+    }
+
+    /// Transient-fault hook: scramble this agent's protocol variables using the node's
+    /// seeded RNG. The fault-injection subsystem calls this for
+    /// [`crate::faults::FaultKind::Corrupt`] events; a self-stabilizing protocol must
+    /// recover from *any* state this leaves behind. The default does nothing (a
+    /// stateless protocol has nothing to corrupt).
+    fn corrupt_state(&mut self, rng: &mut StdRng) {
+        let _ = rng;
+    }
 }
 
 #[cfg(test)]

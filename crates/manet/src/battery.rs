@@ -27,6 +27,7 @@ pub struct Battery {
     rx_control_j: f64,
     rx_data_j: f64,
     overhear_j: f64,
+    drained_j: f64,
 }
 
 impl Battery {
@@ -46,6 +47,7 @@ impl Battery {
             rx_control_j: 0.0,
             rx_data_j: 0.0,
             overhear_j: 0.0,
+            drained_j: 0.0,
         }
     }
 
@@ -67,6 +69,25 @@ impl Battery {
         !self.is_depleted()
     }
 
+    /// Remove `joules` at once without attributing them to a radio activity — the
+    /// fault layer's battery-drain spike (a co-located application, a sensor burst).
+    /// Not counted in [`Self::breakdown`]; see [`Self::drained`]. Returns `false` if
+    /// the battery was already depleted.
+    pub fn drain(&mut self, joules: f64) -> bool {
+        if self.is_depleted() {
+            return false;
+        }
+        let j = joules.max(0.0);
+        self.consumed_j += j;
+        self.drained_j += j;
+        !self.is_depleted()
+    }
+
+    /// Energy removed by drain spikes, joules.
+    pub fn drained(&self) -> f64 {
+        self.drained_j
+    }
+
     /// Total energy consumed so far, joules.
     pub fn consumed(&self) -> f64 {
         self.consumed_j
@@ -80,6 +101,12 @@ impl Battery {
     /// True once consumption has reached capacity.
     pub fn is_depleted(&self) -> bool {
         self.consumed_j >= self.capacity_j
+    }
+
+    /// True for batteries with unlimited capacity (the paper's default), which can
+    /// never deplete — a drain spike against one is a physical no-op.
+    pub fn is_unlimited(&self) -> bool {
+        self.capacity_j.is_infinite()
     }
 
     /// Energy spent transmitting (control + data), joules.
@@ -136,6 +163,21 @@ mod tests {
         assert!(b.is_depleted());
         assert!(!b.consume(0.1, EnergyUse::RxData), "depleted batteries accept no more work");
         assert_eq!(b.remaining(), 0.0);
+    }
+
+    #[test]
+    fn drain_spikes_deplete_without_touching_the_radio_breakdown() {
+        let mut b = Battery::with_capacity(2.0);
+        b.consume(0.5, EnergyUse::TxData);
+        assert!(b.drain(1.0), "still above capacity after the spike");
+        assert_eq!(b.consumed(), 1.5);
+        assert_eq!(b.drained(), 1.0);
+        let (tc, td, rc, rd, oh) = b.breakdown();
+        assert_eq!(tc + td + rc + rd + oh, 0.5, "drain is not a radio activity");
+        assert!(!b.drain(1.0), "this spike crosses capacity");
+        assert!(b.is_depleted());
+        assert!(!b.drain(0.1), "depleted batteries absorb nothing further");
+        assert_eq!(b.drained(), 2.0);
     }
 
     #[test]

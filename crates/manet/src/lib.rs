@@ -10,6 +10,9 @@
 //! * [`channel`] — broadcast medium occupancy and the capture-effect collision model.
 //! * [`packet`] / [`node`] — frames, node ids, multicast group roles.
 //! * [`agent`] — the [`agent::ProtocolAgent`] trait protocol crates implement.
+//! * [`faults`] — fault injection: seeded [`faults::FaultPlan`]s (state corruption,
+//!   crash/rejoin, link blackouts, battery drains) and the
+//!   [`faults::StabilizationObserver`] probe interface for convergence measurement.
 //! * [`spatial`] — the uniform-grid [`spatial::SpatialIndex`] answering range queries in
 //!   O(k) candidates instead of O(n).
 //! * [`medium`] — the radio medium layer: [`medium::RadioMedium`] with epoch-cached
@@ -26,6 +29,7 @@ pub mod agent;
 pub mod battery;
 pub mod channel;
 pub mod energy;
+pub mod faults;
 pub mod geometry;
 pub mod medium;
 pub mod mobility;
@@ -41,6 +45,10 @@ pub use agent::{Action, Disposition, NodeCtx, ProtocolAgent};
 pub use battery::{Battery, EnergyUse};
 pub use channel::Channel;
 pub use energy::{EnergyModel, RadioConfig};
+pub use faults::{
+    scrambled_parent, FaultEvent, FaultKind, FaultPlan, FaultPlanSpec, ProbeContext,
+    StabilizationObserver,
+};
 pub use geometry::{Area, Vec2};
 pub use medium::{MediumConfig, NeighborQuery, RadioMedium};
 pub use mobility::{

@@ -98,6 +98,9 @@ pub struct RadioMedium {
     all_fresh_at: Option<SimTime>,
     index: SpatialIndex,
     index_at: Option<SimTime>,
+    /// Per-node link-blackout horizon: until this instant the node neither delivers nor
+    /// receives anything ([`SimTime::ZERO`] = no blackout). Driven by the fault layer.
+    blackout_until: Vec<SimTime>,
 }
 
 impl RadioMedium {
@@ -107,6 +110,7 @@ impl RadioMedium {
         let positions: Vec<Vec2> =
             mobility.iter_mut().map(|m| m.position_at(SimTime::ZERO)).collect();
         let fresh_at = vec![SimTime::ZERO; mobility.len()];
+        let blackout_until = vec![SimTime::ZERO; mobility.len()];
         RadioMedium {
             mobility,
             config,
@@ -116,6 +120,7 @@ impl RadioMedium {
             all_fresh_at: Some(SimTime::ZERO),
             index: SpatialIndex::default(),
             index_at: None,
+            blackout_until,
         }
     }
 
@@ -181,9 +186,24 @@ impl RadioMedium {
         }
     }
 
+    /// Black out node `n`'s links until `until`: while the blackout lasts the node is
+    /// removed from every receiver set and [`Self::is_blacked_out`] reports true (the
+    /// runtime uses that to suppress its transmissions too). Extending an existing
+    /// blackout keeps the later horizon.
+    pub fn set_blackout(&mut self, n: NodeId, until: SimTime) {
+        let slot = &mut self.blackout_until[n.index()];
+        *slot = (*slot).max(until);
+    }
+
+    /// True while node `n`'s links are blacked out at time `t`.
+    pub fn is_blacked_out(&self, n: NodeId, t: SimTime) -> bool {
+        t < self.blackout_until[n.index()]
+    }
+
     /// Every node other than `sender` within `range` metres of `center`, in ascending
-    /// node-id order. `center` must be `sender`'s position at `t` (threaded through from
-    /// the caller rather than re-queried).
+    /// node-id order. Nodes in a link blackout at `t` are excluded. `center` must be
+    /// `sender`'s position at `t` (threaded through from the caller rather than
+    /// re-queried).
     pub fn receivers_within(
         &mut self,
         sender: NodeId,
@@ -201,13 +221,16 @@ impl RadioMedium {
         if use_index {
             self.ensure_index(te);
             self.index.query_disc(center, range, &self.positions, out);
-            out.retain(|&id| id != sender);
+            out.retain(|&id| id != sender && !self.is_blacked_out(id, t));
         } else {
             out.clear();
             let r2 = range * range;
             for i in 0..self.positions.len() {
                 let id = NodeId(i as u16);
-                if id != sender && self.positions[i].distance_sq(&center) <= r2 {
+                if id != sender
+                    && !self.is_blacked_out(id, t)
+                    && self.positions[i].distance_sq(&center) <= r2
+                {
                     out.push(id);
                 }
             }

@@ -4,6 +4,7 @@ use crate::node::NodeId;
 use crate::packet::DataTag;
 use serde::{Deserialize, Serialize};
 use ssmcast_dessim::{SimDuration, SimTime};
+use ssmcast_metrics::ConvergenceStats;
 use std::collections::{HashMap, HashSet};
 
 /// Raw counters accumulated while a simulation runs.
@@ -92,6 +93,16 @@ impl Trace {
         self.delivered_count
     }
 
+    /// Control packets transmitted so far (running total, for mid-run probes).
+    pub fn control_packets(&self) -> u64 {
+        self.control_packets
+    }
+
+    /// Data packet transmissions so far (running total, for mid-run probes).
+    pub fn data_packets_tx(&self) -> u64 {
+        self.data_packets_tx
+    }
+
     /// Finish the trace into a [`SimReport`].
     #[allow(clippy::too_many_arguments)]
     pub fn finish(
@@ -158,6 +169,7 @@ impl Trace {
             control_bytes_per_data_byte: control_overhead,
             unavailability_ratio: unavailability,
             collisions,
+            convergence: None,
         }
     }
 }
@@ -201,6 +213,10 @@ pub struct SimReport {
     pub unavailability_ratio: f64,
     /// Collided receptions.
     pub collisions: u64,
+    /// Convergence measurements from the stabilization probe, when the run injected
+    /// faults (see the `faults` module and `ssmcast-core`'s `StabilizationProbe`).
+    /// `None` for fault-free runs, keeping them byte-identical to pre-fault builds.
+    pub convergence: Option<ConvergenceStats>,
 }
 
 #[cfg(test)]

@@ -5,6 +5,7 @@ use crate::agent::{Action, Disposition, NodeCtx, ProtocolAgent};
 use crate::battery::{Battery, EnergyUse};
 use crate::channel::Channel;
 use crate::energy::RadioConfig;
+use crate::faults::{FaultEvent, FaultKind, FaultPlan, ProbeContext, StabilizationObserver};
 use crate::geometry::Vec2;
 use crate::medium::{MediumConfig, RadioMedium};
 use crate::mobility::BoxedMobility;
@@ -37,6 +38,9 @@ pub struct SimSetup {
     pub seeds: SeedSequence,
     /// Radio medium configuration: position-cache epoch and neighbour-query mode.
     pub medium: MediumConfig,
+    /// Scheduled fault events (empty for the paper's fault-free experiments). Injected
+    /// through the event queue, so a `(seed, plan)` pair fully determines the run.
+    pub faults: FaultPlan,
 }
 
 impl SimSetup {
@@ -79,6 +83,8 @@ pub enum NetEvent<P> {
         /// Application sequence number.
         seq: u64,
     },
+    /// An injected fault fires (see [`crate::faults`]).
+    Fault(FaultKind),
 }
 
 /// A complete network simulation for one protocol.
@@ -88,10 +94,17 @@ pub struct NetworkSim<A: ProtocolAgent> {
     agents: Vec<A>,
     medium: RadioMedium,
     batteries: Vec<Battery>,
+    /// Per-node crash flag (driven by [`FaultKind::Crash`] / [`FaultKind::Rejoin`]).
+    crashed: Vec<bool>,
     rngs: Vec<StdRng>,
     loss_rng: StdRng,
     channel: Channel,
     timers: HashMap<(u16, u64, u64), ssmcast_dessim::EventId>,
+    /// Snapshot built for the latest probed instant, reused across the observer
+    /// notifications of a simultaneous fault burst (positions cannot change within one
+    /// timestamp, and a burst at n = 500 would otherwise rebuild the spatial index once
+    /// per corrupted node).
+    probe_snapshot: Option<(SimTime, TopologySnapshot)>,
     trace: Trace,
     scratch_actions: Vec<Action<A::Payload>>,
     scratch_receivers: Vec<NodeId>,
@@ -114,8 +127,10 @@ impl<A: ProtocolAgent> NetworkSim<A> {
             sim: Simulator::with_capacity(1024),
             channel: Channel::new(n),
             timers: HashMap::new(),
+            probe_snapshot: None,
             scratch_actions: Vec::with_capacity(16),
             scratch_receivers: Vec::with_capacity(16),
+            crashed: vec![false; n],
             batteries,
             rngs,
             loss_rng,
@@ -151,6 +166,26 @@ impl<A: ProtocolAgent> NetworkSim<A> {
     /// Total number of events processed so far.
     pub fn events_processed(&self) -> u64 {
         self.sim.events_processed()
+    }
+
+    /// True while node `n` is crashed by an injected fault.
+    pub fn is_crashed(&self, n: NodeId) -> bool {
+        self.crashed[n.index()]
+    }
+
+    /// Network-wide energy consumed so far, joules (running total for mid-run probes).
+    pub fn energy_consumed_j(&self) -> f64 {
+        self.batteries.iter().map(Battery::consumed).sum()
+    }
+
+    /// Control packets transmitted so far, network-wide.
+    pub fn control_packets_sent(&self) -> u64 {
+        self.trace.control_packets()
+    }
+
+    /// Data packet transmissions so far, network-wide.
+    pub fn data_packets_sent(&self) -> u64 {
+        self.trace.data_packets_tx()
     }
 
     fn make_ctx_and_call<F>(&mut self, node: NodeId, t: SimTime, f: F)
@@ -213,6 +248,104 @@ impl<A: ProtocolAgent> NetworkSim<A> {
         }
     }
 
+    /// Apply one injected fault at time `t`. Returns `false` when the fault was a
+    /// no-op (corrupting or re-crashing an already-down node, draining an empty
+    /// battery) so the probed loop does not report phantom faults to the observer.
+    fn apply_fault(&mut self, t: SimTime, kind: FaultKind) -> bool {
+        match kind {
+            FaultKind::Corrupt { node } => {
+                let i = node.index();
+                let up = !self.crashed[i] && !self.batteries[i].is_depleted();
+                if up {
+                    self.agents[i].corrupt_state(&mut self.rngs[i]);
+                }
+                up
+            }
+            FaultKind::Crash { node, down_for } => {
+                if self.crashed[node.index()] || self.batteries[node.index()].is_depleted() {
+                    return false; // already dead — nothing changes
+                }
+                self.crashed[node.index()] = true;
+                if down_for != SimDuration::MAX {
+                    if let Some(at) = t.checked_add(down_for) {
+                        self.sim.schedule_at(at, NetEvent::Fault(FaultKind::Rejoin { node }));
+                    }
+                }
+                true
+            }
+            FaultKind::Rejoin { node } => {
+                let was_down = self.crashed[node.index()];
+                if was_down {
+                    self.crashed[node.index()] = false;
+                    // The node's timers were lost while it was down; restarting the
+                    // agent re-arms them. Its (stale) protocol state survives the
+                    // crash — exactly the arbitrary-state situation self-stabilization
+                    // must recover from.
+                    self.make_ctx_and_call(node, t, |agent, ctx| agent.start(ctx));
+                }
+                was_down
+            }
+            FaultKind::Blackout { node, duration } => {
+                let until = t.checked_add(duration).unwrap_or(SimTime::MAX);
+                // The medium flag is set regardless (the blackout may outlive a crash's
+                // downtime), but darkening an already-dead node's links is a no-op for
+                // episode accounting — a dead node is exempt from legitimacy anyway.
+                self.medium.set_blackout(node, until);
+                !self.crashed[node.index()] && !self.batteries[node.index()].is_depleted()
+            }
+            FaultKind::Drain { node, joules } => {
+                let battery = &mut self.batteries[node.index()];
+                // An unlimited battery cannot be hurt by a spike: skip it entirely so
+                // the energy report stays clean and no phantom episode opens.
+                if battery.is_unlimited() || battery.is_depleted() {
+                    return false;
+                }
+                battery.drain(joules);
+                true
+            }
+        }
+    }
+
+    /// Build a [`ProbeContext`] at `t` and hand it to the observer (as an epoch probe,
+    /// or as a fault notification when `fault` is set).
+    fn observe(
+        &mut self,
+        t: SimTime,
+        observer: &mut dyn StabilizationObserver,
+        fault: Option<&FaultKind>,
+    ) {
+        if !matches!(&self.probe_snapshot, Some((st, _)) if *st == t) {
+            let snapshot = self.medium.snapshot(t, self.setup.radio.max_range_m);
+            self.probe_snapshot = Some((t, snapshot));
+        }
+        let snapshot = &self.probe_snapshot.as_ref().expect("primed above").1;
+        let parents: Vec<Option<NodeId>> =
+            self.agents.iter().map(ProtocolAgent::tree_parent).collect();
+        let alive: Vec<bool> = (0..self.agents.len())
+            .map(|i| !self.crashed[i] && !self.batteries[i].is_depleted())
+            .collect();
+        // Blackout is reported separately from liveness: a blacked-out node still runs
+        // (and still counts as a member to serve), its links are just unusable.
+        let blacked_out: Vec<bool> = (0..self.agents.len())
+            .map(|i| self.medium.is_blacked_out(NodeId(i as u16), t))
+            .collect();
+        let ctx = ProbeContext {
+            now: t,
+            snapshot,
+            parents: &parents,
+            alive: &alive,
+            blacked_out: &blacked_out,
+            roles: &self.setup.roles,
+            control_packets: self.control_packets_sent(),
+            data_packets: self.data_packets_sent(),
+            energy_j: self.energy_consumed_j(),
+        };
+        match fault {
+            Some(kind) => observer.on_fault(kind, &ctx),
+            None => observer.on_epoch(&ctx),
+        }
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn do_broadcast(
         &mut self,
@@ -225,7 +358,7 @@ impl<A: ProtocolAgent> NetworkSim<A> {
         data: Option<DataTag>,
         payload: A::Payload,
     ) {
-        if self.batteries[sender.index()].is_depleted() {
+        if self.batteries[sender.index()].is_depleted() || self.crashed[sender.index()] {
             return;
         }
         let radio = self.setup.radio;
@@ -239,6 +372,10 @@ impl<A: ProtocolAgent> NetworkSim<A> {
         match class {
             PacketClass::Control => self.trace.record_control_tx(size_bytes),
             PacketClass::Data => self.trace.record_data_tx(size_bytes),
+        }
+        // A blacked-out sender still pays for the transmission but nobody hears it.
+        if self.medium.is_blacked_out(sender, t) {
+            return;
         }
 
         // Crude CSMA: every transmission waits a small random backoff before hitting the
@@ -276,7 +413,11 @@ impl<A: ProtocolAgent> NetworkSim<A> {
     fn dispatch(&mut self, t: SimTime, ev: NetEvent<A::Payload>) {
         match ev {
             NetEvent::Deliver { rx, packet, corrupted } => {
-                if self.batteries[rx.index()].is_depleted() {
+                if self.batteries[rx.index()].is_depleted() || self.crashed[rx.index()] {
+                    return;
+                }
+                // A frame already in flight when the blackout started is lost too.
+                if self.medium.is_blacked_out(rx, t) {
                     return;
                 }
                 let rx_energy = self.setup.radio.energy.rx_energy(packet.size_bytes);
@@ -297,7 +438,7 @@ impl<A: ProtocolAgent> NetworkSim<A> {
             }
             NetEvent::Timer { node, kind, key } => {
                 self.timers.remove(&(node.0, kind, key));
-                if self.batteries[node.index()].is_depleted() {
+                if self.batteries[node.index()].is_depleted() || self.crashed[node.index()] {
                     return;
                 }
                 self.make_ctx_and_call(node, t, |agent, ctx| agent.on_timer(ctx, kind, key));
@@ -310,7 +451,7 @@ impl<A: ProtocolAgent> NetworkSim<A> {
                 let source = traffic.source;
                 let tag = DataTag { group: traffic.group, origin: source, seq, created_at: t };
                 self.trace.record_generated(seq, t);
-                if !self.batteries[source.index()].is_depleted() {
+                if !self.batteries[source.index()].is_depleted() && !self.crashed[source.index()] {
                     self.make_ctx_and_call(source, t, |agent, ctx| {
                         agent.on_app_data(ctx, tag, traffic.packet_size_bytes);
                     });
@@ -320,15 +461,50 @@ impl<A: ProtocolAgent> NetworkSim<A> {
                     self.sim.schedule_at(next, NetEvent::AppSend { seq: seq + 1 });
                 }
             }
+            NetEvent::Fault(kind) => {
+                // The probed run loop notifies the observer right after this applies.
+                let _ = self.apply_fault(t, kind);
+            }
         }
     }
 
-    /// Run the simulation for `duration` and return the report.
+    /// Run the simulation for `duration` and return the report. Any faults in the
+    /// setup's [`FaultPlan`] are injected, but no legitimacy probe runs — use
+    /// [`Self::run_probed`] to also measure convergence.
     pub fn run(&mut self, duration: SimDuration) -> SimReport {
+        self.run_inner(duration, None)
+    }
+
+    /// Run the simulation while probing the network through `observer` every
+    /// [`StabilizationObserver::probe_epoch`] (legitimacy predicate + convergence
+    /// accounting; see [`crate::faults`]). The observer's finish result is embedded in
+    /// the report's `convergence` block. Probing reads state but never perturbs the
+    /// event flow: for the same seeds and fault plan, the report's traffic/energy
+    /// numbers are identical with and without a probe.
+    pub fn run_probed(
+        &mut self,
+        duration: SimDuration,
+        observer: &mut dyn StabilizationObserver,
+    ) -> SimReport {
+        self.run_inner(duration, Some(observer))
+    }
+
+    fn run_inner(
+        &mut self,
+        duration: SimDuration,
+        probe: Option<&mut dyn StabilizationObserver>,
+    ) -> SimReport {
         let horizon = SimTime::ZERO + duration;
         // Start every agent at time zero.
         for i in 0..self.setup.roles.len() {
             self.make_ctx_and_call(NodeId(i as u16), SimTime::ZERO, |agent, ctx| agent.start(ctx));
+        }
+        // Schedule the fault plan through the same queue as every packet and timer.
+        let faults: Vec<FaultEvent> = self.setup.faults.events().to_vec();
+        for fe in faults {
+            if fe.at <= horizon {
+                self.sim.schedule_at(fe.at, NetEvent::Fault(fe.kind));
+            }
         }
         // Kick off the CBR application.
         if self.setup.traffic.start < horizon {
@@ -336,16 +512,57 @@ impl<A: ProtocolAgent> NetworkSim<A> {
             self.sim.schedule_at(start, NetEvent::AppSend { seq: 0 });
         }
         // Main loop. The closure trick: `run_until` hands us events one at a time; we
-        // cannot call a method on `self` from inside a closure borrowing `self.sim`, so we
-        // drive the loop manually.
-        while let Some(next) = self.sim.peek_time() {
-            if next > horizon {
-                break;
+        // cannot call a method on `self` from inside a closure borrowing `self.sim`, so
+        // we drive the loop manually. With a probe, epochs interleave with events in
+        // strict time order (events at an epoch's exact timestamp dispatch first, so
+        // the probe sees the post-event state).
+        match probe {
+            Some(observer) => {
+                let epoch = observer.probe_epoch();
+                let epoch = if epoch.is_zero() { SimDuration::from_secs(1) } else { epoch };
+                let mut next_probe = SimTime::ZERO + epoch;
+                loop {
+                    match self.sim.peek_time() {
+                        Some(next) if next <= horizon && next <= next_probe => {
+                            let (t, ev) = self.sim.pop_next().expect("peeked event must pop");
+                            match ev {
+                                NetEvent::Fault(kind) => {
+                                    // Rejoins are repairs scheduled by an earlier
+                                    // crash, and no-op faults (e.g. corrupting an
+                                    // already-crashed node) never perturbed anything —
+                                    // reporting either would open spurious episodes.
+                                    let applied = self.apply_fault(t, kind);
+                                    if applied && !matches!(kind, FaultKind::Rejoin { .. }) {
+                                        self.observe(t, observer, Some(&kind));
+                                    }
+                                }
+                                other => self.dispatch(t, other),
+                            }
+                        }
+                        _ => {
+                            if next_probe > horizon {
+                                break;
+                            }
+                            self.observe(next_probe, observer, None);
+                            next_probe += epoch;
+                        }
+                    }
+                }
+                let mut report = self.report(duration);
+                report.convergence = observer.finish(horizon);
+                report
             }
-            let (t, ev) = self.sim.pop_next().expect("peeked event must pop");
-            self.dispatch(t, ev);
+            None => {
+                while let Some(next) = self.sim.peek_time() {
+                    if next > horizon {
+                        break;
+                    }
+                    let (t, ev) = self.sim.pop_next().expect("peeked event must pop");
+                    self.dispatch(t, ev);
+                }
+                self.report(duration)
+            }
         }
-        self.report(duration)
     }
 
     /// Build a report from the current trace (normally called by [`Self::run`]).
@@ -444,6 +661,7 @@ mod tests {
             availability_threshold: 0.95,
             seeds: SeedSequence::new(7),
             medium: MediumConfig::default(),
+            faults: FaultPlan::new(),
         };
         (setup, mobility)
     }
@@ -527,6 +745,181 @@ mod tests {
             sim.run(SimDuration::from_secs(15))
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn crash_and_rejoin_suppress_then_restore_participation() {
+        // Node 1 is the only relay between the source and node 2 on the line. Crash it
+        // for the middle of the run: deliveries to node 2 must stop, then resume.
+        let run = |faults: FaultPlan| {
+            let (mut setup, mobility) = line_setup(3, 200.0);
+            setup.faults = faults;
+            let agents = (0..3).map(|_| Flood::new()).collect();
+            let mut sim = NetworkSim::new(setup, mobility, agents);
+            sim.run(SimDuration::from_secs(20))
+        };
+        let healthy = run(FaultPlan::new());
+        let crashed = run(FaultPlan::new().with(
+            SimTime::from_secs(4),
+            FaultKind::Crash { node: NodeId(1), down_for: SimDuration::from_secs(5) },
+        ));
+        assert!(crashed.delivered < healthy.delivered, "a crashed relay loses deliveries");
+        assert!(
+            crashed.pdr > 0.3,
+            "after the rejoin the relay must carry traffic again, pdr={}",
+            crashed.pdr
+        );
+        let permanent = run(FaultPlan::new().with(
+            SimTime::from_secs(4),
+            FaultKind::Crash { node: NodeId(1), down_for: SimDuration::MAX },
+        ));
+        assert!(permanent.delivered < crashed.delivered, "a permanent crash never recovers");
+    }
+
+    #[test]
+    fn blackout_silences_links_but_still_burns_transmit_energy() {
+        let run = |faults: FaultPlan| {
+            let (mut setup, mobility) = line_setup(2, 100.0);
+            setup.faults = faults;
+            let agents = (0..2).map(|_| Flood::new()).collect();
+            let mut sim = NetworkSim::new(setup, mobility, agents);
+            sim.run(SimDuration::from_secs(20))
+        };
+        let healthy = run(FaultPlan::new());
+        // Black out the source for the whole traffic window.
+        let dark = run(FaultPlan::new().with(
+            SimTime::from_secs(0),
+            FaultKind::Blackout { node: NodeId(0), duration: SimDuration::from_secs(30) },
+        ));
+        assert_eq!(dark.delivered, 0, "nothing escapes a blacked-out transmitter");
+        assert_eq!(dark.generated, healthy.generated, "the application keeps generating");
+        assert!(dark.total_energy_j > 0.0, "transmissions into the void still cost energy");
+        assert!(dark.total_energy_j < healthy.total_energy_j, "but nobody pays rx energy");
+    }
+
+    #[test]
+    fn battery_drain_spike_can_silence_a_node() {
+        let (mut setup, mobility) = line_setup(3, 200.0);
+        setup.battery_capacity_j = 100.0;
+        setup.faults = FaultPlan::new()
+            .with(SimTime::from_secs(4), FaultKind::Drain { node: NodeId(1), joules: 1_000.0 });
+        let agents = (0..3).map(|_| Flood::new()).collect();
+        let mut sim = NetworkSim::new(setup, mobility, agents);
+        let report = sim.run(SimDuration::from_secs(20));
+        assert!(sim.battery(NodeId(1)).is_depleted(), "the spike empties the battery");
+        assert!(sim.battery(NodeId(1)).drained() > 0.0);
+        assert!(report.pdr < 1.0, "the dead relay costs deliveries");
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic_for_a_seed_and_plan() {
+        let run = || {
+            let (mut setup, mobility) = line_setup(4, 200.0);
+            setup.faults = FaultPlan::new()
+                .with(
+                    SimTime::from_secs(3),
+                    FaultKind::Crash { node: NodeId(2), down_for: SimDuration::from_secs(4) },
+                )
+                .with(
+                    SimTime::from_secs(5),
+                    FaultKind::Blackout { node: NodeId(1), duration: SimDuration::from_secs(2) },
+                )
+                .with(SimTime::from_secs(8), FaultKind::Corrupt { node: NodeId(3) });
+            let agents = (0..4).map(|_| Flood::new()).collect();
+            let mut sim = NetworkSim::new(setup, mobility, agents);
+            sim.run(SimDuration::from_secs(15))
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn rejoins_are_not_reported_as_faults_and_blackouts_suspend_probe_liveness() {
+        #[derive(Default)]
+        struct Recording {
+            faults: Vec<FaultKind>,
+            alive_mid: Option<(Vec<bool>, Vec<bool>)>,
+            alive_late: Option<(Vec<bool>, Vec<bool>)>,
+        }
+        impl crate::faults::StabilizationObserver for Recording {
+            fn on_epoch(&mut self, ctx: &crate::faults::ProbeContext<'_>) {
+                if ctx.now == SimTime::from_secs(6) {
+                    self.alive_mid = Some((ctx.alive.to_vec(), ctx.blacked_out.to_vec()));
+                }
+                if ctx.now == SimTime::from_secs(12) {
+                    self.alive_late = Some((ctx.alive.to_vec(), ctx.blacked_out.to_vec()));
+                }
+            }
+            fn on_fault(&mut self, kind: &FaultKind, _ctx: &crate::faults::ProbeContext<'_>) {
+                self.faults.push(*kind);
+            }
+            fn finish(&mut self, _end: SimTime) -> Option<ssmcast_metrics::ConvergenceStats> {
+                None
+            }
+        }
+        let (mut setup, mobility) = line_setup(3, 100.0);
+        setup.faults = FaultPlan::new()
+            .with(
+                SimTime::from_secs(3),
+                FaultKind::Crash { node: NodeId(2), down_for: SimDuration::from_secs(4) },
+            )
+            .with(
+                SimTime::from_secs(5),
+                FaultKind::Blackout { node: NodeId(1), duration: SimDuration::from_secs(3) },
+            );
+        let agents = (0..3).map(|_| Flood::new()).collect();
+        let mut sim = NetworkSim::new(setup, mobility, agents);
+        let mut obs = Recording::default();
+        sim.run_probed(SimDuration::from_secs(15), &mut obs);
+        assert_eq!(
+            obs.faults,
+            vec![
+                FaultKind::Crash { node: NodeId(2), down_for: SimDuration::from_secs(4) },
+                FaultKind::Blackout { node: NodeId(1), duration: SimDuration::from_secs(3) },
+            ],
+            "the internally scheduled rejoin is a repair, not an injected fault"
+        );
+        assert_eq!(
+            obs.alive_mid,
+            Some((vec![true, true, false], vec![false, true, false])),
+            "at t=6 node 2 is crashed (until 7); node 1 is alive but blacked out (until 8)"
+        );
+        assert_eq!(
+            obs.alive_late,
+            Some((vec![true, true, true], vec![false, false, false])),
+            "by t=12 both the blackout and the crash are over"
+        );
+    }
+
+    #[test]
+    fn probing_never_perturbs_the_simulation_itself() {
+        // A do-nothing observer: the probed run's traffic/energy numbers must equal the
+        // unprobed run's exactly (probes read state, they do not schedule anything).
+        struct Null;
+        impl crate::faults::StabilizationObserver for Null {
+            fn probe_epoch(&self) -> SimDuration {
+                SimDuration::from_millis(250)
+            }
+            fn on_epoch(&mut self, _ctx: &crate::faults::ProbeContext<'_>) {}
+            fn on_fault(&mut self, _kind: &FaultKind, _ctx: &crate::faults::ProbeContext<'_>) {}
+            fn finish(&mut self, _end: SimTime) -> Option<ssmcast_metrics::ConvergenceStats> {
+                None
+            }
+        }
+        let run = |probed: bool| {
+            let (mut setup, mobility) = line_setup(4, 200.0);
+            setup.faults = FaultPlan::new().with(
+                SimTime::from_secs(3),
+                FaultKind::Crash { node: NodeId(2), down_for: SimDuration::from_secs(4) },
+            );
+            let agents = (0..4).map(|_| Flood::new()).collect();
+            let mut sim = NetworkSim::new(setup, mobility, agents);
+            if probed {
+                sim.run_probed(SimDuration::from_secs(15), &mut Null)
+            } else {
+                sim.run(SimDuration::from_secs(15))
+            }
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

@@ -162,8 +162,12 @@ impl SpatialIndex {
 
 /// Clamp a floating cell span onto `[0, n)`; an empty range means the disc misses the
 /// grid entirely. Returns an empty-by-construction `(1, 0)` range in that case.
+///
+/// Points on the grid's max boundary have cell ratio exactly `n` but are stored in cell
+/// `n - 1` (the point→cell map clamps), so a span starting at exactly `n` must still
+/// inspect the last cell — only `lo > n` is truly off-grid.
 fn clamp_cell_range(lo: f64, hi: f64, n: usize) -> (usize, usize) {
-    if hi < 0.0 || lo >= n as f64 || hi < lo {
+    if hi < 0.0 || lo > n as f64 || hi < lo {
         return (1, 0);
     }
     let lo = if lo <= 0.0 { 0 } else { (lo as usize).min(n - 1) };
@@ -248,6 +252,59 @@ mod tests {
         let mut out = Vec::new();
         index.query_disc(Vec2::new(5.0, 5.0), 0.0, &positions, &mut out);
         assert_eq!(out, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn all_nodes_in_one_cell_matches_brute_force() {
+        // 30 nodes clustered inside a fraction of a single 250 m cell: the index
+        // degenerates to one populated bucket and must still answer every disc exactly.
+        let mut rng = StdRng::seed_from_u64(17);
+        let positions: Vec<Vec2> = (0..30)
+            .map(|_| Vec2::new(rng.gen_range(10.0..60.0), rng.gen_range(10.0..60.0)))
+            .collect();
+        let index = SpatialIndex::build(&positions, 250.0);
+        assert_eq!(index.cell_count(), 1, "a 50 m cloud fits one 250 m cell");
+        for r in [0.0, 5.0, 25.0, 70.0] {
+            assert_matches_brute_force(&positions, 250.0, positions[7], r);
+            // A centre outside the populated cell must see in, too.
+            assert_matches_brute_force(&positions, 250.0, Vec2::new(300.0, 300.0), r + 260.0);
+        }
+    }
+
+    #[test]
+    fn positions_exactly_on_cell_boundaries_are_never_lost() {
+        // Deterministic companion to the boundary proptest: every point sits exactly on
+        // a multiple of the cell size (the worst case for the point→cell floor), and a
+        // radius equal to the lattice pitch must pick up the full cross every time.
+        let cell = 100.0;
+        let positions: Vec<Vec2> =
+            (0..25).map(|i| Vec2::new((i % 5) as f64 * cell, (i / 5) as f64 * cell)).collect();
+        for centre in [Vec2::new(200.0, 200.0), Vec2::new(0.0, 0.0), Vec2::new(400.0, 200.0)] {
+            for r in [0.0, cell, cell * (2.0f64).sqrt(), 2.0 * cell] {
+                assert_matches_brute_force(&positions, cell, centre, r);
+            }
+        }
+        let index = SpatialIndex::build(&positions, cell);
+        let mut out = Vec::new();
+        index.query_disc(Vec2::new(200.0, 200.0), cell, &positions, &mut out);
+        assert_eq!(out.len(), 5, "centre + the 4-neighbour cross, nothing dropped");
+    }
+
+    #[test]
+    fn capped_cell_count_still_matches_brute_force_for_dense_queries() {
+        // Enough spread that the uncapped grid would want thousands of cells per node;
+        // the cap must coarsen the grid without losing a single candidate.
+        let mut rng = StdRng::seed_from_u64(23);
+        let positions: Vec<Vec2> = (0..50)
+            .map(|_| Vec2::new(rng.gen_range(0.0..1.0e6), rng.gen_range(0.0..1.0e6)))
+            .collect();
+        let index = SpatialIndex::build(&positions, 10.0);
+        assert!(index.cell_count() <= 4 * positions.len() + 64, "cap must engage");
+        for i in [0usize, 13, 49] {
+            for r in [0.0, 1_000.0, 250_000.0, 2.0e6] {
+                assert_matches_brute_force(&positions, 10.0, positions[i], r);
+            }
+        }
     }
 
     #[test]

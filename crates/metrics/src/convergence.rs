@@ -1,0 +1,111 @@
+//! Convergence statistics: how fast (and at what cost) a protocol re-establishes a
+//! legitimate state after an injected fault.
+//!
+//! The paper's headline claim is *self-stabilization*: after arbitrary transient faults
+//! the SS-SPST family converges back to a correct energy-aware multicast tree. This
+//! module holds the measurement side of that claim — a [`ConvergenceStats`] block that a
+//! stabilization probe fills in while a faulted simulation runs, and that the simulator
+//! embeds into its per-run report. The quantities mirror what the self-stabilization
+//! literature treats as first class: convergence (recovery) time per fault episode, and
+//! the communication and energy spent *during* stabilization.
+
+use serde::{Deserialize, Serialize};
+
+/// Convergence measurements accumulated over one simulation run.
+///
+/// A *fault episode* opens when a fault is injected while no earlier episode is still
+/// open, and closes at the first probe epoch at which the legitimacy predicate holds
+/// again. Several fault events at the same instant (a corruption burst) therefore count
+/// as one episode. `faults_injected` counts raw fault events; `recovered` /
+/// `unrecovered` count episodes.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ConvergenceStats {
+    /// Interval between legitimacy probes, seconds (recovery times quantise to it).
+    pub probe_epoch_s: f64,
+    /// Number of probe epochs evaluated.
+    pub epochs_probed: u64,
+    /// Number of probe epochs at which the legitimacy predicate held.
+    pub epochs_legitimate: u64,
+    /// First simulated time at which the predicate held (initial convergence), if ever.
+    pub first_legitimate_s: Option<f64>,
+    /// Raw fault events injected (each corrupted node, crash, blackout or drain is one).
+    pub faults_injected: u64,
+    /// Fault episodes after which legitimacy was re-established before the run ended.
+    pub recovered: u64,
+    /// Fault episodes still unrecovered when the run ended.
+    pub unrecovered: u64,
+    /// Total observed-open time of unrecovered episodes, seconds (each contributes
+    /// `run end − episode start`): the censored lower bound on their true recovery
+    /// times, used when charting recovery alongside recovered episodes.
+    pub unrecovered_open_s: f64,
+    /// Mean recovery time over recovered episodes, seconds (0 if none recovered).
+    pub mean_recovery_s: f64,
+    /// Worst recovery time over recovered episodes, seconds (0 if none recovered).
+    pub max_recovery_s: f64,
+    /// Control packets transmitted network-wide while episodes were open.
+    pub control_packets_during_recovery: u64,
+    /// Data packet transmissions network-wide while episodes were open.
+    pub data_packets_during_recovery: u64,
+    /// Energy consumed network-wide while episodes were open, joules.
+    pub energy_during_recovery_j: f64,
+}
+
+impl ConvergenceStats {
+    /// A zeroed block for a probe that observed nothing yet.
+    pub fn empty(probe_epoch_s: f64) -> Self {
+        ConvergenceStats {
+            probe_epoch_s,
+            epochs_probed: 0,
+            epochs_legitimate: 0,
+            first_legitimate_s: None,
+            faults_injected: 0,
+            recovered: 0,
+            unrecovered: 0,
+            unrecovered_open_s: 0.0,
+            mean_recovery_s: 0.0,
+            max_recovery_s: 0.0,
+            control_packets_during_recovery: 0,
+            data_packets_during_recovery: 0,
+            energy_during_recovery_j: 0.0,
+        }
+    }
+
+    /// Fraction of probed epochs at which the system was legitimate (0 if never probed).
+    pub fn legitimacy_ratio(&self) -> f64 {
+        if self.epochs_probed == 0 {
+            0.0
+        } else {
+            self.epochs_legitimate as f64 / self.epochs_probed as f64
+        }
+    }
+
+    /// True if every fault episode recovered before the run ended.
+    pub fn fully_recovered(&self) -> bool {
+        self.unrecovered == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_block_is_all_zeroes() {
+        let c = ConvergenceStats::empty(0.5);
+        assert_eq!(c.probe_epoch_s, 0.5);
+        assert_eq!(c.epochs_probed, 0);
+        assert_eq!(c.legitimacy_ratio(), 0.0);
+        assert_eq!(c.first_legitimate_s, None);
+        assert!(c.fully_recovered());
+    }
+
+    #[test]
+    fn legitimacy_ratio_is_a_fraction() {
+        let mut c = ConvergenceStats::empty(1.0);
+        c.epochs_probed = 10;
+        c.epochs_legitimate = 7;
+        assert!((c.legitimacy_ratio() - 0.7).abs() < 1e-12);
+        c.unrecovered = 1;
+        assert!(!c.fully_recovered());
+    }
+}

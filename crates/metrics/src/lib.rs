@@ -6,8 +6,10 @@
 
 #![warn(missing_docs)]
 
+pub mod convergence;
 pub mod series;
 pub mod stats;
 
+pub use convergence::ConvergenceStats;
 pub use series::{Series, SeriesPoint};
 pub use stats::SummaryStats;

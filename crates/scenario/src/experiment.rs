@@ -140,6 +140,24 @@ impl Experiment {
         self
     }
 
+    /// Override the fault-injection spec for every run in the grid, including columns
+    /// from an earlier [`Experiment::sweep`] call. Every protocol in every cell then
+    /// faces the *same* seeded fault schedule (per repetition), and each report carries
+    /// a `ConvergenceStats` block from the stabilization probe.
+    ///
+    /// Because the override reaches every column, do **not** combine it with a
+    /// [`crate::SweptParameter::FaultBursts`] sweep (it would overwrite the per-column
+    /// burst counts) — set the base scenario's `faults` before that sweep instead.
+    pub fn faults(mut self, faults: ssmcast_manet::FaultPlanSpec) -> Self {
+        self.base.faults = faults;
+        if let Some(columns) = &mut self.columns {
+            for (_, scenario) in columns.iter_mut() {
+                scenario.faults = faults;
+            }
+        }
+        self
+    }
+
     /// Number of repetitions per cell (at least 1; each gets a derived seed).
     pub fn reps(mut self, reps: usize) -> Self {
         self.reps = reps.max(1);

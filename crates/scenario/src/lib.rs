@@ -48,4 +48,5 @@ pub use scenario::{MobilityKind, ProtocolKind, Scenario};
 pub use sink::{
     CellInfo, CsvStreamSink, JsonLinesSink, MemorySink, NullSink, ProgressSink, RunSink, TeeSink,
 };
+pub use ssmcast_manet::FaultPlanSpec;
 pub use sweep::{sweep, to_series, Metric, SweepCell};

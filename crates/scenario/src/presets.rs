@@ -20,6 +20,9 @@ pub enum SweptParameter {
     BeaconInterval,
     /// Multicast group size (members including the source).
     GroupSize,
+    /// Number of state-corruption bursts injected per run (fault sweep; x = 0 runs
+    /// fault-free). Burst times and targets are seeded per repetition.
+    FaultBursts,
 }
 
 impl SweptParameter {
@@ -29,6 +32,19 @@ impl SweptParameter {
             SweptParameter::Velocity => scenario.max_speed_mps = x,
             SweptParameter::BeaconInterval => scenario.beacon_interval_s = x,
             SweptParameter::GroupSize => scenario.group_size = x.round() as usize,
+            SweptParameter::FaultBursts => {
+                scenario.faults.corruption_bursts = x.round().max(0.0) as u32;
+                if scenario.faults.corruption_fraction <= 0.0 {
+                    scenario.faults.corruption_fraction = 0.3;
+                }
+                // Inject inside the traffic window so recovery is observable, leaving
+                // the last fifth of the run as headroom for the slowest protocols.
+                // Short runs (duration close to the warm-up) clamp the window into the
+                // run's first half rather than inverting it past the horizon.
+                let start = (scenario.warmup_s + 5.0).min(scenario.duration_s * 0.5);
+                scenario.faults.window_start_s = start;
+                scenario.faults.window_end_s = (scenario.duration_s * 0.8).max(start);
+            }
         }
     }
 
@@ -38,6 +54,7 @@ impl SweptParameter {
             SweptParameter::Velocity => "Velocity (m/s)",
             SweptParameter::BeaconInterval => "Beacon interval (s)",
             SweptParameter::GroupSize => "Group size",
+            SweptParameter::FaultBursts => "Corruption bursts per run",
         }
     }
 }
@@ -65,11 +82,16 @@ pub enum FigureId {
     Fig15,
     /// Energy per packet vs velocity, four protocols.
     Fig16,
+    /// Convergence time vs corruption-burst count, SS-SPST variants + baselines. Not a
+    /// figure of the paper — it measures the paper's *claim* (self-stabilization) the
+    /// way the related self-stabilization literature does, as recovery time and
+    /// communication-during-stabilization under a seeded fault schedule.
+    FigFaults,
 }
 
 impl FigureId {
     /// All evaluation figures in order.
-    pub const ALL: [FigureId; 10] = [
+    pub const ALL: [FigureId; 11] = [
         FigureId::Fig7,
         FigureId::Fig8,
         FigureId::Fig9,
@@ -80,6 +102,7 @@ impl FigureId {
         FigureId::Fig14,
         FigureId::Fig15,
         FigureId::Fig16,
+        FigureId::FigFaults,
     ];
 
     /// The preset describing how to regenerate this figure.
@@ -168,6 +191,14 @@ impl FigureId {
                 protocols: ProtocolKind::paper_four().to_vec(),
                 metric: Metric::EnergyPerPacketMj,
             },
+            FigureId::FigFaults => FigureSpec {
+                id: self,
+                title: "Convergence Time as a Function of Injected Corruption Bursts",
+                swept: SweptParameter::FaultBursts,
+                xs: vec![1.0, 2.0, 4.0, 8.0],
+                protocols: ProtocolKind::paper_four().to_vec(),
+                metric: Metric::MeanRecoveryS,
+            },
         }
     }
 
@@ -184,6 +215,7 @@ impl FigureId {
             FigureId::Fig14 => "fig14",
             FigureId::Fig15 => "fig15",
             FigureId::Fig16 => "fig16",
+            FigureId::FigFaults => "fig_faults",
         }
     }
 }
@@ -223,6 +255,12 @@ pub fn base_scenario_for(spec: &FigureSpec) -> Scenario {
             // Figures 12/13/15 fix node speed at 1 m/s.
             s.max_speed_mps = 1.0;
             s.beacon_interval_s = 2.0;
+        }
+        SweptParameter::FaultBursts => {
+            // Slow mobility so recovery time measures stabilization, not tree churn.
+            s.max_speed_mps = 1.0;
+            s.beacon_interval_s = 2.0;
+            s.faults.corruption_fraction = 0.3;
         }
     }
     s

@@ -9,7 +9,7 @@
 
 use crate::scenario::{ProtocolKind, Scenario};
 use ssmcast_baselines::{FloodingAgent, MaodvAgent, OdmrpAgent};
-use ssmcast_core::{MetricKind, MetricParams, SsSpstAgent, SsSpstConfig};
+use ssmcast_core::{MetricKind, MetricParams, SsSpstAgent, SsSpstConfig, StabilizationProbe};
 use ssmcast_dessim::SimDuration;
 use ssmcast_manet::{BoxedMobility, NetworkSim, NodeId, ProtocolAgent, SimReport, SimSetup};
 use std::collections::BTreeMap;
@@ -49,6 +49,11 @@ impl FnProtocol {
     /// `make_agent(scenario, node)` is called once per node id, in order, letting a
     /// deployment mix configurations across nodes (e.g. a low-power tier with a shorter
     /// beacon interval) while still running inside the standard harness.
+    ///
+    /// When the scenario configures faults, the run is driven through a
+    /// [`StabilizationProbe`] (legitimacy probed every `faults.probe_epoch_s` seconds)
+    /// and the report carries a `ConvergenceStats` block; fault-free scenarios take the
+    /// plain path and stay byte-identical to pre-fault builds.
     pub fn from_agent_fn<A, F>(name: impl Into<String>, make_agent: F) -> Self
     where
         A: ProtocolAgent + 'static,
@@ -59,7 +64,14 @@ impl FnProtocol {
                 let agents: Vec<A> =
                     (0..scenario.n_nodes).map(|i| make_agent(scenario, NodeId(i as u16))).collect();
                 let horizon = SimDuration::from_secs_f64(scenario.duration_s);
-                NetworkSim::new(setup, mobility, agents).run(horizon)
+                let mut sim = NetworkSim::new(setup, mobility, agents);
+                if scenario.faults.has_faults() {
+                    let epoch = SimDuration::from_secs_f64(scenario.faults.probe_epoch_s.max(0.05));
+                    let mut probe = StabilizationProbe::new(epoch);
+                    sim.run_probed(horizon, &mut probe)
+                } else {
+                    sim.run(horizon)
+                }
             });
         FnProtocol { name: name.into(), run }
     }

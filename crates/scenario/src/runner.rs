@@ -10,8 +10,8 @@ use crate::scenario::{MobilityKind, ProtocolKind, Scenario};
 use rand::seq::SliceRandom;
 use ssmcast_dessim::{SeedSequence, SimDuration, SimTime};
 use ssmcast_manet::{
-    grid_positions, Area, BoxedMobility, GaussMarkov, GaussMarkovConfig, GroupRole, NodeId,
-    RandomWaypoint, SimReport, SimSetup, Stationary, TrafficConfig, WaypointConfig,
+    grid_positions, Area, BoxedMobility, FaultPlan, GaussMarkov, GaussMarkovConfig, GroupRole,
+    NodeId, RandomWaypoint, SimReport, SimSetup, Stationary, TrafficConfig, WaypointConfig,
 };
 
 /// Assign group roles: node 0 is the source; `receiver_count` further members are drawn
@@ -89,9 +89,12 @@ pub fn build_setup(scenario: &Scenario, seeds: SeedSequence) -> SimSetup {
         radio: scenario.radio,
         traffic,
         roles: assign_roles(scenario, &seeds),
-        battery_capacity_j: f64::INFINITY,
+        battery_capacity_j: scenario.battery_capacity_j,
         unavailability_window: SimDuration::from_secs(1),
         availability_threshold: 0.95,
+        // The schedule is materialised from the scenario's spec with the scenario's own
+        // seed stream: same (scenario, seed) ⇒ same fault events, for every protocol.
+        faults: FaultPlan::from_spec(&scenario.faults, scenario.n_nodes, &seeds),
         seeds,
         medium: scenario.medium,
     }

@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use ssmcast_core::MetricKind;
-use ssmcast_manet::{MediumConfig, RadioConfig};
+use ssmcast_manet::{FaultPlanSpec, MediumConfig, RadioConfig};
 
 /// Which multicast protocol to run on a scenario.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Serialize, Deserialize)]
@@ -114,12 +114,20 @@ pub struct Scenario {
     pub packet_size_bytes: u32,
     /// Radio and energy configuration.
     pub radio: RadioConfig,
+    /// Battery capacity per node, joules. The paper's experiments model no depletion
+    /// (`f64::INFINITY`, the default); set a finite capacity for energy-budget studies
+    /// and to make [`Self::faults`] battery-drain spikes physically meaningful.
+    pub battery_capacity_j: f64,
     /// Mobility model plugged into [`crate::runner::build_mobility`].
     pub mobility: MobilityKind,
     /// Radio medium layer: position-cache epoch and neighbour-query mode. The default
     /// (exact positions, grid index) reproduces the brute-force physics byte for byte;
     /// a non-zero epoch trades position fidelity for large-n throughput.
     pub medium: MediumConfig,
+    /// Fault-injection knobs. [`FaultPlanSpec::none`] (the default) runs fault-free and
+    /// byte-identical to pre-fault builds; any configured fault makes the harness run a
+    /// stabilization probe and attach a `ConvergenceStats` block to the report.
+    pub faults: FaultPlanSpec,
     /// Master seed; repetitions derive child seeds from it.
     pub seed: u64,
 }
@@ -141,8 +149,10 @@ impl Scenario {
             data_rate_bps: 64_000.0,
             packet_size_bytes: 512,
             radio: RadioConfig::default(),
+            battery_capacity_j: f64::INFINITY,
             mobility: MobilityKind::RandomWaypoint,
             medium: MediumConfig::default(),
+            faults: FaultPlanSpec::none(),
             seed: 0x55_5357,
         }
     }
@@ -156,6 +166,12 @@ impl Scenario {
     /// The same scenario under a different radio medium configuration.
     pub fn with_medium(mut self, medium: MediumConfig) -> Self {
         self.medium = medium;
+        self
+    }
+
+    /// The same scenario under a fault-injection plan.
+    pub fn with_faults(mut self, faults: FaultPlanSpec) -> Self {
+        self.faults = faults;
         self
     }
 

@@ -133,8 +133,10 @@ fn csv_field(value: &str) -> String {
 }
 
 /// Streams one CSV row per repetition: `x,protocol,rep,pdr,unavailability,
-/// energy_per_packet_mj,control_overhead,delay_ms`. The header is written before the
-/// first row, so partial files from interrupted runs are still loadable.
+/// energy_per_packet_mj,control_overhead,delay_ms,faults,recovered,unrecovered,
+/// mean_recovery_s,recovery_energy_j`. The trailing convergence columns are zero for
+/// fault-free runs (no probe ran). The header is written before the first row, so
+/// partial files from interrupted runs are still loadable.
 ///
 /// Write failures do not abort the experiment (the simulation results still reach any
 /// other sinks in a tee), but they are not silent either: the first error is kept and
@@ -178,14 +180,26 @@ impl<W: Write> RunSink for CsvStreamSink<W> {
             self.wrote_header = true;
             let header = writeln!(
                 self.out,
-                "x,protocol,rep,pdr,unavailability,energy_per_packet_mj,control_overhead,delay_ms"
+                "x,protocol,rep,pdr,unavailability,energy_per_packet_mj,control_overhead,\
+                 delay_ms,faults,recovered,unrecovered,mean_recovery_s,recovery_energy_j"
             );
             self.record(header);
         }
         for (rep, r) in cell.reports.iter().enumerate() {
+            let (faults, recovered, unrecovered, mean_recovery_s, recovery_energy_j) =
+                match &r.convergence {
+                    Some(c) => (
+                        c.faults_injected,
+                        c.recovered,
+                        c.unrecovered,
+                        c.mean_recovery_s,
+                        c.energy_during_recovery_j,
+                    ),
+                    None => (0, 0, 0, 0.0, 0.0),
+                };
             let row = writeln!(
                 self.out,
-                "{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6}",
+                "{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{},{:.6},{:.6}",
                 cell.x,
                 csv_field(&cell.protocol),
                 rep,
@@ -194,6 +208,11 @@ impl<W: Write> RunSink for CsvStreamSink<W> {
                 r.energy_per_delivered_mj,
                 r.control_bytes_per_data_byte,
                 r.avg_delay_ms,
+                faults,
+                recovered,
+                unrecovered,
+                mean_recovery_s,
+                recovery_energy_j,
             );
             self.record(row);
         }
@@ -311,6 +330,7 @@ mod tests {
             control_bytes_per_data_byte: 0.015,
             unavailability_ratio: 1.0 - pdr,
             collisions: 0,
+            convergence: None,
         };
         SweepCell { x, protocol: protocol.to_string(), reports: vec![report] }
     }
@@ -357,6 +377,92 @@ mod tests {
         );
         // A plain name stays unquoted.
         assert_eq!(csv_field("ODMRP"), "ODMRP");
+    }
+
+    #[test]
+    fn csv_sink_quotes_embedded_newlines_and_carriage_returns() {
+        let mut sink = CsvStreamSink::new(Vec::new());
+        sink.on_cell(&info(0), &cell(1.0, "line1\nline2", 0.5));
+        sink.on_cell(&info(1), &cell(2.0, "cr\rhere", 0.5));
+        sink.finish();
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert!(
+            text.contains("\"line1\nline2\""),
+            "newline-bearing field must be quoted verbatim, got: {text:?}"
+        );
+        assert!(text.contains("\"cr\rhere\""), "carriage return must be quoted: {text:?}");
+        // RFC 4180: the quoted newline does not terminate the record — splitting on
+        // unquoted record boundaries yields header + 2 rows.
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a\nb"), "\"a\nb\"");
+        assert_eq!(csv_field("q\"q"), "\"q\"\"q\"");
+    }
+
+    /// A writer that accepts the first `line_budget` complete lines, then reports a
+    /// full disk — the shape of a long sweep dying mid-grid.
+    struct FailAfter {
+        inner: Vec<u8>,
+        line_budget: usize,
+        flushes: usize,
+    }
+
+    impl std::io::Write for FailAfter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            let lines = self.inner.iter().filter(|&&b| b == b'\n').count();
+            if lines >= self.line_budget {
+                return Err(std::io::Error::new(std::io::ErrorKind::StorageFull, "disk full"));
+            }
+            self.inner.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            self.flushes += 1;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn mid_grid_write_failure_preserves_completed_rows_and_surfaces_the_error() {
+        // Header + first cell's row fit the budget; the second cell hits the full disk.
+        let mut sink =
+            CsvStreamSink::new(FailAfter { inner: Vec::new(), line_budget: 2, flushes: 0 });
+        sink.on_cell(&info(0), &cell(1.0, "ODMRP", 0.9));
+        assert!(sink.error().is_none(), "the first cell fits on disk");
+        sink.on_cell(&info(1), &cell(5.0, "ODMRP", 0.8));
+        assert!(sink.error().is_some(), "the second cell's failure must surface");
+        sink.finish();
+        let out = sink.into_inner();
+        assert!(out.flushes >= 2, "every completed cell is flushed, not buffered");
+        let text = String::from_utf8(out.inner).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "header + the completed first row survive: {text:?}");
+        assert!(lines[0].starts_with("x,protocol,rep,pdr"));
+        assert!(lines[1].starts_with("1,ODMRP,0,0.9"));
+    }
+
+    #[test]
+    fn convergence_columns_default_to_zero_and_carry_probe_results() {
+        use ssmcast_metrics::ConvergenceStats;
+        let mut sink = CsvStreamSink::new(Vec::new());
+        let plain = cell(1.0, "A", 0.9);
+        let mut faulted = cell(2.0, "A", 0.8);
+        let mut stats = ConvergenceStats::empty(0.5);
+        stats.faults_injected = 4;
+        stats.recovered = 1;
+        stats.unrecovered = 1;
+        stats.mean_recovery_s = 3.25;
+        stats.energy_during_recovery_j = 0.125;
+        faulted.reports[0].convergence = Some(stats);
+        sink.on_cell(&info(0), &plain);
+        sink.on_cell(&info(1), &faulted);
+        sink.finish();
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(
+            lines[0].ends_with("faults,recovered,unrecovered,mean_recovery_s,recovery_energy_j")
+        );
+        assert!(lines[1].ends_with(",0,0,0,0.000000,0.000000"), "fault-free row: {}", lines[1]);
+        assert!(lines[2].ends_with(",4,1,1,3.250000,0.125000"), "probed row: {}", lines[2]);
     }
 
     #[test]

@@ -19,6 +19,15 @@ pub enum Metric {
     ControlOverhead,
     /// Average end-to-end delay, milliseconds.
     DelayMs,
+    /// Mean recovery time after an injected fault episode, seconds. Episodes still
+    /// unrecovered at the end of the run contribute their observed-open duration
+    /// (run end − episode start) — a censored lower bound on their true recovery time —
+    /// so a protocol that never recovers charts as slow, not as instantaneous. 0 only
+    /// for fault-free runs.
+    MeanRecoveryS,
+    /// Fraction of fault episodes left unrecovered at the end of the run (1.0 when a
+    /// protocol never recovers; 0 for fault-free runs).
+    UnrecoveredRatio,
 }
 
 impl Metric {
@@ -30,6 +39,24 @@ impl Metric {
             Metric::EnergyPerPacketMj => report.energy_per_delivered_mj,
             Metric::ControlOverhead => report.control_bytes_per_data_byte,
             Metric::DelayMs => report.avg_delay_ms,
+            Metric::MeanRecoveryS => report.convergence.as_ref().map_or(0.0, |c| {
+                let episodes = c.recovered + c.unrecovered;
+                if episodes == 0 {
+                    return 0.0;
+                }
+                // Unrecovered episodes are censored at their observed-open duration — a
+                // lower bound on their true recovery time that keeps never-recovering
+                // protocols from charting as instantly convergent.
+                (c.mean_recovery_s * c.recovered as f64 + c.unrecovered_open_s) / episodes as f64
+            }),
+            Metric::UnrecoveredRatio => report.convergence.as_ref().map_or(0.0, |c| {
+                let episodes = c.recovered + c.unrecovered;
+                if episodes == 0 {
+                    0.0
+                } else {
+                    c.unrecovered as f64 / episodes as f64
+                }
+            }),
         }
     }
 
@@ -41,6 +68,8 @@ impl Metric {
             Metric::EnergyPerPacketMj => "Energy per Packet Delivered (mJ)",
             Metric::ControlOverhead => "Control Bytes per Data Byte Delivered",
             Metric::DelayMs => "Average Delay (ms)",
+            Metric::MeanRecoveryS => "Mean Recovery Time after Fault (s)",
+            Metric::UnrecoveredRatio => "Unrecovered Fault Episodes (ratio)",
         }
     }
 }

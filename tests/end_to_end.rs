@@ -4,8 +4,8 @@
 use ssmcast::core::{MetricKind, MetricParams, SsSpstAgent, SsSpstConfig};
 use ssmcast::dessim::{SeedSequence, SimDuration, SimTime};
 use ssmcast::manet::{
-    BoxedMobility, GroupRole, MediumConfig, NetworkSim, NodeId, RadioConfig, SimSetup, Stationary,
-    TrafficConfig, Vec2,
+    BoxedMobility, FaultPlan, GroupRole, MediumConfig, NetworkSim, NodeId, RadioConfig, SimSetup,
+    Stationary, TrafficConfig, Vec2,
 };
 use ssmcast::scenario::{
     run_figure, run_protocol, FigureId, Metric, ProtocolKind, ProtocolRegistry, Scenario,
@@ -41,6 +41,7 @@ fn grid_setup(kind_members: &[GroupRole]) -> (SimSetup, Vec<BoxedMobility>) {
         availability_threshold: 0.95,
         seeds: SeedSequence::new(2024),
         medium: MediumConfig::default(),
+        faults: FaultPlan::new(),
     };
     (setup, mobility)
 }
