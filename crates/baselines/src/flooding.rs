@@ -4,6 +4,10 @@
 //! control traffic at all. Flooding is not evaluated in the paper but serves as a useful
 //! reference point in tests and ablations: it upper-bounds the delivery ratio any protocol
 //! can achieve on a given scenario and lower-bounds nothing — its energy cost is enormous.
+//!
+//! Multi-group runs instantiate one `FloodingAgent` per (session, node): the dedup set
+//! is per session, so concurrent sessions flood independently even though their sources
+//! reuse overlapping sequence numbers.
 
 use ssmcast_manet::{DataTag, Disposition, NodeCtx, Packet, ProtocolAgent};
 use std::collections::HashSet;

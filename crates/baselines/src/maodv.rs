@@ -12,6 +12,11 @@
 //!   on the reverse path as tree routers (the role MACT plays in full MAODV),
 //! * **Data** flows down the tree: a tree router accepts data only from its upstream next
 //!   hop and re-broadcasts it; everybody else overhears.
+//!
+//! "One shared tree per group" extends to multi-group runs unchanged: the runtime
+//! instantiates one `MaodvAgent` per (session, node), so each session keeps its own
+//! leader-rooted tree, hello sequence space and activation soft state over the shared
+//! medium.
 
 use ssmcast_dessim::{SimDuration, SimTime};
 use ssmcast_manet::{DataTag, Disposition, NodeCtx, NodeId, Packet, ProtocolAgent};

@@ -6,6 +6,12 @@
 //! *forwarding group*. Data packets are then re-broadcast by all forwarding-group members,
 //! giving redundant paths (high delivery ratio, Figure 12/14) at the price of the highest
 //! control and energy overheads of the protocols compared (Figures 13 and 16).
+//!
+//! ODMRP's mesh is naturally multi-group — each group builds its own forwarding group
+//! from its own Join Query floods. The multi-session runtime realises exactly that by
+//! instantiating one `OdmrpAgent` per (session, node); each session's mesh soft state
+//! (reverse paths, forwarding-group lifetimes, dedup sets) is fully independent, while
+//! all sessions contend on the one shared radio medium.
 
 use ssmcast_dessim::{SimDuration, SimTime};
 use ssmcast_manet::{DataTag, Disposition, NodeCtx, NodeId, Packet, ProtocolAgent};

@@ -132,12 +132,48 @@ fn bench_fault_recovery(c: &mut Criterion) {
     group.finish();
 }
 
+/// Multi-session dispatch pricing at n = 500: the same radio field carrying one vs four
+/// concurrent multicast sessions (each with its own per-node SS-SPST-E instances and a
+/// churned membership), probed per session. The single-session run is the baseline, so
+/// the pair prices the per-(session, node) agent dispatch, the per-session traces and
+/// the per-session legitimacy evaluation the multi-group refactor added.
+fn bench_multi_group(c: &mut Criterion) {
+    let base = {
+        let mut s = Scenario::paper_default();
+        s.n_nodes = 500;
+        s.area_side_m = 2_800.0;
+        s.group_size = 40;
+        s.duration_s = 5.0;
+        s.warmup_s = 1.0;
+        s.member_churn_rate = 0.5;
+        s.faults.probe_epoch_s = 0.5;
+        s.medium = MediumConfig::grid().with_epoch(SimDuration::from_millis(200));
+        s
+    };
+    let mut group = c.benchmark_group("manet/groups_n500");
+    group.sample_size(3);
+    for (name, n_groups) in [("sessions_1", 1), ("sessions_4", 4)] {
+        let scenario = base.with_groups(n_groups);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let report = run_protocol(
+                    black_box(&scenario),
+                    ProtocolKind::SsSpst(MetricKind::EnergyAware).to_protocol().as_ref(),
+                );
+                black_box(report)
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_event_queue,
     bench_metric_evaluation,
     bench_sync_stabilization,
     bench_broadcast_medium,
-    bench_fault_recovery
+    bench_fault_recovery,
+    bench_multi_group
 );
 criterion_main!(benches);

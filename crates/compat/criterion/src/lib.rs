@@ -12,17 +12,100 @@
 //! Passing `--quick` on the bench binary's command line (e.g.
 //! `cargo bench --bench microbench -- --quick`) clamps every benchmark to 2 samples and a
 //! 1 ms batch target — a smoke mode for CI that proves the benches compile and run
-//! without paying for statistically meaningful timings.
+//! without paying for statistically meaningful timings. Quick mode additionally writes a
+//! machine-readable `BENCH_<binary>.json` (override the path with the
+//! `BENCH_JSON_PATH` env var) with per-bench mean/min/max nanoseconds and the run
+//! configuration, so CI can archive bench trajectories as artifacts.
 
 #![warn(missing_docs)]
 
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// True if `--quick` was passed to the bench binary (CI smoke mode).
 fn quick_mode() -> bool {
     static QUICK: OnceLock<bool> = OnceLock::new();
     *QUICK.get_or_init(|| std::env::args().skip(1).any(|a| a == "--quick"))
+}
+
+/// One finished benchmark's timings, queued for the JSON report.
+struct BenchRecord {
+    name: String,
+    samples: usize,
+    batch: u64,
+    mean_ns: u128,
+    min_ns: u128,
+    max_ns: u128,
+}
+
+fn results() -> &'static Mutex<Vec<BenchRecord>> {
+    static RESULTS: OnceLock<Mutex<Vec<BenchRecord>>> = OnceLock::new();
+    RESULTS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Minimal JSON string escape for benchmark names (code-controlled, but correct anyway).
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Render the recorded benchmarks as a JSON report string.
+fn render_json_report() -> String {
+    let records = results().lock().expect("bench results poisoned");
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"quick\": {},\n", quick_mode()));
+    out.push_str("  \"config\": {");
+    out.push_str(&format!(
+        "\"batch_target_ms\": {}, \"max_samples_in_quick\": 2",
+        if quick_mode() { 1 } else { 10 }
+    ));
+    out.push_str("},\n  \"benches\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"samples\": {}, \"batch\": {}, \"mean_ns\": {}, \
+             \"min_ns\": {}, \"max_ns\": {}}}{}\n",
+            escape(&r.name),
+            r.samples,
+            r.batch,
+            r.mean_ns,
+            r.min_ns,
+            r.max_ns,
+            if i + 1 == records.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// In `--quick` mode, write the machine-readable report next to the working directory
+/// (default `BENCH_<binary>.json`, overridable via `BENCH_JSON_PATH`). Called by
+/// [`criterion_main!`] after every group ran; a no-op outside quick mode.
+pub fn write_json_report() {
+    if !quick_mode() {
+        return;
+    }
+    let path = std::env::var("BENCH_JSON_PATH").unwrap_or_else(|_| {
+        let binary = std::env::args()
+            .next()
+            .as_deref()
+            .and_then(|p| {
+                std::path::Path::new(p).file_stem().map(|s| s.to_string_lossy().into_owned())
+            })
+            .map(|stem| stem.split('-').next().unwrap_or("bench").to_string())
+            .unwrap_or_else(|| "bench".to_string());
+        format!("BENCH_{binary}.json")
+    });
+    let report = render_json_report();
+    match std::fs::write(&path, &report) {
+        Ok(()) => eprintln!("bench report written to {path}"),
+        Err(e) => eprintln!("bench report NOT written to {path}: {e}"),
+    }
 }
 
 /// Re-export of the standard black box.
@@ -90,6 +173,7 @@ impl BenchmarkGroup<'_> {
 pub struct Bencher {
     samples: Vec<Duration>,
     sample_size: usize,
+    batch: u64,
 }
 
 impl Bencher {
@@ -114,6 +198,7 @@ impl Bencher {
             }
             batch *= 2;
         }
+        self.batch = batch;
         for _ in 0..self.sample_size {
             let start = Instant::now();
             for _ in 0..batch {
@@ -129,7 +214,7 @@ where
     F: FnMut(&mut Bencher),
 {
     let sample_size = if quick_mode() { sample_size.min(2) } else { sample_size };
-    let mut b = Bencher { samples: Vec::new(), sample_size };
+    let mut b = Bencher { samples: Vec::new(), sample_size, batch: 0 };
     f(&mut b);
     if b.samples.is_empty() {
         println!("{name:<50} (no samples)");
@@ -140,6 +225,14 @@ where
     let min = b.samples.iter().min().copied().unwrap_or_default();
     let max = b.samples.iter().max().copied().unwrap_or_default();
     println!("{name:<50} time: [{min:>12.3?} {mean:>12.3?} {max:>12.3?}]  ({n} samples)");
+    results().lock().expect("bench results poisoned").push(BenchRecord {
+        name: name.to_string(),
+        samples: b.samples.len(),
+        batch: b.batch,
+        mean_ns: mean.as_nanos(),
+        min_ns: min.as_nanos(),
+        max_ns: max.as_nanos(),
+    });
 }
 
 /// Collect benchmark functions into one runnable group.
@@ -160,12 +253,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Produce a `main` that runs the given groups.
+/// Produce a `main` that runs the given groups (and, in `--quick` mode, writes the
+/// machine-readable JSON report once every group has run).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_json_report();
         }
     };
 }
@@ -181,5 +276,24 @@ mod tests {
         group.sample_size(3);
         group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
         group.finish();
+    }
+
+    #[test]
+    fn finished_benchmarks_land_in_the_json_report() {
+        let mut c = Criterion::default();
+        c.bench_function("shim/json\"quoted\"", |b| b.iter(|| black_box(2 + 2)));
+        let report = render_json_report();
+        assert!(report.contains("\"name\": \"shim/json\\\"quoted\\\"\""), "{report}");
+        assert!(report.contains("\"mean_ns\": "));
+        assert!(report.contains("\"benches\": ["));
+        // The report is structurally valid enough for jq: balanced braces/brackets.
+        assert_eq!(report.matches('[').count(), report.matches(']').count());
+    }
+
+    #[test]
+    fn json_escape_handles_control_characters() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("x\ny"), "x\\u000ay");
     }
 }

@@ -4,7 +4,7 @@
 //! convergence/closure proofs) runs on this abstract graph; the event-driven agent
 //! recovers the same information at run time from beacons.
 
-use ssmcast_manet::{NodeId, TopologySnapshot};
+use ssmcast_manet::{GroupRole, NodeId, TopologySnapshot};
 use std::collections::BTreeMap;
 
 /// An undirected weighted graph where edge weights are distances in metres, together with
@@ -65,6 +65,20 @@ impl MulticastTopology {
             }
         }
         Self::from_edges(n, &edges, source, members)
+    }
+
+    /// Build one session's problem instance from a snapshot and that session's (possibly
+    /// churn-updated) role table: the source and member set are read off the roles, so a
+    /// multi-group run yields one topology per session over the same physical graph.
+    ///
+    /// # Panics
+    /// Panics if `roles` has the wrong length or contains no [`GroupRole::Source`].
+    pub fn for_session(snap: &TopologySnapshot, roles: &[GroupRole]) -> Self {
+        assert_eq!(roles.len(), snap.len(), "one role per node");
+        let source =
+            roles.iter().position(|r| r.is_source()).expect("a session must have a source");
+        let members = roles.iter().map(|r| r.is_member()).collect();
+        Self::from_snapshot(snap, NodeId(source as u16), members)
     }
 
     /// Number of nodes.
@@ -200,6 +214,31 @@ mod tests {
         assert_eq!(t.distance(NodeId(0), NodeId(1)), Some(100.0));
         assert_eq!(t.distance(NodeId(0), NodeId(2)), None);
         assert_eq!(t.distance(NodeId(1), NodeId(2)), None);
+    }
+
+    #[test]
+    fn for_session_reads_source_and_members_off_the_role_table() {
+        use ssmcast_manet::GroupRole;
+        let snap = TopologySnapshot::new(
+            vec![Vec2::new(0.0, 0.0), Vec2::new(100.0, 0.0), Vec2::new(200.0, 0.0)],
+            150.0,
+        );
+        // Two sessions over the same physics, different sources and member sets.
+        let s0 = MulticastTopology::for_session(
+            &snap,
+            &[GroupRole::Source, GroupRole::NonMember, GroupRole::Member],
+        );
+        let s1 = MulticastTopology::for_session(
+            &snap,
+            &[GroupRole::Member, GroupRole::Member, GroupRole::Source],
+        );
+        assert_eq!(s0.source(), NodeId(0));
+        assert_eq!(s1.source(), NodeId(2));
+        assert_eq!(s0.member_count(), 2, "source + node 2");
+        assert_eq!(s1.member_count(), 3);
+        assert!(!s0.is_member(NodeId(1)));
+        assert!(s1.is_member(NodeId(1)));
+        assert_eq!(s0.distance(NodeId(0), NodeId(1)), s1.distance(NodeId(0), NodeId(1)));
     }
 
     #[test]

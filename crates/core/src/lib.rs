@@ -42,6 +42,6 @@ pub use beacon::Beacon;
 pub use graph::MulticastTopology;
 pub use metric::{cost_via, join_overhead, node_cost, MetricKind, MetricParams, ParentView};
 pub use paper_example::{figure1_topology, run_all_examples, run_example, ExampleResult};
-pub use probe::{is_legitimate, legitimate_over, StabilizationProbe};
+pub use probe::{is_legitimate, legitimate_over, session_legitimate, StabilizationProbe};
 pub use sync_model::{NodeState, RoundReport, SyncModel};
 pub use tree::MulticastTree;

@@ -9,12 +9,19 @@
 //! and energy to each fault episode. The result lands in the run report as a
 //! [`ConvergenceStats`] block.
 //!
-//! # The legitimacy predicate
+//! Since the multi-session refactor the predicate is evaluated **per session**: each
+//! concurrent multicast group has its own source, membership table (updated by churn)
+//! and per-node protocol instances, so each gets its own tree-validity verdict. The
+//! network-wide predicate is the conjunction — the aggregate [`ConvergenceStats`] block
+//! means "every session legitimate", and [`StabilizationProbe::session_stats`] breaks
+//! the same accounting down per session for the report's per-group blocks.
 //!
-//! At a probe instant the network is *legitimate* iff, over the alive nodes (neither
+//! # The legitimacy predicate (per session)
+//!
+//! At a probe instant a session is *legitimate* iff, over the alive nodes (neither
 //! crashed nor battery-depleted):
 //!
-//! 1. the source reports no parent and is neither dead nor blacked out,
+//! 1. the session's source reports no parent and is neither dead nor blacked out,
 //! 2. parent pointers are loop-free,
 //! 3. every alive **member** that the current [`TopologySnapshot`]'s unit-disc graph
 //!    (restricted to alive nodes) connects to the source has a parent chain reaching
@@ -44,9 +51,20 @@ use ssmcast_manet::{
 };
 use ssmcast_metrics::ConvergenceStats;
 
-/// Evaluate the legitimacy predicate (see the module docs) on a probe context.
+/// Evaluate the network-wide legitimacy predicate: every session legitimate (see the
+/// module docs). An empty session list is vacuously illegitimate.
 pub fn is_legitimate(ctx: &ProbeContext<'_>) -> bool {
-    legitimate_over(ctx.snapshot, ctx.parents, ctx.alive, ctx.blacked_out, ctx.roles)
+    !ctx.sessions.is_empty()
+        && ctx
+            .sessions
+            .iter()
+            .all(|s| legitimate_over(ctx.snapshot, s.parents, ctx.alive, ctx.blacked_out, s.roles))
+}
+
+/// Evaluate the legitimacy predicate for one session of a probe context.
+pub fn session_legitimate(ctx: &ProbeContext<'_>, session: usize) -> bool {
+    let s = &ctx.sessions[session];
+    legitimate_over(ctx.snapshot, s.parents, ctx.alive, ctx.blacked_out, s.roles)
 }
 
 /// The predicate over explicit pieces, usable from tests without a running simulator.
@@ -123,23 +141,111 @@ pub fn legitimate_over(
     true
 }
 
-/// One open fault episode: when it started and the counter baselines at that instant.
+/// Counter snapshot a track diffs across a recovery window. The aggregate track uses
+/// the context's network-wide totals; each per-session track uses that session's own
+/// counters, so a group's recovery cost never includes other sessions' traffic.
 #[derive(Clone, Copy, Debug)]
-struct Episode {
-    started_at: SimTime,
+struct Counters {
     control_packets: u64,
     data_packets: u64,
     energy_j: f64,
 }
 
-/// A [`StabilizationObserver`] that evaluates the legitimacy predicate each epoch and
-/// aggregates per-episode recovery measurements into a [`ConvergenceStats`] block.
+impl Counters {
+    fn network_wide(ctx: &ProbeContext<'_>) -> Self {
+        Counters {
+            control_packets: ctx.control_packets,
+            data_packets: ctx.data_packets,
+            energy_j: ctx.energy_j,
+        }
+    }
+
+    fn of_session(ctx: &ProbeContext<'_>, session: usize) -> Self {
+        let s = &ctx.sessions[session];
+        Counters {
+            control_packets: s.control_packets,
+            data_packets: s.data_packets,
+            energy_j: s.energy_j,
+        }
+    }
+}
+
+/// One open fault episode: when it started and the counter baselines at that instant.
+#[derive(Clone, Copy, Debug)]
+struct Episode {
+    started_at: SimTime,
+    baseline: Counters,
+}
+
+/// Episode/epoch accounting for one legitimacy stream (the network-wide conjunction, or
+/// one session).
 #[derive(Clone, Debug)]
-pub struct StabilizationProbe {
-    epoch: SimDuration,
+struct Track {
     stats: ConvergenceStats,
     episode: Option<Episode>,
     recovery_sum_s: f64,
+}
+
+impl Track {
+    fn new(epoch_s: f64) -> Self {
+        Track { stats: ConvergenceStats::empty(epoch_s), episode: None, recovery_sum_s: 0.0 }
+    }
+
+    fn on_epoch(&mut self, legitimate: bool, now: SimTime, counters: Counters) {
+        self.stats.epochs_probed += 1;
+        if legitimate {
+            self.stats.epochs_legitimate += 1;
+            if self.stats.first_legitimate_s.is_none() {
+                self.stats.first_legitimate_s = Some(now.as_secs_f64());
+            }
+            if let Some(ep) = self.episode.take() {
+                self.close_episode(ep, now, counters);
+            }
+        }
+    }
+
+    fn on_fault(&mut self, now: SimTime, counters: Counters) {
+        self.stats.faults_injected += 1;
+        // Simultaneous faults (a corruption burst) share one episode.
+        if self.episode.is_none() {
+            self.episode = Some(Episode { started_at: now, baseline: counters });
+        }
+    }
+
+    fn close_episode(&mut self, ep: Episode, now: SimTime, counters: Counters) {
+        let recovery = now.saturating_since(ep.started_at).as_secs_f64();
+        self.stats.recovered += 1;
+        self.recovery_sum_s += recovery;
+        self.stats.max_recovery_s = self.stats.max_recovery_s.max(recovery);
+        self.stats.mean_recovery_s = self.recovery_sum_s / self.stats.recovered as f64;
+        self.stats.control_packets_during_recovery +=
+            counters.control_packets.saturating_sub(ep.baseline.control_packets);
+        self.stats.data_packets_during_recovery +=
+            counters.data_packets.saturating_sub(ep.baseline.data_packets);
+        self.stats.energy_during_recovery_j += (counters.energy_j - ep.baseline.energy_j).max(0.0);
+    }
+
+    fn finish(&mut self, end: SimTime) -> ConvergenceStats {
+        if let Some(ep) = self.episode.take() {
+            self.stats.unrecovered += 1;
+            self.stats.unrecovered_open_s += end.saturating_since(ep.started_at).as_secs_f64();
+        }
+        self.stats.clone()
+    }
+}
+
+/// A [`StabilizationObserver`] that evaluates the legitimacy predicate each epoch and
+/// aggregates per-episode recovery measurements into a [`ConvergenceStats`] block —
+/// network-wide, and broken down per session for multi-group runs.
+#[derive(Clone, Debug)]
+pub struct StabilizationProbe {
+    epoch: SimDuration,
+    aggregate: Track,
+    /// One track per session, sized lazily at the first callback (the probe does not
+    /// know the session count until the runtime hands it a context).
+    per_session: Vec<Track>,
+    /// Finalized per-session stats, filled by `finish`.
+    finished_sessions: Vec<ConvergenceStats>,
 }
 
 impl StabilizationProbe {
@@ -148,9 +254,9 @@ impl StabilizationProbe {
         let epoch = if epoch.is_zero() { SimDuration::from_secs(1) } else { epoch };
         StabilizationProbe {
             epoch,
-            stats: ConvergenceStats::empty(epoch.as_secs_f64()),
-            episode: None,
-            recovery_sum_s: 0.0,
+            aggregate: Track::new(epoch.as_secs_f64()),
+            per_session: Vec::new(),
+            finished_sessions: Vec::new(),
         }
     }
 
@@ -159,21 +265,17 @@ impl StabilizationProbe {
         self.epoch
     }
 
-    /// The statistics accumulated so far (finalised by [`StabilizationObserver::finish`]).
+    /// The network-wide statistics accumulated so far (finalised by
+    /// [`StabilizationObserver::finish`]).
     pub fn stats(&self) -> &ConvergenceStats {
-        &self.stats
+        &self.aggregate.stats
     }
 
-    fn close_episode(&mut self, ep: Episode, ctx: &ProbeContext<'_>) {
-        let recovery = ctx.now.saturating_since(ep.started_at).as_secs_f64();
-        self.stats.recovered += 1;
-        self.recovery_sum_s += recovery;
-        self.stats.max_recovery_s = self.stats.max_recovery_s.max(recovery);
-        self.stats.mean_recovery_s = self.recovery_sum_s / self.stats.recovered as f64;
-        self.stats.control_packets_during_recovery +=
-            ctx.control_packets.saturating_sub(ep.control_packets);
-        self.stats.data_packets_during_recovery += ctx.data_packets.saturating_sub(ep.data_packets);
-        self.stats.energy_during_recovery_j += (ctx.energy_j - ep.energy_j).max(0.0);
+    fn ensure_sessions(&mut self, n: usize) {
+        let epoch_s = self.epoch.as_secs_f64();
+        while self.per_session.len() < n {
+            self.per_session.push(Track::new(epoch_s));
+        }
     }
 }
 
@@ -183,44 +285,43 @@ impl StabilizationObserver for StabilizationProbe {
     }
 
     fn on_epoch(&mut self, ctx: &ProbeContext<'_>) {
-        self.stats.epochs_probed += 1;
-        if is_legitimate(ctx) {
-            self.stats.epochs_legitimate += 1;
-            if self.stats.first_legitimate_s.is_none() {
-                self.stats.first_legitimate_s = Some(ctx.now.as_secs_f64());
-            }
-            if let Some(ep) = self.episode.take() {
-                self.close_episode(ep, ctx);
-            }
+        self.ensure_sessions(ctx.sessions.len());
+        self.aggregate.on_epoch(is_legitimate(ctx), ctx.now, Counters::network_wide(ctx));
+        for s in 0..ctx.sessions.len() {
+            self.per_session[s].on_epoch(
+                session_legitimate(ctx, s),
+                ctx.now,
+                Counters::of_session(ctx, s),
+            );
         }
     }
 
     fn on_fault(&mut self, _kind: &FaultKind, ctx: &ProbeContext<'_>) {
-        self.stats.faults_injected += 1;
-        // Simultaneous faults (a corruption burst) share one episode.
-        if self.episode.is_none() {
-            self.episode = Some(Episode {
-                started_at: ctx.now,
-                control_packets: ctx.control_packets,
-                data_packets: ctx.data_packets,
-                energy_j: ctx.energy_j,
-            });
+        self.ensure_sessions(ctx.sessions.len());
+        self.aggregate.on_fault(ctx.now, Counters::network_wide(ctx));
+        // A node-level fault perturbs every session that node participates in; each
+        // session tracks its own episode (baselined at its own counters) and closes it
+        // at its own first legitimate epoch.
+        for s in 0..ctx.sessions.len() {
+            self.per_session[s].on_fault(ctx.now, Counters::of_session(ctx, s));
         }
     }
 
     fn finish(&mut self, end: SimTime) -> Option<ConvergenceStats> {
-        if let Some(ep) = self.episode.take() {
-            self.stats.unrecovered += 1;
-            self.stats.unrecovered_open_s += end.saturating_since(ep.started_at).as_secs_f64();
-        }
-        Some(self.stats.clone())
+        self.finished_sessions =
+            self.per_session.iter_mut().map(|track| track.finish(end)).collect();
+        Some(self.aggregate.finish(end))
+    }
+
+    fn session_stats(&self) -> Vec<ConvergenceStats> {
+        self.finished_sessions.clone()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ssmcast_manet::Vec2;
+    use ssmcast_manet::{SessionProbe, Vec2};
 
     /// Four nodes on a line, 100 m apart, 150 m range: path graph 0-1-2-3.
     fn line() -> TopologySnapshot {
@@ -307,18 +408,16 @@ mod tests {
     fn ctx_at<'a>(
         now: SimTime,
         snap: &'a TopologySnapshot,
-        parents: &'a [Option<NodeId>],
+        sessions: &'a [SessionProbe<'a>],
         alive: &'a [bool],
-        roles: &'a [GroupRole],
         energy: f64,
     ) -> ProbeContext<'a> {
         ProbeContext {
             now,
             snapshot: snap,
-            parents,
+            sessions,
             alive,
             blacked_out: &NO_BLACKOUT,
-            roles,
             control_packets: (now.as_secs_f64() * 10.0) as u64,
             data_packets: 0,
             energy_j: energy,
@@ -347,25 +446,53 @@ mod tests {
         ));
     }
 
+    /// A session view whose counters mirror `ctx_at`'s network-wide formula at `now`
+    /// (one session owns all the traffic), so single-session per-group stats must equal
+    /// the aggregate exactly.
+    fn session_at<'a>(
+        now: SimTime,
+        parents: &'a [Option<NodeId>],
+        roles: &'a [GroupRole],
+        energy: f64,
+    ) -> SessionProbe<'a> {
+        SessionProbe {
+            parents,
+            roles,
+            control_packets: (now.as_secs_f64() * 10.0) as u64,
+            data_packets: 0,
+            energy_j: energy,
+        }
+    }
+
     #[test]
     fn probe_counts_epochs_and_closes_episodes() {
         let snap = line();
         let parents = chain_parents();
         let alive = vec![true; 4];
         let r = roles();
+        let mut broken_parents = parents.clone();
+        broken_parents[3] = Some(NodeId(0));
         let mut probe = StabilizationProbe::new(SimDuration::from_secs(1));
         // Legitimate epoch at t=1.
-        probe.on_epoch(&ctx_at(SimTime::from_secs(1), &snap, &parents, &alive, &r, 1.0));
+        let t1 = SimTime::from_secs(1);
+        probe.on_epoch(&ctx_at(t1, &snap, &[session_at(t1, &parents, &r, 1.0)], &alive, 1.0));
         // Fault at t=2 breaks node 3 off.
-        let mut broken = parents.clone();
-        broken[3] = Some(NodeId(0));
+        let t2 = SimTime::from_secs(2);
         probe.on_fault(
             &FaultKind::Corrupt { node: NodeId(3) },
-            &ctx_at(SimTime::from_secs(2), &snap, &broken, &alive, &r, 2.0),
+            &ctx_at(t2, &snap, &[session_at(t2, &broken_parents, &r, 2.0)], &alive, 2.0),
         );
-        probe.on_epoch(&ctx_at(SimTime::from_secs(3), &snap, &broken, &alive, &r, 3.0));
+        let t3 = SimTime::from_secs(3);
+        probe.on_epoch(&ctx_at(
+            t3,
+            &snap,
+            &[session_at(t3, &broken_parents, &r, 3.0)],
+            &alive,
+            3.0,
+        ));
         // Recovered by t=4.
-        probe.on_epoch(&ctx_at(SimTime::from_secs(4), &snap, &parents, &alive, &r, 5.0));
+        let t4 = SimTime::from_secs(4);
+        probe.on_epoch(&ctx_at(t4, &snap, &[session_at(t4, &parents, &r, 5.0)], &alive, 5.0));
         let stats = probe.finish(SimTime::from_secs(5)).expect("probe always reports");
         assert_eq!(stats.epochs_probed, 3);
         assert_eq!(stats.epochs_legitimate, 2);
@@ -376,6 +503,10 @@ mod tests {
         assert!((stats.mean_recovery_s - 2.0).abs() < 1e-9, "fault at 2, legitimate at 4");
         assert_eq!(stats.control_packets_during_recovery, 20);
         assert!((stats.energy_during_recovery_j - 3.0).abs() < 1e-12);
+        // A single session's breakdown matches the aggregate.
+        let sessions = probe.session_stats();
+        assert_eq!(sessions.len(), 1);
+        assert_eq!(sessions[0], stats);
     }
 
     #[test]
@@ -384,13 +515,19 @@ mod tests {
         let parents = chain_parents();
         let alive = vec![true; 4];
         let r = roles();
+        let sessions = [SessionProbe {
+            parents: &parents,
+            roles: &r,
+            control_packets: 0,
+            data_packets: 0,
+            energy_j: 0.0,
+        }];
         let ctx = ProbeContext {
             now: SimTime::from_secs(2),
             snapshot: &snap,
-            parents: &parents,
+            sessions: &sessions,
             alive: &alive,
             blacked_out: &NO_BLACKOUT,
-            roles: &r,
             control_packets: 0,
             data_packets: 0,
             energy_j: 0.0,
@@ -406,5 +543,61 @@ mod tests {
             (stats.unrecovered_open_s - 8.0).abs() < 1e-12,
             "the open episode was observed for run end (10) − start (2) seconds"
         );
+    }
+
+    #[test]
+    fn per_session_verdicts_diverge_when_only_one_session_breaks() {
+        let snap = line();
+        let parents = chain_parents();
+        let mut broken = parents.clone();
+        broken[3] = Some(NodeId(0)); // out of range: session 1 is illegitimate
+        let r = roles();
+        let alive = vec![true; 4];
+        // Session 0 owns 5 control packets / 0.25 J at the fault instant and 9 / 0.75 J
+        // at the recovery epoch; session 1's counters differ — the per-session episode
+        // must be baselined and closed with its *own* counters, not the network totals.
+        let at_fault = [session_with(&parents, &r, 5, 0.25), session_with(&broken, &r, 100, 10.0)];
+        let ctx = ctx_at(SimTime::from_secs(1), &snap, &at_fault, &alive, 11.0);
+        assert!(session_legitimate(&ctx, 0));
+        assert!(!session_legitimate(&ctx, 1));
+        assert!(!is_legitimate(&ctx), "the network-wide verdict is the conjunction");
+
+        let mut probe = StabilizationProbe::new(SimDuration::from_secs(1));
+        probe.on_fault(&FaultKind::Corrupt { node: NodeId(3) }, &ctx);
+        // Session 0 is already legitimate at the next epoch; session 1 never recovers.
+        let at_epoch = [session_with(&parents, &r, 9, 0.75), session_with(&broken, &r, 140, 14.0)];
+        probe.on_epoch(&ctx_at(SimTime::from_secs(2), &snap, &at_epoch, &alive, 15.0));
+        let aggregate = probe.finish(SimTime::from_secs(5)).unwrap();
+        let per = probe.session_stats();
+        assert_eq!(per.len(), 2);
+        assert_eq!(per[0].recovered, 1, "session 0 closes its episode");
+        assert_eq!(per[1].recovered, 0);
+        assert_eq!(per[1].unrecovered, 1, "session 1's episode stays open");
+        assert_eq!(aggregate.recovered, 0, "the conjunction never turns legitimate");
+        assert_eq!(aggregate.unrecovered, 1);
+        assert_eq!(per[0].epochs_legitimate, 1);
+        assert_eq!(per[1].epochs_legitimate, 0);
+        // Recovery cost is charged from the session's own counters: 9 − 5 packets,
+        // 0.75 − 0.25 J — not the network-wide 40-packet / 4 J window.
+        assert_eq!(per[0].control_packets_during_recovery, 4);
+        assert!((per[0].energy_during_recovery_j - 0.5).abs() < 1e-12);
+    }
+
+    /// A session view with explicit per-session counters.
+    fn session_with<'a>(
+        parents: &'a [Option<NodeId>],
+        roles: &'a [GroupRole],
+        control_packets: u64,
+        energy_j: f64,
+    ) -> SessionProbe<'a> {
+        SessionProbe { parents, roles, control_packets, data_packets: 0, energy_j }
+    }
+
+    #[test]
+    fn empty_session_lists_are_never_legitimate() {
+        let snap = line();
+        let alive = vec![true; 4];
+        let ctx = ctx_at(SimTime::from_secs(1), &snap, &[], &alive, 0.0);
+        assert!(!is_legitimate(&ctx));
     }
 }

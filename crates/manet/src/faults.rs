@@ -305,29 +305,46 @@ pub fn scrambled_parent(rng: &mut StdRng) -> Option<NodeId> {
     }
 }
 
+/// One multicast session's state as seen by a stabilization probe: each node's
+/// self-reported tree parent *in that session's protocol instance*, the session's
+/// current (churn-updated) membership table, and the session's own running counters —
+/// so per-session convergence accounting charges a recovery window with that session's
+/// traffic and energy, not the whole network's.
+pub struct SessionProbe<'a> {
+    /// Per-node tree parent as reported by this session's agents
+    /// ([`crate::agent::ProtocolAgent::tree_parent`], `None` for protocols without a
+    /// rooted structure).
+    pub parents: &'a [Option<NodeId>],
+    /// Per-node role in this session at the probe instant (membership churn applied).
+    pub roles: &'a [GroupRole],
+    /// Control packets this session's instances transmitted so far.
+    pub control_packets: u64,
+    /// Data packet transmissions for this session so far.
+    pub data_packets: u64,
+    /// Energy attributed to this session's frames so far, joules.
+    pub energy_j: f64,
+}
+
 /// The state a stabilization observer sees at a probe epoch or fault instant.
 ///
-/// `parents` is each agent's self-reported tree parent
-/// ([`crate::agent::ProtocolAgent::tree_parent`], `None` for protocols without a rooted
-/// structure); `alive[i]` is false while node `i` is crashed or battery-depleted, and
-/// `blacked_out[i]` is true while its links are in a blackout (the node itself keeps
-/// running — the distinction matters to legitimacy predicates: a dead member is exempt
-/// from coverage, a blacked-out one is merely unserved). The counters are network-wide
-/// running totals, so an observer can difference them across instants to charge
-/// messages and energy to a recovery window.
+/// `sessions` carries one [`SessionProbe`] per concurrent multicast session (parents +
+/// current roles); `alive[i]` is false while node `i` is crashed or battery-depleted,
+/// and `blacked_out[i]` is true while its links are in a blackout (the node itself
+/// keeps running — the distinction matters to legitimacy predicates: a dead member is
+/// exempt from coverage, a blacked-out one is merely unserved). The counters are
+/// network-wide running totals, so an observer can difference them across instants to
+/// charge messages and energy to a recovery window.
 pub struct ProbeContext<'a> {
     /// Current simulated time.
     pub now: SimTime,
     /// Frozen positions + unit-disc connectivity at `now` (maximum radio range).
     pub snapshot: &'a TopologySnapshot,
-    /// Per-node tree parent as reported by each agent.
-    pub parents: &'a [Option<NodeId>],
+    /// Per-session parents + roles, index-aligned with the run's sessions.
+    pub sessions: &'a [SessionProbe<'a>],
     /// Per-node liveness (false while crashed or depleted).
     pub alive: &'a [bool],
     /// Per-node link-blackout state (true while the node's links are dark).
     pub blacked_out: &'a [bool],
-    /// Per-node multicast group roles.
-    pub roles: &'a [GroupRole],
     /// Control packets transmitted so far, network-wide.
     pub control_packets: u64,
     /// Data packet transmissions so far, network-wide.
@@ -357,6 +374,14 @@ pub trait StabilizationObserver {
 
     /// Called once when the run ends; returns the stats to embed in the report.
     fn finish(&mut self, end: SimTime) -> Option<ConvergenceStats>;
+
+    /// Per-session convergence stats, index-aligned with the run's sessions. Only
+    /// meaningful after [`Self::finish`]; the default (empty) means the observer does
+    /// not break its measurements down per session and the runtime attaches nothing to
+    /// the per-group report blocks.
+    fn session_stats(&self) -> Vec<ConvergenceStats> {
+        Vec::new()
+    }
 }
 
 #[cfg(test)]

@@ -37,6 +37,7 @@ pub mod node;
 pub mod packet;
 pub mod report;
 pub mod runtime;
+pub mod session;
 pub mod snapshot;
 pub mod spatial;
 pub mod traffic;
@@ -46,7 +47,7 @@ pub use battery::{Battery, EnergyUse};
 pub use channel::Channel;
 pub use energy::{EnergyModel, RadioConfig};
 pub use faults::{
-    scrambled_parent, FaultEvent, FaultKind, FaultPlan, FaultPlanSpec, ProbeContext,
+    scrambled_parent, FaultEvent, FaultKind, FaultPlan, FaultPlanSpec, ProbeContext, SessionProbe,
     StabilizationObserver,
 };
 pub use geometry::{Area, Vec2};
@@ -57,8 +58,9 @@ pub use mobility::{
 };
 pub use node::{GroupId, GroupRole, NodeId};
 pub use packet::{DataTag, Packet, PacketClass};
-pub use report::{SimReport, Trace};
+pub use report::{GroupAccounting, SimReport, Trace};
 pub use runtime::{NetEvent, NetworkSim, SimSetup};
+pub use session::{MembershipChange, MembershipEvent, SessionSetup};
 pub use snapshot::TopologySnapshot;
 pub use spatial::SpatialIndex;
 pub use traffic::TrafficConfig;

@@ -1,19 +1,27 @@
 //! Raw simulation traces and the per-run report derived from them.
+//!
+//! Since the multi-session refactor a run carries one [`Trace`] per multicast session;
+//! [`Trace::finish_aggregate`] folds them into the network-wide [`SimReport`] (whose
+//! aggregate fields are defined exactly as the single-group originals), and
+//! [`Trace::group_stats`] renders each session's own block. Single-session, churn-free
+//! runs produce reports byte-identical to the pre-refactor build: the aggregate of one
+//! trace *is* the old report, and the `groups` breakdown is omitted entirely.
 
 use crate::node::NodeId;
 use crate::packet::DataTag;
 use serde::{Deserialize, Serialize};
 use ssmcast_dessim::{SimDuration, SimTime};
-use ssmcast_metrics::ConvergenceStats;
+use ssmcast_metrics::{ConvergenceStats, GroupStats};
 use std::collections::{HashMap, HashSet};
 
-/// Raw counters accumulated while a simulation runs.
+/// Raw counters accumulated for one multicast session while a simulation runs.
 #[derive(Debug, Clone)]
 pub struct Trace {
     window: SimDuration,
-    n_receivers: u64,
     generated: HashMap<u64, SimTime>,
     delivered: HashSet<(u64, u16)>,
+    /// Deliveries owed: summed per generated packet from the membership at that instant.
+    expected: u64,
     delay_sum: SimDuration,
     delivered_count: u64,
     duplicate_deliveries: u64,
@@ -25,16 +33,66 @@ pub struct Trace {
     delivered_per_window: HashMap<u64, u64>,
 }
 
+/// Everything a session's [`GroupStats`] block needs beyond the trace counters: identity,
+/// the churn the runtime applied, and the energy it attributed to this session.
+#[derive(Clone, Copy, Debug)]
+pub struct GroupAccounting {
+    /// The session's group id.
+    pub group: u16,
+    /// The session's source node id.
+    pub source: u16,
+    /// Receivers at the start of the run.
+    pub members_initial: u64,
+    /// Receivers at the end of the run.
+    pub members_final: u64,
+    /// Join events applied.
+    pub joins: u64,
+    /// Leave events applied.
+    pub leaves: u64,
+    /// Energy attributed to this session's frames, joules.
+    pub energy_j: f64,
+    /// Overhearing energy attributed to this session, joules.
+    pub overhear_energy_j: f64,
+    /// Per-window delivery ratio below which the session counts as unavailable.
+    pub availability_threshold: f64,
+}
+
+/// Unavailability over a set of traffic windows: the fraction of non-empty windows
+/// whose delivery ratio fell below `threshold` (1.0 when no traffic window exists).
+/// One definition serves both the per-session blocks and the merged aggregate. (The
+/// paper does not define the metric formally; see EXPERIMENTS.md.)
+fn unavailability_over(
+    expected_per_window: &HashMap<u64, u64>,
+    delivered_per_window: &HashMap<u64, u64>,
+    threshold: f64,
+) -> f64 {
+    let mut unavailable = 0u64;
+    let mut windows = 0u64;
+    for (w, &exp) in expected_per_window {
+        if exp == 0 {
+            continue;
+        }
+        windows += 1;
+        let del = delivered_per_window.get(w).copied().unwrap_or(0);
+        if (del as f64) < threshold * exp as f64 {
+            unavailable += 1;
+        }
+    }
+    if windows > 0 {
+        unavailable as f64 / windows as f64
+    } else {
+        1.0
+    }
+}
+
 impl Trace {
-    /// Create a trace. `n_receivers` is the number of group members expected to receive
-    /// each data packet (members excluding the source); `window` is the bucket used for
-    /// the unavailability ratio.
-    pub fn new(n_receivers: u64, window: SimDuration) -> Self {
+    /// Create a trace. `window` is the bucket used for the unavailability ratio.
+    pub fn new(window: SimDuration) -> Self {
         Trace {
             window,
-            n_receivers,
             generated: HashMap::new(),
             delivered: HashSet::new(),
+            expected: 0,
             delay_sum: SimDuration::ZERO,
             delivered_count: 0,
             duplicate_deliveries: 0,
@@ -52,10 +110,13 @@ impl Trace {
         t.as_nanos() / w
     }
 
-    /// Record that the application generated data packet `seq` at time `t`.
-    pub fn record_generated(&mut self, seq: u64, t: SimTime) {
+    /// Record that the application generated data packet `seq` at time `t`, owed to
+    /// `receivers` current members (members excluding the source at that instant —
+    /// membership churn makes this a per-packet quantity).
+    pub fn record_generated(&mut self, seq: u64, t: SimTime, receivers: u64) {
         self.generated.insert(seq, t);
-        *self.expected_per_window.entry(self.window_of(t)).or_insert(0) += self.n_receivers;
+        self.expected += receivers;
+        *self.expected_per_window.entry(self.window_of(t)).or_insert(0) += receivers;
     }
 
     /// Record that `tag` reached the application at node `rx` at time `now`.
@@ -103,7 +164,13 @@ impl Trace {
         self.data_packets_tx
     }
 
-    /// Finish the trace into a [`SimReport`].
+    /// Unavailability over this trace's windows: the fraction whose per-window delivery
+    /// ratio fell below `threshold` (1.0 when no traffic window exists).
+    fn unavailability(&self, threshold: f64) -> f64 {
+        unavailability_over(&self.expected_per_window, &self.delivered_per_window, threshold)
+    }
+
+    /// Finish a single-session trace into a [`SimReport`] — the aggregate of one trace.
     #[allow(clippy::too_many_arguments)]
     pub fn finish(
         &self,
@@ -115,75 +182,158 @@ impl Trace {
         data_packet_size: u32,
         availability_threshold: f64,
     ) -> SimReport {
-        let expected = self.generated.len() as u64 * self.n_receivers;
-        let pdr = if expected > 0 { self.delivered_count as f64 / expected as f64 } else { 0.0 };
-        let avg_delay_ms = if self.delivered_count > 0 {
-            self.delay_sum.as_millis_f64() / self.delivered_count as f64
-        } else {
-            0.0
-        };
-        let energy_per_delivered_mj = if self.delivered_count > 0 {
-            total_energy_j * 1_000.0 / self.delivered_count as f64
-        } else {
-            0.0
-        };
-        let data_bytes_delivered = self.delivered_count * u64::from(data_packet_size);
-        let control_overhead = if data_bytes_delivered > 0 {
-            self.control_bytes as f64 / data_bytes_delivered as f64
-        } else {
-            0.0
-        };
-        // Unavailability: fraction of traffic windows whose per-window delivery ratio fell
-        // below the availability threshold. (The paper does not define the metric formally;
-        // see EXPERIMENTS.md.)
-        let mut unavailable = 0u64;
-        let mut windows = 0u64;
-        for (w, &exp) in &self.expected_per_window {
-            if exp == 0 {
-                continue;
+        Self::finish_aggregate(
+            &[(self, data_packet_size)],
+            protocol,
+            duration,
+            total_energy_j,
+            overhear_energy_j,
+            collisions,
+            availability_threshold,
+        )
+    }
+
+    /// Fold per-session traces into the network-wide report. Every aggregate is defined
+    /// exactly as the single-group original: counters sum, ratios divide the summed
+    /// numerators by the summed denominators, and unavailability merges the sessions'
+    /// per-window expectations before thresholding. Each trace is paired with its
+    /// session's data packet size (control overhead divides by *delivered data bytes*,
+    /// which may differ per session).
+    pub fn finish_aggregate(
+        traces: &[(&Trace, u32)],
+        protocol: &str,
+        duration: SimDuration,
+        total_energy_j: f64,
+        overhear_energy_j: f64,
+        collisions: u64,
+        availability_threshold: f64,
+    ) -> SimReport {
+        let mut generated = 0u64;
+        let mut expected = 0u64;
+        let mut delivered = 0u64;
+        let mut duplicates = 0u64;
+        let mut delay_sum = SimDuration::ZERO;
+        let mut control_packets = 0u64;
+        let mut control_bytes = 0u64;
+        let mut data_packets_tx = 0u64;
+        let mut data_bytes_tx = 0u64;
+        let mut data_bytes_delivered = 0u64;
+        let mut expected_per_window: HashMap<u64, u64> = HashMap::new();
+        let mut delivered_per_window: HashMap<u64, u64> = HashMap::new();
+        for (trace, data_packet_size) in traces {
+            generated += trace.generated.len() as u64;
+            expected += trace.expected;
+            delivered += trace.delivered_count;
+            duplicates += trace.duplicate_deliveries;
+            delay_sum += trace.delay_sum;
+            control_packets += trace.control_packets;
+            control_bytes += trace.control_bytes;
+            data_packets_tx += trace.data_packets_tx;
+            data_bytes_tx += trace.data_bytes_tx;
+            data_bytes_delivered += trace.delivered_count * u64::from(*data_packet_size);
+            for (&w, &e) in &trace.expected_per_window {
+                *expected_per_window.entry(w).or_insert(0) += e;
             }
-            windows += 1;
-            let del = self.delivered_per_window.get(w).copied().unwrap_or(0);
-            if (del as f64) < availability_threshold * exp as f64 {
-                unavailable += 1;
+            for (&w, &d) in &trace.delivered_per_window {
+                *delivered_per_window.entry(w).or_insert(0) += d;
             }
         }
-        let unavailability = if windows > 0 { unavailable as f64 / windows as f64 } else { 1.0 };
+        let pdr = if expected > 0 { delivered as f64 / expected as f64 } else { 0.0 };
+        let avg_delay_ms =
+            if delivered > 0 { delay_sum.as_millis_f64() / delivered as f64 } else { 0.0 };
+        let energy_per_delivered_mj =
+            if delivered > 0 { total_energy_j * 1_000.0 / delivered as f64 } else { 0.0 };
+        let control_overhead = if data_bytes_delivered > 0 {
+            control_bytes as f64 / data_bytes_delivered as f64
+        } else {
+            0.0
+        };
+        let unavailability = unavailability_over(
+            &expected_per_window,
+            &delivered_per_window,
+            availability_threshold,
+        );
 
         SimReport {
             protocol: protocol.to_string(),
             duration_s: duration.as_secs_f64(),
-            generated: self.generated.len() as u64,
+            generated,
             expected_deliveries: expected,
-            delivered: self.delivered_count,
-            duplicate_deliveries: self.duplicate_deliveries,
+            delivered,
+            duplicate_deliveries: duplicates,
             pdr,
             avg_delay_ms,
             total_energy_j,
             overhear_energy_j,
             energy_per_delivered_mj,
+            control_packets,
+            control_bytes,
+            data_packets_tx,
+            data_bytes_tx,
+            control_bytes_per_data_byte: control_overhead,
+            unavailability_ratio: unavailability,
+            collisions,
+            convergence: None,
+            groups: None,
+        }
+    }
+
+    /// Render this session's per-group block (see [`GroupStats`]); the runtime supplies
+    /// identity, churn counters and attributed energy via `acct`.
+    pub fn group_stats(&self, acct: &GroupAccounting) -> GroupStats {
+        let pdr = if self.expected > 0 {
+            self.delivered_count as f64 / self.expected as f64
+        } else {
+            0.0
+        };
+        let avg_delay_ms = if self.delivered_count > 0 {
+            self.delay_sum.as_millis_f64() / self.delivered_count as f64
+        } else {
+            0.0
+        };
+        let events = acct.joins + acct.leaves;
+        let join_overhead =
+            if events > 0 { self.control_bytes as f64 / events as f64 } else { 0.0 };
+        GroupStats {
+            group: acct.group,
+            source: acct.source,
+            members_initial: acct.members_initial,
+            members_final: acct.members_final,
+            joins: acct.joins,
+            leaves: acct.leaves,
+            generated: self.generated.len() as u64,
+            expected_deliveries: self.expected,
+            delivered: self.delivered_count,
+            duplicate_deliveries: self.duplicate_deliveries,
+            pdr,
+            avg_delay_ms,
             control_packets: self.control_packets,
             control_bytes: self.control_bytes,
             data_packets_tx: self.data_packets_tx,
             data_bytes_tx: self.data_bytes_tx,
-            control_bytes_per_data_byte: control_overhead,
-            unavailability_ratio: unavailability,
-            collisions,
+            energy_j: acct.energy_j,
+            overhear_energy_j: acct.overhear_energy_j,
+            join_overhead_bytes_per_event: join_overhead,
+            unavailability_ratio: self.unavailability(acct.availability_threshold),
             convergence: None,
         }
     }
 }
 
 /// Summary of one simulation run: everything needed to reproduce the paper's y-axes.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+///
+/// `Serialize` is implemented by hand so the `groups` breakdown is *omitted* (not
+/// `null`) when absent: single-session, churn-free runs keep the exact serialized bytes
+/// of the pre-multi-group builds (guarded by `tests/golden_single_group.rs`).
+#[derive(Debug, Clone, Deserialize, PartialEq)]
 pub struct SimReport {
     /// Protocol label.
     pub protocol: String,
     /// Simulated duration in seconds.
     pub duration_s: f64,
-    /// Data packets generated by the source.
+    /// Data packets generated by the source(s).
     pub generated: u64,
-    /// `generated × receivers`: deliveries that should have happened.
+    /// Deliveries that should have happened (per packet, the membership at generation).
     pub expected_deliveries: u64,
     /// Unique (packet, member) deliveries that did happen.
     pub delivered: u64,
@@ -214,9 +364,52 @@ pub struct SimReport {
     /// Collided receptions.
     pub collisions: u64,
     /// Convergence measurements from the stabilization probe, when the run injected
-    /// faults (see the `faults` module and `ssmcast-core`'s `StabilizationProbe`).
-    /// `None` for fault-free runs, keeping them byte-identical to pre-fault builds.
+    /// faults or churned memberships (see the `faults` module and `ssmcast-core`'s
+    /// `StabilizationProbe`). `None` for fault-free, churn-free runs, keeping them
+    /// byte-identical to pre-fault builds.
     pub convergence: Option<ConvergenceStats>,
+    /// Per-session breakdown for multi-group or churned runs; `None` (and absent from
+    /// the serialized form) for plain single-group runs.
+    pub groups: Option<Vec<GroupStats>>,
+}
+
+impl Serialize for SimReport {
+    fn serialize_json(&self, out: &mut String) {
+        // Field order and spelling must match what `#[derive(Serialize)]` emitted before
+        // `groups` existed; the golden-bytes regression test depends on it.
+        out.push('{');
+        out.push_str("\"protocol\":");
+        self.protocol.serialize_json(out);
+        macro_rules! field {
+            ($name:literal, $value:expr) => {
+                out.push(',');
+                out.push_str(concat!("\"", $name, "\":"));
+                $value.serialize_json(out);
+            };
+        }
+        field!("duration_s", self.duration_s);
+        field!("generated", self.generated);
+        field!("expected_deliveries", self.expected_deliveries);
+        field!("delivered", self.delivered);
+        field!("duplicate_deliveries", self.duplicate_deliveries);
+        field!("pdr", self.pdr);
+        field!("avg_delay_ms", self.avg_delay_ms);
+        field!("total_energy_j", self.total_energy_j);
+        field!("overhear_energy_j", self.overhear_energy_j);
+        field!("energy_per_delivered_mj", self.energy_per_delivered_mj);
+        field!("control_packets", self.control_packets);
+        field!("control_bytes", self.control_bytes);
+        field!("data_packets_tx", self.data_packets_tx);
+        field!("data_bytes_tx", self.data_bytes_tx);
+        field!("control_bytes_per_data_byte", self.control_bytes_per_data_byte);
+        field!("unavailability_ratio", self.unavailability_ratio);
+        field!("collisions", self.collisions);
+        field!("convergence", self.convergence);
+        if let Some(groups) = &self.groups {
+            field!("groups", groups);
+        }
+        out.push('}');
+    }
 }
 
 #[cfg(test)]
@@ -235,9 +428,9 @@ mod tests {
 
     #[test]
     fn pdr_and_delay() {
-        let mut tr = Trace::new(2, SimDuration::from_secs(1));
-        tr.record_generated(0, SimTime::ZERO);
-        tr.record_generated(1, SimTime::from_secs_f64(0.5));
+        let mut tr = Trace::new(SimDuration::from_secs(1));
+        tr.record_generated(0, SimTime::ZERO, 2);
+        tr.record_generated(1, SimTime::from_secs_f64(0.5), 2);
         // Packet 0 reaches both members, packet 1 reaches one of two.
         tr.record_delivery(&tag(0, 0), NodeId(1), SimTime::from_secs_f64(0.010));
         tr.record_delivery(&tag(0, 0), NodeId(2), SimTime::from_secs_f64(0.030));
@@ -253,8 +446,8 @@ mod tests {
 
     #[test]
     fn duplicates_count_once() {
-        let mut tr = Trace::new(1, SimDuration::from_secs(1));
-        tr.record_generated(0, SimTime::ZERO);
+        let mut tr = Trace::new(SimDuration::from_secs(1));
+        tr.record_generated(0, SimTime::ZERO, 1);
         tr.record_delivery(&tag(0, 0), NodeId(1), SimTime::from_secs_f64(0.010));
         tr.record_delivery(&tag(0, 0), NodeId(1), SimTime::from_secs_f64(0.020));
         let r = tr.finish("test", SimDuration::from_secs(1), 0.0, 0.0, 0, 512, 0.95);
@@ -265,8 +458,8 @@ mod tests {
 
     #[test]
     fn control_overhead_ratio() {
-        let mut tr = Trace::new(1, SimDuration::from_secs(1));
-        tr.record_generated(0, SimTime::ZERO);
+        let mut tr = Trace::new(SimDuration::from_secs(1));
+        tr.record_generated(0, SimTime::ZERO, 1);
         tr.record_delivery(&tag(0, 0), NodeId(1), SimTime::from_secs_f64(0.010));
         tr.record_control_tx(256);
         tr.record_control_tx(256);
@@ -279,10 +472,10 @@ mod tests {
 
     #[test]
     fn unavailability_counts_bad_windows() {
-        let mut tr = Trace::new(1, SimDuration::from_secs(1));
+        let mut tr = Trace::new(SimDuration::from_secs(1));
         // Window 0: delivered. Window 1: lost. Window 2: delivered.
         for (seq, secs) in [(0u64, 0.1), (1, 1.1), (2, 2.1)] {
-            tr.record_generated(seq, SimTime::from_secs_f64(secs));
+            tr.record_generated(seq, SimTime::from_secs_f64(secs), 1);
         }
         tr.record_delivery(&tag(0, 100), NodeId(1), SimTime::from_secs_f64(0.2));
         tr.record_delivery(&tag(2, 2100), NodeId(1), SimTime::from_secs_f64(2.2));
@@ -292,10 +485,121 @@ mod tests {
 
     #[test]
     fn empty_run_reports_zero_pdr_and_full_unavailability() {
-        let tr = Trace::new(3, SimDuration::from_secs(1));
+        let tr = Trace::new(SimDuration::from_secs(1));
         let r = tr.finish("test", SimDuration::from_secs(10), 0.0, 0.0, 0, 512, 0.95);
         assert_eq!(r.pdr, 0.0);
         assert_eq!(r.unavailability_ratio, 1.0);
         assert_eq!(r.energy_per_delivered_mj, 0.0);
+    }
+
+    #[test]
+    fn churn_makes_expected_deliveries_a_per_packet_quantity() {
+        let mut tr = Trace::new(SimDuration::from_secs(1));
+        tr.record_generated(0, SimTime::from_secs_f64(0.1), 3);
+        tr.record_generated(1, SimTime::from_secs_f64(0.2), 1); // two members left
+        let r = tr.finish("test", SimDuration::from_secs(1), 0.0, 0.0, 0, 512, 0.95);
+        assert_eq!(r.expected_deliveries, 4);
+    }
+
+    #[test]
+    fn aggregate_of_two_sessions_sums_counters_and_merges_windows() {
+        let mut a = Trace::new(SimDuration::from_secs(1));
+        a.record_generated(0, SimTime::from_secs_f64(0.1), 1);
+        a.record_delivery(&tag(0, 100), NodeId(1), SimTime::from_secs_f64(0.2));
+        a.record_data_tx(512);
+        a.record_control_tx(64);
+        let mut b = Trace::new(SimDuration::from_secs(1));
+        b.record_generated(0, SimTime::from_secs_f64(0.1), 2);
+        // Session b delivers neither copy: the shared window 0 is still available in
+        // aggregate only if 2 of 3 expected arrive — with the 0.95 threshold it is not.
+        let r = Trace::finish_aggregate(
+            &[(&a, 512), (&b, 256)],
+            "agg",
+            SimDuration::from_secs(1),
+            0.5,
+            0.1,
+            3,
+            0.95,
+        );
+        assert_eq!(r.generated, 2);
+        assert_eq!(r.expected_deliveries, 3);
+        assert_eq!(r.delivered, 1);
+        assert!((r.pdr - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r.collisions, 3);
+        // Control overhead divides by delivered bytes at each session's own size.
+        assert!((r.control_bytes_per_data_byte - 64.0 / 512.0).abs() < 1e-12);
+        assert_eq!(r.unavailability_ratio, 1.0, "the merged window misses 2 of 3");
+    }
+
+    #[test]
+    fn aggregate_of_one_trace_equals_finish() {
+        let mut tr = Trace::new(SimDuration::from_secs(1));
+        tr.record_generated(0, SimTime::ZERO, 2);
+        tr.record_delivery(&tag(0, 0), NodeId(1), SimTime::from_secs_f64(0.010));
+        tr.record_control_tx(128);
+        let single = tr.finish("p", SimDuration::from_secs(2), 0.25, 0.125, 1, 512, 0.95);
+        let agg = Trace::finish_aggregate(
+            &[(&tr, 512)],
+            "p",
+            SimDuration::from_secs(2),
+            0.25,
+            0.125,
+            1,
+            0.95,
+        );
+        assert_eq!(single, agg);
+    }
+
+    #[test]
+    fn group_stats_render_the_per_session_block() {
+        let mut tr = Trace::new(SimDuration::from_secs(1));
+        tr.record_generated(0, SimTime::from_secs_f64(0.1), 2);
+        tr.record_delivery(&tag(0, 100), NodeId(1), SimTime::from_secs_f64(0.15));
+        tr.record_control_tx(100);
+        tr.record_control_tx(100);
+        let g = tr.group_stats(&GroupAccounting {
+            group: 2,
+            source: 7,
+            members_initial: 2,
+            members_final: 3,
+            joins: 3,
+            leaves: 1,
+            energy_j: 0.75,
+            overhear_energy_j: 0.25,
+            availability_threshold: 0.95,
+        });
+        assert_eq!(g.group, 2);
+        assert_eq!(g.source, 7);
+        assert_eq!(g.expected_deliveries, 2);
+        assert_eq!(g.delivered, 1);
+        assert!((g.pdr - 0.5).abs() < 1e-12);
+        assert_eq!(g.membership_events(), 4);
+        assert!((g.join_overhead_bytes_per_event - 50.0).abs() < 1e-12);
+        assert!((g.energy_j - 0.75).abs() < 1e-12);
+        assert!(g.convergence.is_none());
+    }
+
+    #[test]
+    fn serialization_omits_groups_when_absent_and_renders_them_when_present() {
+        let tr = Trace::new(SimDuration::from_secs(1));
+        let mut r = tr.finish("p", SimDuration::from_secs(1), 0.0, 0.0, 0, 512, 0.95);
+        let mut plain = String::new();
+        r.serialize_json(&mut plain);
+        assert!(plain.ends_with("\"convergence\":null}"), "no groups key at all: {plain}");
+        assert!(!plain.contains("\"groups\""));
+        r.groups = Some(vec![tr.group_stats(&GroupAccounting {
+            group: 0,
+            source: 0,
+            members_initial: 0,
+            members_final: 0,
+            joins: 0,
+            leaves: 0,
+            energy_j: 0.0,
+            overhear_energy_j: 0.0,
+            availability_threshold: 0.95,
+        })]);
+        let mut tagged = String::new();
+        r.serialize_json(&mut tagged);
+        assert!(tagged.contains("\"groups\":[{\"group\":0,"), "groups block renders: {tagged}");
     }
 }

@@ -1,0 +1,107 @@
+//! Multicast sessions: per-group membership tables and seeded membership churn.
+//!
+//! The paper's evaluation runs exactly one multicast group with a static membership.
+//! Real MANET multicast workloads — and the paper's own join-overhead accounting — are
+//! about group *dynamics*: several concurrent sessions share the same radio medium, and
+//! nodes join and leave groups while data flows. A [`SessionSetup`] describes one such
+//! session (its CBR flow, its initial per-node roles, and a pre-materialised schedule of
+//! [`MembershipEvent`]s); [`crate::runtime::SimSetup`] carries one per concurrent group.
+//!
+//! Churn schedules are data, not randomness: the scenario layer draws them from its seed
+//! sequence up front, so a `(seed, scenario)` pair fully determines every join and leave
+//! — multi-session runs are exactly as reproducible as single-session ones.
+
+use crate::node::{GroupRole, NodeId};
+use crate::traffic::TrafficConfig;
+use serde::{Deserialize, Serialize};
+use ssmcast_dessim::SimTime;
+
+/// A membership change applied to one node of one session.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum MembershipChange {
+    /// The node becomes a receiving member of the group.
+    Join,
+    /// The node leaves the group (it keeps relaying as a non-member).
+    Leave,
+}
+
+/// One scheduled membership change. Sources never churn: a [`MembershipChange`]
+/// targeting the session's source is ignored by the runtime.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct MembershipEvent {
+    /// When the change takes effect.
+    pub at: SimTime,
+    /// The node joining or leaving.
+    pub node: NodeId,
+    /// Join or leave.
+    pub change: MembershipChange,
+}
+
+/// One multicast session: a CBR flow, the initial membership table, and the churn
+/// schedule that perturbs it.
+#[derive(Clone, Debug)]
+pub struct SessionSetup {
+    /// The session's constant-bit-rate flow (its `group` id tags the session).
+    pub traffic: TrafficConfig,
+    /// Initial per-node role in this session, indexed by node id. Exactly one entry
+    /// must be [`GroupRole::Source`], matching `traffic.source`.
+    pub roles: Vec<GroupRole>,
+    /// Scheduled joins/leaves, ascending by time (the runtime sorts defensively).
+    pub churn: Vec<MembershipEvent>,
+}
+
+impl SessionSetup {
+    /// A churn-free session.
+    pub fn new(traffic: TrafficConfig, roles: Vec<GroupRole>) -> Self {
+        SessionSetup { traffic, roles, churn: Vec::new() }
+    }
+
+    /// The same session with a churn schedule attached.
+    pub fn with_churn(mut self, churn: Vec<MembershipEvent>) -> Self {
+        self.churn = churn;
+        self
+    }
+
+    /// Receivers (members excluding the source) in the *initial* membership table.
+    pub fn initial_receivers(&self) -> u64 {
+        self.roles.iter().filter(|r| matches!(r, GroupRole::Member)).count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::GroupId;
+
+    fn traffic() -> TrafficConfig {
+        TrafficConfig {
+            group: GroupId(0),
+            source: NodeId(0),
+            data_rate_bps: 64_000.0,
+            packet_size_bytes: 512,
+            start: SimTime::from_secs(1),
+            stop: SimTime::from_secs(10),
+        }
+    }
+
+    #[test]
+    fn initial_receivers_count_members_only() {
+        let s = SessionSetup::new(
+            traffic(),
+            vec![GroupRole::Source, GroupRole::Member, GroupRole::NonMember, GroupRole::Member],
+        );
+        assert_eq!(s.initial_receivers(), 2);
+        assert!(s.churn.is_empty());
+    }
+
+    #[test]
+    fn churn_attaches_fluently() {
+        let ev = MembershipEvent {
+            at: SimTime::from_secs(5),
+            node: NodeId(2),
+            change: MembershipChange::Join,
+        };
+        let s = SessionSetup::new(traffic(), vec![GroupRole::Source]).with_churn(vec![ev]);
+        assert_eq!(s.churn, vec![ev]);
+    }
+}

@@ -7,9 +7,11 @@
 #![warn(missing_docs)]
 
 pub mod convergence;
+pub mod group;
 pub mod series;
 pub mod stats;
 
 pub use convergence::ConvergenceStats;
+pub use group::GroupStats;
 pub use series::{Series, SeriesPoint};
 pub use stats::SummaryStats;

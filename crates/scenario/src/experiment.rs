@@ -62,12 +62,32 @@ pub struct Experiment {
     columns: Option<Vec<(f64, Scenario)>>,
     reps: usize,
     threads: Option<usize>,
+    /// When false, jobs run with each column's own `seed` instead of the derived
+    /// `(rep, xi)` child — the knob that lets the deprecated single-run shims route
+    /// through this engine without changing their documented seed semantics.
+    derive_seeds: bool,
 }
 
 impl Experiment {
     /// Start an experiment from a base scenario.
     pub fn new(base: Scenario) -> Self {
-        Experiment { base, protocols: Vec::new(), columns: None, reps: 1, threads: None }
+        Experiment {
+            base,
+            protocols: Vec::new(),
+            columns: None,
+            reps: 1,
+            threads: None,
+            derive_seeds: true,
+        }
+    }
+
+    /// Use each column's literal scenario seed instead of the derived `(rep, xi)` child
+    /// seed. Crate-internal: only the legacy `run_scenario` shim needs it, and only for
+    /// single-repetition grids (with `reps > 1` every repetition would repeat the same
+    /// run).
+    pub(crate) fn literal_seed(mut self) -> Self {
+        self.derive_seeds = false;
+        self
     }
 
     /// Add one protocol.
@@ -174,6 +194,7 @@ impl Experiment {
     /// Run the grid, streaming each completed cell through `sink`; nothing is retained.
     pub fn run_with_sink(self, sink: &mut dyn RunSink) {
         let base = self.base;
+        let derive_seeds = self.derive_seeds;
         let columns = self.columns.unwrap_or_else(|| vec![(0.0, base)]);
         let protocols = self.protocols;
         let reps = self.reps;
@@ -207,7 +228,9 @@ impl Experiment {
                     let pi = cell % n_p;
                     let xi = cell / n_p;
                     let (_, mut scenario) = columns[xi];
-                    scenario.seed = derive_cell_seed(scenario.seed, rep, xi);
+                    if derive_seeds {
+                        scenario.seed = derive_cell_seed(scenario.seed, rep, xi);
+                    }
                     let report = run_protocol(&scenario, protocols[pi].as_ref());
                     if tx.send((cell, rep, report)).is_err() {
                         break;
@@ -274,6 +297,7 @@ impl Experiment {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the shims under test are deprecated on purpose
 mod tests {
     use super::*;
     use crate::runner::run_scenario;

@@ -42,8 +42,10 @@ pub use presets::{
 };
 pub use protocol::{FnProtocol, Protocol, ProtocolRegistry, UnknownProtocol};
 pub use runner::{
-    assign_roles, build_mobility, build_setup, run_protocol, run_repetitions, run_scenario,
+    assign_roles, assign_session_roles, build_churn, build_mobility, build_setup, run_protocol,
 };
+#[allow(deprecated)]
+pub use runner::{run_repetitions, run_scenario};
 pub use scenario::{MobilityKind, ProtocolKind, Scenario};
 pub use sink::{
     CellInfo, CsvStreamSink, JsonLinesSink, MemorySink, NullSink, ProgressSink, RunSink, TeeSink,

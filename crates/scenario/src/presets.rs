@@ -23,6 +23,11 @@ pub enum SweptParameter {
     /// Number of state-corruption bursts injected per run (fault sweep; x = 0 runs
     /// fault-free). Burst times and targets are seeded per repetition.
     FaultBursts,
+    /// Number of concurrent multicast sessions sharing the medium (x is rounded and
+    /// clamped to ≥ 1).
+    GroupCount,
+    /// Membership churn rate: expected join/leave events per second per session.
+    MemberChurnRate,
 }
 
 impl SweptParameter {
@@ -45,6 +50,12 @@ impl SweptParameter {
                 scenario.faults.window_start_s = start;
                 scenario.faults.window_end_s = (scenario.duration_s * 0.8).max(start);
             }
+            SweptParameter::GroupCount => {
+                scenario.n_groups = (x.round().max(1.0)) as usize;
+            }
+            SweptParameter::MemberChurnRate => {
+                scenario.member_churn_rate = x.max(0.0);
+            }
         }
     }
 
@@ -55,6 +66,8 @@ impl SweptParameter {
             SweptParameter::BeaconInterval => "Beacon interval (s)",
             SweptParameter::GroupSize => "Group size",
             SweptParameter::FaultBursts => "Corruption bursts per run",
+            SweptParameter::GroupCount => "Concurrent multicast sessions",
+            SweptParameter::MemberChurnRate => "Membership churn (events/s per session)",
         }
     }
 }
@@ -87,11 +100,16 @@ pub enum FigureId {
     /// way the related self-stabilization literature does, as recovery time and
     /// communication-during-stabilization under a seeded fault schedule.
     FigFaults,
+    /// PDR vs concurrent session count under membership churn, four protocols. Not a
+    /// figure of the paper — it opens the multi-group workload dimension its
+    /// single-group evaluation leaves out (cf. the multi-group settings of Han et al.'s
+    /// all-to-all multicasting and Leone & Schiller's dynamic-network TDMA).
+    FigGroups,
 }
 
 impl FigureId {
     /// All evaluation figures in order.
-    pub const ALL: [FigureId; 11] = [
+    pub const ALL: [FigureId; 12] = [
         FigureId::Fig7,
         FigureId::Fig8,
         FigureId::Fig9,
@@ -103,6 +121,7 @@ impl FigureId {
         FigureId::Fig15,
         FigureId::Fig16,
         FigureId::FigFaults,
+        FigureId::FigGroups,
     ];
 
     /// The preset describing how to regenerate this figure.
@@ -199,6 +218,14 @@ impl FigureId {
                 protocols: ProtocolKind::paper_four().to_vec(),
                 metric: Metric::MeanRecoveryS,
             },
+            FigureId::FigGroups => FigureSpec {
+                id: self,
+                title: "Packet Delivery Ratio as a Function of Concurrent Sessions",
+                swept: SweptParameter::GroupCount,
+                xs: vec![1.0, 2.0, 3.0, 4.0],
+                protocols: ProtocolKind::paper_four().to_vec(),
+                metric: Metric::Pdr,
+            },
         }
     }
 
@@ -216,6 +243,7 @@ impl FigureId {
             FigureId::Fig15 => "fig15",
             FigureId::Fig16 => "fig16",
             FigureId::FigFaults => "fig_faults",
+            FigureId::FigGroups => "fig_groups",
         }
     }
 }
@@ -261,6 +289,19 @@ pub fn base_scenario_for(spec: &FigureSpec) -> Scenario {
             s.max_speed_mps = 1.0;
             s.beacon_interval_s = 2.0;
             s.faults.corruption_fraction = 0.3;
+        }
+        SweptParameter::GroupCount => {
+            // Slow mobility (as in the group-size study) with moderate churn, so the
+            // sweep prices concurrent-session contention plus membership dynamics.
+            s.max_speed_mps = 1.0;
+            s.beacon_interval_s = 2.0;
+            s.member_churn_rate = 0.05;
+        }
+        SweptParameter::MemberChurnRate => {
+            // Two sessions so churn interacts with cross-session contention.
+            s.max_speed_mps = 1.0;
+            s.beacon_interval_s = 2.0;
+            s.n_groups = 2;
         }
     }
     s

@@ -46,14 +46,17 @@ pub struct FnProtocol {
 impl FnProtocol {
     /// Wrap a per-node agent constructor into a protocol.
     ///
-    /// `make_agent(scenario, node)` is called once per node id, in order, letting a
-    /// deployment mix configurations across nodes (e.g. a low-power tier with a shorter
-    /// beacon interval) while still running inside the standard harness.
+    /// `make_agent(scenario, node)` is called once per (session, node) pair —
+    /// session-major, nodes in id order — so each node runs one independent protocol
+    /// instance per concurrent multicast session, and a deployment can still mix
+    /// configurations across nodes (e.g. a low-power tier with a shorter beacon
+    /// interval) inside the standard harness.
     ///
-    /// When the scenario configures faults, the run is driven through a
-    /// [`StabilizationProbe`] (legitimacy probed every `faults.probe_epoch_s` seconds)
-    /// and the report carries a `ConvergenceStats` block; fault-free scenarios take the
-    /// plain path and stay byte-identical to pre-fault builds.
+    /// When the scenario configures faults *or group dynamics* (several sessions,
+    /// membership churn), the run is driven through a [`StabilizationProbe`]
+    /// (legitimacy probed every `faults.probe_epoch_s` seconds, per session) and the
+    /// report carries `ConvergenceStats` blocks; plain fault-free single-group
+    /// scenarios take the unprobed path and stay byte-identical to pre-fault builds.
     pub fn from_agent_fn<A, F>(name: impl Into<String>, make_agent: F) -> Self
     where
         A: ProtocolAgent + 'static,
@@ -61,11 +64,15 @@ impl FnProtocol {
     {
         let run: RunFn =
             Box::new(move |scenario: &Scenario, setup: SimSetup, mobility: Vec<BoxedMobility>| {
-                let agents: Vec<A> =
-                    (0..scenario.n_nodes).map(|i| make_agent(scenario, NodeId(i as u16))).collect();
+                let mut agents: Vec<A> = Vec::with_capacity(setup.n_sessions() * scenario.n_nodes);
+                for _session in 0..setup.n_sessions() {
+                    for i in 0..scenario.n_nodes {
+                        agents.push(make_agent(scenario, NodeId(i as u16)));
+                    }
+                }
                 let horizon = SimDuration::from_secs_f64(scenario.duration_s);
                 let mut sim = NetworkSim::new(setup, mobility, agents);
-                if scenario.faults.has_faults() {
+                if scenario.faults.has_faults() || scenario.has_group_dynamics() {
                     let epoch = SimDuration::from_secs_f64(scenario.faults.probe_epoch_s.max(0.05));
                     let mut probe = StabilizationProbe::new(epoch);
                     sim.run_probed(horizon, &mut probe)

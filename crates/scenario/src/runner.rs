@@ -8,24 +8,88 @@
 use crate::protocol::Protocol;
 use crate::scenario::{MobilityKind, ProtocolKind, Scenario};
 use rand::seq::SliceRandom;
+use rand::Rng;
 use ssmcast_dessim::{SeedSequence, SimDuration, SimTime};
 use ssmcast_manet::{
-    grid_positions, Area, BoxedMobility, FaultPlan, GaussMarkov, GaussMarkovConfig, GroupRole,
-    NodeId, RandomWaypoint, SimReport, SimSetup, Stationary, TrafficConfig, WaypointConfig,
+    grid_positions, Area, BoxedMobility, FaultPlan, GaussMarkov, GaussMarkovConfig, GroupId,
+    GroupRole, MembershipChange, MembershipEvent, NodeId, RandomWaypoint, SessionSetup, SimReport,
+    SimSetup, Stationary, TrafficConfig, WaypointConfig,
 };
 
-/// Assign group roles: node 0 is the source; `receiver_count` further members are drawn
-/// uniformly (but deterministically for the scenario seed) from the remaining nodes.
+/// Assign group roles for session 0: node 0 is the source; `receiver_count` further
+/// members are drawn uniformly (but deterministically for the scenario seed) from the
+/// remaining nodes. Kept as the historical single-group entry point — it is exactly
+/// [`assign_session_roles`] with `session == 0`, byte-compatible with pre-multi-group
+/// builds.
 pub fn assign_roles(scenario: &Scenario, seeds: &SeedSequence) -> Vec<GroupRole> {
-    let mut roles = vec![GroupRole::NonMember; scenario.n_nodes];
-    roles[0] = GroupRole::Source;
-    let mut candidates: Vec<usize> = (1..scenario.n_nodes).collect();
-    let mut rng = seeds.stream("membership");
+    assign_session_roles(scenario, seeds, 0)
+}
+
+/// Assign group roles for one session of a (possibly multi-group) scenario. Session `g`
+/// is sourced at node `g % n_nodes`; its members are drawn from the remaining nodes with
+/// a per-session seed stream, so sessions overlap organically (a node may be a member of
+/// several groups and the source of one of them). Session 0 draws from the same stream
+/// the single-group harness always used, keeping legacy runs byte-identical.
+pub fn assign_session_roles(
+    scenario: &Scenario,
+    seeds: &SeedSequence,
+    session: usize,
+) -> Vec<GroupRole> {
+    let n = scenario.n_nodes;
+    let source = session % n.max(1);
+    let mut roles = vec![GroupRole::NonMember; n];
+    roles[source] = GroupRole::Source;
+    let mut candidates: Vec<usize> = (0..n).filter(|&i| i != source).collect();
+    let mut rng = if session == 0 {
+        seeds.stream("membership")
+    } else {
+        seeds.indexed_stream("membership", session as u64)
+    };
     candidates.shuffle(&mut rng);
     for &idx in candidates.iter().take(scenario.receiver_count()) {
         roles[idx] = GroupRole::Member;
     }
     roles
+}
+
+/// Materialise one session's membership-churn schedule from the scenario's
+/// `member_churn_rate`: `round(rate × traffic window)` events at seeded uniform times,
+/// each toggling a seeded non-source node (members leave, non-members join). The walk
+/// tracks the evolving member set, so every event is effectual when applied in order.
+/// Deterministic per `(scenario, seeds, session)`.
+pub fn build_churn(
+    scenario: &Scenario,
+    seeds: &SeedSequence,
+    session: usize,
+    roles: &[GroupRole],
+) -> Vec<MembershipEvent> {
+    let window = (scenario.duration_s - scenario.warmup_s).max(0.0);
+    let count = (scenario.member_churn_rate.max(0.0) * window).round() as usize;
+    if count == 0 || scenario.n_nodes < 2 {
+        return Vec::new();
+    }
+    let mut rng = seeds.indexed_stream("churn", session as u64);
+    let mut times: Vec<f64> =
+        (0..count).map(|_| rng.gen_range(scenario.warmup_s..=scenario.duration_s)).collect();
+    times.sort_by(f64::total_cmp);
+    let source = roles.iter().position(|r| r.is_source()).unwrap_or(0);
+    let mut member: Vec<bool> = roles.iter().map(|r| matches!(r, GroupRole::Member)).collect();
+    let mut events = Vec::with_capacity(count);
+    for t in times {
+        // Draw a non-source node; toggling keeps the schedule valid by construction.
+        let mut node = rng.gen_range(0..scenario.n_nodes - 1);
+        if node >= source {
+            node += 1;
+        }
+        let change = if member[node] { MembershipChange::Leave } else { MembershipChange::Join };
+        member[node] = !member[node];
+        events.push(MembershipEvent {
+            at: SimTime::from_secs_f64(t),
+            node: NodeId(node as u16),
+            change,
+        });
+    }
+    events
 }
 
 /// Build one mobility process per node according to the scenario's [`MobilityKind`].
@@ -74,21 +138,31 @@ pub fn build_mobility(scenario: &Scenario, seeds: &SeedSequence) -> Vec<BoxedMob
     }
 }
 
-/// Build the [`SimSetup`] shared by every protocol for this scenario.
+/// Build the [`SimSetup`] shared by every protocol for this scenario: one
+/// [`SessionSetup`] per group (roles, CBR flow, churn schedule), all derived from the
+/// scenario's seed sequence so every protocol in a comparison faces identical sessions.
 pub fn build_setup(scenario: &Scenario, seeds: SeedSequence) -> SimSetup {
     let stop = SimTime::from_secs_f64(scenario.duration_s);
-    let traffic = TrafficConfig {
-        group: Default::default(),
-        source: NodeId(0),
-        data_rate_bps: scenario.data_rate_bps,
-        packet_size_bytes: scenario.packet_size_bytes,
-        start: SimTime::from_secs_f64(scenario.warmup_s),
-        stop,
-    };
+    let n_groups = scenario.n_groups.max(1);
+    let sessions: Vec<SessionSetup> = (0..n_groups)
+        .map(|g| {
+            let roles = assign_session_roles(scenario, &seeds, g);
+            let churn = build_churn(scenario, &seeds, g, &roles);
+            let traffic = TrafficConfig {
+                group: GroupId(g as u16),
+                source: NodeId((g % scenario.n_nodes.max(1)) as u16),
+                data_rate_bps: scenario.data_rate_bps,
+                packet_size_bytes: scenario.packet_size_bytes,
+                start: SimTime::from_secs_f64(scenario.warmup_s),
+                stop,
+            };
+            SessionSetup::new(traffic, roles).with_churn(churn)
+        })
+        .collect();
     SimSetup {
         radio: scenario.radio,
-        traffic,
-        roles: assign_roles(scenario, &seeds),
+        sessions,
+        n_nodes: scenario.n_nodes,
         battery_capacity_j: scenario.battery_capacity_j,
         unavailability_window: SimDuration::from_secs(1),
         availability_threshold: 0.95,
@@ -110,20 +184,29 @@ pub fn run_protocol(scenario: &Scenario, protocol: &dyn Protocol) -> SimReport {
     protocol.run(scenario, setup, mobility)
 }
 
-/// Compatibility shim: run `scenario` under a built-in protocol kind.
+/// Deprecated compatibility shim: run `scenario` under a built-in protocol kind.
 ///
-/// Equivalent to `run_protocol(scenario, kind.to_protocol().as_ref())`; prefer
-/// [`run_protocol`] (or [`crate::Experiment`]) for new code.
+/// Routed through the [`crate::Experiment`] engine (a single-cell grid with the
+/// scenario's own seed, i.e. no per-repetition derivation), so the thread-pool collector
+/// is the one and only execution path; the result is identical to
+/// `run_protocol(scenario, kind.to_protocol().as_ref())`.
+#[deprecated(note = "use run_protocol or the Experiment builder")]
 pub fn run_scenario(scenario: &Scenario, protocol: ProtocolKind) -> SimReport {
-    run_protocol(scenario, protocol.to_protocol().as_ref())
+    let cells = crate::Experiment::new(*scenario).protocol_kinds(&[protocol]).literal_seed().run();
+    cells
+        .into_iter()
+        .next()
+        .and_then(|c| c.reports.into_iter().next())
+        .expect("one protocol, one column, one repetition")
 }
 
-/// Compatibility shim: run the same scenario `reps` times with derived seeds.
+/// Deprecated compatibility shim: run the same scenario `reps` times with derived seeds.
 ///
 /// New code should use [`crate::Experiment`] with [`crate::Experiment::reps`], which is
 /// what this delegates to (a single-column grid). Unlike the builder — which clamps to
 /// at least one repetition — this shim preserves the legacy `reps == 0` behaviour of
 /// running nothing.
+#[deprecated(note = "use the Experiment builder with `.reps(n)`")]
 pub fn run_repetitions(scenario: &Scenario, protocol: ProtocolKind, reps: usize) -> Vec<SimReport> {
     if reps == 0 {
         return Vec::new();
@@ -133,6 +216,7 @@ pub fn run_repetitions(scenario: &Scenario, protocol: ProtocolKind, reps: usize)
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy shims under test are deprecated on purpose
 mod tests {
     use super::*;
     use crate::protocol::ProtocolRegistry;
@@ -150,6 +234,103 @@ mod tests {
         );
         // Deterministic for a fixed seed.
         assert_eq!(roles, assign_roles(&s, &seeds));
+    }
+
+    #[test]
+    fn session_zero_roles_match_the_legacy_single_group_draw() {
+        let s = Scenario::quick_test();
+        let seeds = SeedSequence::new(s.seed);
+        assert_eq!(assign_roles(&s, &seeds), assign_session_roles(&s, &seeds, 0));
+    }
+
+    #[test]
+    fn later_sessions_get_their_own_sources_and_member_draws() {
+        let s = Scenario::quick_test();
+        let seeds = SeedSequence::new(s.seed);
+        let r0 = assign_session_roles(&s, &seeds, 0);
+        let r1 = assign_session_roles(&s, &seeds, 1);
+        let r2 = assign_session_roles(&s, &seeds, 2);
+        assert!(matches!(r1[1], GroupRole::Source), "session 1 is sourced at node 1");
+        assert!(matches!(r2[2], GroupRole::Source));
+        for (g, roles) in [(0, &r0), (1, &r1), (2, &r2)] {
+            assert_eq!(
+                roles.iter().filter(|r| matches!(r, GroupRole::Source)).count(),
+                1,
+                "session {g}"
+            );
+            assert_eq!(
+                roles.iter().filter(|r| matches!(r, GroupRole::Member)).count(),
+                s.receiver_count(),
+                "session {g}"
+            );
+        }
+        assert_ne!(r0, r1, "independent seeded draws");
+        // Deterministic per (seed, session).
+        assert_eq!(r1, assign_session_roles(&s, &seeds, 1));
+    }
+
+    #[test]
+    fn churn_schedules_are_seeded_sorted_and_spare_the_source() {
+        let mut s = Scenario::quick_test();
+        s.member_churn_rate = 0.5;
+        s.duration_s = 60.0;
+        s.warmup_s = 10.0;
+        let seeds = SeedSequence::new(11);
+        let roles = assign_session_roles(&s, &seeds, 0);
+        let churn = build_churn(&s, &seeds, 0, &roles);
+        assert_eq!(churn.len(), 25, "round(0.5 × 50 s window)");
+        let source = NodeId(0);
+        let mut member: Vec<bool> = roles.iter().map(|r| matches!(r, GroupRole::Member)).collect();
+        let mut last = SimTime::ZERO;
+        for ev in &churn {
+            assert!(ev.at >= last, "events sorted by time");
+            last = ev.at;
+            assert_ne!(ev.node, source, "the source never churns");
+            // Every event is effectual when replayed in order.
+            match ev.change {
+                ssmcast_manet::MembershipChange::Join => {
+                    assert!(!member[ev.node.index()], "join targets a non-member");
+                    member[ev.node.index()] = true;
+                }
+                ssmcast_manet::MembershipChange::Leave => {
+                    assert!(member[ev.node.index()], "leave targets a member");
+                    member[ev.node.index()] = false;
+                }
+            }
+        }
+        assert_eq!(churn, build_churn(&s, &seeds, 0, &roles), "deterministic per seed");
+        assert_ne!(churn, build_churn(&s, &seeds, 1, &roles), "per-session streams differ");
+        // Rate zero means no churn at all.
+        let mut quiet = s;
+        quiet.member_churn_rate = 0.0;
+        assert!(build_churn(&quiet, &seeds, 0, &roles).is_empty());
+    }
+
+    #[test]
+    fn multi_group_setup_builds_one_session_per_group() {
+        let mut s = Scenario::quick_test();
+        s.n_groups = 3;
+        s.member_churn_rate = 0.2;
+        let setup = build_setup(&s, SeedSequence::new(s.seed));
+        assert_eq!(setup.n_sessions(), 3);
+        assert_eq!(setup.n_nodes, s.n_nodes);
+        assert!(setup.has_group_dynamics());
+        for (g, session) in setup.sessions.iter().enumerate() {
+            assert_eq!(session.traffic.group, GroupId(g as u16));
+            assert_eq!(session.traffic.source, NodeId(g as u16));
+            assert!(matches!(session.roles[g], GroupRole::Source));
+            assert!(!session.churn.is_empty(), "session {g} churns");
+        }
+    }
+
+    #[test]
+    fn deprecated_shims_route_through_the_experiment_engine_unchanged() {
+        let mut s = Scenario::quick_test();
+        s.duration_s = 20.0;
+        s.n_nodes = 12;
+        s.group_size = 5;
+        let direct = run_protocol(&s, ProtocolKind::Flooding.to_protocol().as_ref());
+        assert_eq!(run_scenario(&s, ProtocolKind::Flooding), direct);
     }
 
     #[test]

@@ -100,7 +100,17 @@ pub struct Scenario {
     /// Pause time at each waypoint, seconds.
     pub pause_secs: f64,
     /// Multicast group size including the source (paper sweeps 10–50, default 20).
+    /// Every session of a multi-group scenario uses this size.
     pub group_size: usize,
+    /// Number of concurrent multicast sessions sharing the medium (paper: 1). Session
+    /// `g` is sourced at node `g % n_nodes` with its own seeded member draw; see
+    /// [`crate::runner::assign_session_roles`].
+    pub n_groups: usize,
+    /// Membership churn: expected join/leave events per second per session, drawn
+    /// (seeded) over the traffic window. 0 (the default) reproduces the paper's static
+    /// memberships; any positive rate makes the harness probe legitimacy and attach
+    /// per-group blocks to reports.
+    pub member_churn_rate: f64,
     /// Beacon interval for the SS-SPST family, seconds (paper: 2).
     pub beacon_interval_s: f64,
     /// Simulated duration, seconds (paper: 1800; the harness default is shorter so a full
@@ -143,6 +153,8 @@ impl Scenario {
             min_speed_mps: 0.1,
             pause_secs: 0.0,
             group_size: 20,
+            n_groups: 1,
+            member_churn_rate: 0.0,
             beacon_interval_s: 2.0,
             duration_s: 180.0,
             warmup_s: 10.0,
@@ -173,6 +185,25 @@ impl Scenario {
     pub fn with_faults(mut self, faults: FaultPlanSpec) -> Self {
         self.faults = faults;
         self
+    }
+
+    /// The same scenario with `n` concurrent multicast sessions (clamped to ≥ 1).
+    pub fn with_groups(mut self, n: usize) -> Self {
+        self.n_groups = n.max(1);
+        self
+    }
+
+    /// The same scenario with membership churn at `rate` join/leave events per second
+    /// per session (clamped to ≥ 0).
+    pub fn with_churn_rate(mut self, rate: f64) -> Self {
+        self.member_churn_rate = rate.max(0.0);
+        self
+    }
+
+    /// True when the scenario has several sessions or churns memberships — the runs
+    /// whose reports carry per-group blocks and a legitimacy probe.
+    pub fn has_group_dynamics(&self) -> bool {
+        self.n_groups > 1 || self.member_churn_rate > 0.0
     }
 
     /// A small, fast scenario for unit/integration tests: fewer nodes, shorter run.
@@ -233,6 +264,21 @@ mod tests {
         assert_eq!(s.mobility, MobilityKind::GaussMarkov);
         assert_eq!(MobilityKind::ALL.len(), 3);
         assert_eq!(MobilityKind::StaticGrid.name(), "static-grid");
+    }
+
+    #[test]
+    fn group_and_churn_knobs_default_off_and_compose() {
+        let s = Scenario::paper_default();
+        assert_eq!(s.n_groups, 1);
+        assert_eq!(s.member_churn_rate, 0.0);
+        assert!(!s.has_group_dynamics());
+        let multi = s.with_groups(3).with_churn_rate(0.5);
+        assert_eq!(multi.n_groups, 3);
+        assert_eq!(multi.member_churn_rate, 0.5);
+        assert!(multi.has_group_dynamics());
+        assert!(s.with_churn_rate(0.1).has_group_dynamics(), "churn alone counts");
+        assert_eq!(s.with_groups(0).n_groups, 1, "clamped to at least one session");
+        assert_eq!(s.with_churn_rate(-2.0).member_churn_rate, 0.0);
     }
 
     #[test]

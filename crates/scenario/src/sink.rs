@@ -134,8 +134,10 @@ fn csv_field(value: &str) -> String {
 
 /// Streams one CSV row per repetition: `x,protocol,rep,pdr,unavailability,
 /// energy_per_packet_mj,control_overhead,delay_ms,faults,recovered,unrecovered,
-/// mean_recovery_s,recovery_energy_j`. The trailing convergence columns are zero for
-/// fault-free runs (no probe ran). The header is written before the first row, so
+/// mean_recovery_s,recovery_energy_j,groups,joins,leaves`. The convergence columns are
+/// zero for fault-free runs (no probe ran); the trailing group columns report the
+/// session count and total membership churn (`1,0,0` for plain single-group runs,
+/// which carry no per-group breakdown). The header is written before the first row, so
 /// partial files from interrupted runs are still loadable.
 ///
 /// Write failures do not abort the experiment (the simulation results still reach any
@@ -181,7 +183,8 @@ impl<W: Write> RunSink for CsvStreamSink<W> {
             let header = writeln!(
                 self.out,
                 "x,protocol,rep,pdr,unavailability,energy_per_packet_mj,control_overhead,\
-                 delay_ms,faults,recovered,unrecovered,mean_recovery_s,recovery_energy_j"
+                 delay_ms,faults,recovered,unrecovered,mean_recovery_s,recovery_energy_j,\
+                 groups,joins,leaves"
             );
             self.record(header);
         }
@@ -197,9 +200,17 @@ impl<W: Write> RunSink for CsvStreamSink<W> {
                     ),
                     None => (0, 0, 0, 0.0, 0.0),
                 };
+            let (groups, joins, leaves) = match &r.groups {
+                Some(g) => (
+                    g.len() as u64,
+                    g.iter().map(|b| b.joins).sum::<u64>(),
+                    g.iter().map(|b| b.leaves).sum::<u64>(),
+                ),
+                None => (1, 0, 0),
+            };
             let row = writeln!(
                 self.out,
-                "{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{},{:.6},{:.6}",
+                "{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{},{:.6},{:.6},{},{},{}",
                 cell.x,
                 csv_field(&cell.protocol),
                 rep,
@@ -213,6 +224,9 @@ impl<W: Write> RunSink for CsvStreamSink<W> {
                 unrecovered,
                 mean_recovery_s,
                 recovery_energy_j,
+                groups,
+                joins,
+                leaves,
             );
             self.record(row);
         }
@@ -331,6 +345,7 @@ mod tests {
             unavailability_ratio: 1.0 - pdr,
             collisions: 0,
             convergence: None,
+            groups: None,
         };
         SweepCell { x, protocol: protocol.to_string(), reports: vec![report] }
     }
@@ -458,11 +473,13 @@ mod tests {
         sink.finish();
         let text = String::from_utf8(sink.into_inner()).unwrap();
         let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].ends_with("mean_recovery_s,recovery_energy_j,groups,joins,leaves"));
         assert!(
-            lines[0].ends_with("faults,recovered,unrecovered,mean_recovery_s,recovery_energy_j")
+            lines[1].ends_with(",0,0,0,0.000000,0.000000,1,0,0"),
+            "fault-free row: {}",
+            lines[1]
         );
-        assert!(lines[1].ends_with(",0,0,0,0.000000,0.000000"), "fault-free row: {}", lines[1]);
-        assert!(lines[2].ends_with(",4,1,1,3.250000,0.125000"), "probed row: {}", lines[2]);
+        assert!(lines[2].ends_with(",4,1,1,3.250000,0.125000,1,0,0"), "probed row: {}", lines[2]);
     }
 
     #[test]

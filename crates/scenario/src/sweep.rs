@@ -145,6 +145,7 @@ pub fn to_series(cells: &[SweepCell], metric: Metric) -> Vec<Series> {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy shims under test are deprecated on purpose
 mod tests {
     use super::*;
     use crate::runner::run_scenario;

@@ -32,17 +32,17 @@ fn grid_setup(kind_members: &[GroupRole]) -> (SimSetup, Vec<BoxedMobility>) {
         start: SimTime::from_secs(10),
         stop: SimTime::from_secs(70),
     };
-    let setup = SimSetup {
+    let setup = SimSetup::single(
         radio,
         traffic,
-        roles: kind_members.to_vec(),
-        battery_capacity_j: f64::INFINITY,
-        unavailability_window: SimDuration::from_secs(1),
-        availability_threshold: 0.95,
-        seeds: SeedSequence::new(2024),
-        medium: MediumConfig::default(),
-        faults: FaultPlan::new(),
-    };
+        kind_members.to_vec(),
+        f64::INFINITY,
+        SimDuration::from_secs(1),
+        0.95,
+        SeedSequence::new(2024),
+        MediumConfig::default(),
+        FaultPlan::new(),
+    );
     (setup, mobility)
 }
 

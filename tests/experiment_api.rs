@@ -28,6 +28,7 @@ fn registry_names_round_trip_for_every_builtin() {
 }
 
 #[test]
+#[allow(deprecated)] // the legacy shim is the subject under test
 fn legacy_sweep_shim_preserves_grid_shape_and_seeding() {
     // `sweep` delegates to `Experiment`, so this is a plumbing check (cell order,
     // labels, repetition counts survive the shim), not an independent oracle. The

@@ -1,0 +1,50 @@
+//! Regression guard: a single-group scenario's `SimReport` must serialize byte-for-byte
+//! identically to the pre-multi-group build (golden file captured before the refactor).
+
+use ssmcast::core::MetricKind;
+use ssmcast::scenario::{run_protocol, ProtocolKind, Scenario};
+
+fn golden_scenario() -> Scenario {
+    let mut s = Scenario::quick_test();
+    s.duration_s = 40.0;
+    s.n_nodes = 16;
+    s.group_size = 6;
+    s
+}
+
+fn rendered() -> String {
+    let s = golden_scenario();
+    let mut out = String::new();
+    for kind in
+        [ProtocolKind::Flooding, ProtocolKind::SsSpst(MetricKind::EnergyAware), ProtocolKind::Odmrp]
+    {
+        let report = run_protocol(&s, kind.to_protocol().as_ref());
+        out.push_str(&serde_json::to_string(&report).expect("reports serialize"));
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn single_group_reports_match_the_pre_refactor_golden_bytes() {
+    let golden = include_str!("golden/single_group_reports.jsonl");
+    let now = rendered();
+    for (i, (g, n)) in golden.lines().zip(now.lines()).enumerate() {
+        assert_eq!(g, n, "report line {i} diverged from the pre-refactor golden bytes");
+    }
+    assert_eq!(golden, now);
+}
+
+/// Regenerate the golden file (run manually: `GOLDEN_WRITE=1 cargo test --test
+/// golden_single_group -- --ignored golden_write`).
+#[test]
+#[ignore]
+fn golden_write() {
+    if std::env::var("GOLDEN_WRITE").is_ok() {
+        std::fs::write(
+            concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/single_group_reports.jsonl"),
+            rendered(),
+        )
+        .unwrap();
+    }
+}

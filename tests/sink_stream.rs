@@ -1,0 +1,144 @@
+//! Streaming-sink behaviour under out-of-order cell completion: the experiment engine's
+//! thread pool finishes cells in arbitrary order, but sinks must observe them in grid
+//! order (CSV/JSONL rows sorted), and a failing sink inside a tee must surface its
+//! error without starving the other sinks.
+
+use ssmcast::scenario::{
+    CellInfo, CsvStreamSink, Experiment, JsonLinesSink, MemorySink, ProtocolKind, RunSink,
+    Scenario, SweepCell, TeeSink,
+};
+
+fn small_base() -> Scenario {
+    let mut s = Scenario::quick_test();
+    s.duration_s = 5.0;
+    s.n_nodes = 12;
+    s.group_size = 5;
+    s
+}
+
+/// A sweep whose first column simulates ~10× longer than the rest: with several worker
+/// threads, later cells complete while cell 0 is still running, so the collector must
+/// buffer the out-of-order window and release it in grid order.
+fn skewed_experiment() -> Experiment {
+    Experiment::new(small_base())
+        .protocol_kinds(&[ProtocolKind::Flooding])
+        .sweep_with(vec![50.0, 5.0, 5.0, 5.0, 5.0, 5.0], |s, x| s.duration_s = x)
+        .threads(4)
+}
+
+#[test]
+fn csv_rows_stay_in_grid_order_under_out_of_order_completion() {
+    let mut csv = CsvStreamSink::new(Vec::new());
+    skewed_experiment().run_with_sink(&mut csv);
+    assert!(csv.error().is_none());
+    let text = String::from_utf8(csv.into_inner()).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 7, "header + six columns: {text}");
+    let xs: Vec<f64> =
+        lines[1..].iter().map(|l| l.split(',').next().unwrap().parse().unwrap()).collect();
+    assert_eq!(xs, vec![50.0, 5.0, 5.0, 5.0, 5.0, 5.0], "rows must follow grid order");
+}
+
+#[test]
+fn jsonl_cells_stay_in_grid_order_under_out_of_order_completion() {
+    let mut jsonl = JsonLinesSink::new(Vec::new());
+    skewed_experiment().run_with_sink(&mut jsonl);
+    assert!(jsonl.error().is_none());
+    let text = String::from_utf8(jsonl.into_inner()).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 6);
+    assert!(lines[0].contains("\"x\":50"), "slowest cell still emitted first: {}", lines[0]);
+    for line in &lines[1..] {
+        assert!(line.contains("\"x\":5"), "{line}");
+    }
+    // Every line is one standalone JSON object.
+    for line in &lines {
+        assert!(line.starts_with('{') && line.ends_with('}'));
+    }
+}
+
+#[test]
+fn ordered_delivery_holds_for_every_thread_count() {
+    struct Order(Vec<usize>);
+    impl RunSink for Order {
+        fn on_cell(&mut self, info: &CellInfo, _cell: &SweepCell) {
+            self.0.push(info.cell_index);
+        }
+    }
+    for threads in [1, 2, 8] {
+        let mut sink = Order(Vec::new());
+        Experiment::new(small_base())
+            .protocol_kinds(&[ProtocolKind::Flooding, ProtocolKind::Odmrp])
+            .sweep_with(vec![30.0, 5.0, 5.0], |s, x| s.duration_s = x)
+            .threads(threads)
+            .run_with_sink(&mut sink);
+        assert_eq!(sink.0, (0..6).collect::<Vec<_>>(), "threads={threads}");
+    }
+}
+
+/// A writer that fails permanently after accepting `budget` complete lines.
+struct FailAfter {
+    inner: Vec<u8>,
+    budget: usize,
+}
+
+impl std::io::Write for FailAfter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if self.inner.iter().filter(|&&b| b == b'\n').count() >= self.budget {
+            return Err(std::io::Error::new(std::io::ErrorKind::StorageFull, "disk full"));
+        }
+        self.inner.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn tee_keeps_feeding_healthy_sinks_after_one_member_fails() {
+    let mut memory = MemorySink::new();
+    let mut csv = CsvStreamSink::new(FailAfter { inner: Vec::new(), budget: 2 });
+    let mut jsonl = JsonLinesSink::new(Vec::new());
+    {
+        let mut tee = TeeSink::new(vec![&mut memory, &mut csv, &mut jsonl]);
+        skewed_experiment().run_with_sink(&mut tee);
+    }
+    // The CSV ran out of disk after header + one row; the error must surface...
+    assert!(csv.error().is_some(), "the failed member's error is preserved");
+    let csv_text = String::from_utf8(csv.into_inner().inner).unwrap();
+    assert_eq!(csv_text.lines().count(), 2, "header + the one row that fit");
+    // ...while the other members of the tee keep receiving every cell.
+    assert_eq!(memory.cells().len(), 6, "memory sink saw the whole grid");
+    let jsonl_text = String::from_utf8(jsonl.into_inner()).unwrap();
+    assert_eq!(jsonl_text.lines().count(), 6, "JSONL sink saw the whole grid");
+}
+
+#[test]
+fn tee_forwards_finish_to_every_member_in_order() {
+    #[derive(Default)]
+    struct Flagged {
+        cells: usize,
+        finished: bool,
+    }
+    impl RunSink for Flagged {
+        fn on_cell(&mut self, _info: &CellInfo, _cell: &SweepCell) {
+            assert!(!self.finished, "no cell may arrive after finish");
+            self.cells += 1;
+        }
+        fn finish(&mut self) {
+            self.finished = true;
+        }
+    }
+    let mut a = Flagged::default();
+    let mut b = Flagged::default();
+    {
+        let mut tee = TeeSink::new(vec![&mut a, &mut b]);
+        Experiment::new(small_base())
+            .protocol_kinds(&[ProtocolKind::Flooding])
+            .run_with_sink(&mut tee);
+    }
+    assert!(a.finished && b.finished);
+    assert_eq!(a.cells, 1);
+    assert_eq!(b.cells, 1);
+}
