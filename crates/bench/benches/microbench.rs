@@ -167,6 +167,43 @@ fn bench_multi_group(c: &mut Criterion) {
     group.finish();
 }
 
+/// The energy-lifecycle path at n = 500: the same SS-SPST-E scenario with unlimited
+/// always-on radios (the paper's model, and the fast path with every lifecycle branch
+/// compiled out at runtime) versus the full lifecycle — finite batteries, a duty-cycled
+/// radio with idle/sleep drain accrual, distance-based TX power control and per-epoch
+/// lifetime sampling. The pair prices the whole subsystem.
+fn bench_energy_lifecycle(c: &mut Criterion) {
+    let base = {
+        let mut s = Scenario::paper_default();
+        s.n_nodes = 500;
+        s.area_side_m = 2_800.0;
+        s.group_size = 40;
+        s.duration_s = 5.0;
+        s.warmup_s = 1.0;
+        s.medium = MediumConfig::grid().with_epoch(SimDuration::from_millis(200));
+        s
+    };
+    let lifecycle = base
+        .with_battery_capacity(50.0)
+        .with_duty_cycle(1.0, 0.8)
+        .with_idle_power(2e-3, 1e-4)
+        .with_tx_power_control(true);
+    let mut group = c.benchmark_group("manet/energy_n500");
+    group.sample_size(3);
+    for (name, scenario) in [("unlimited", base), ("lifecycle", lifecycle)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let report = run_protocol(
+                    black_box(&scenario),
+                    ProtocolKind::SsSpst(MetricKind::EnergyAware).to_protocol().as_ref(),
+                );
+                black_box(report)
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_event_queue,
@@ -174,6 +211,7 @@ criterion_group!(
     bench_sync_stabilization,
     bench_broadcast_medium,
     bench_fault_recovery,
-    bench_multi_group
+    bench_multi_group,
+    bench_energy_lifecycle
 );
 criterion_main!(benches);

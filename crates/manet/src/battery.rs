@@ -15,6 +15,11 @@ pub enum EnergyUse {
     RxData,
     /// Receiving a packet only to discard it — the paper's overhearing / discard energy.
     Overhear,
+    /// Continuous drain while the radio is powered and listening with no frame on the
+    /// air (see [`crate::lifecycle::LifecycleConfig::idle_listen_w`]).
+    IdleListen,
+    /// Continuous drain while the radio sleeps per its duty-cycle schedule.
+    Sleep,
 }
 
 /// A node battery: tracks consumption by category and optionally enforces a capacity.
@@ -27,6 +32,8 @@ pub struct Battery {
     rx_control_j: f64,
     rx_data_j: f64,
     overhear_j: f64,
+    idle_j: f64,
+    sleep_j: f64,
     drained_j: f64,
 }
 
@@ -47,17 +54,29 @@ impl Battery {
             rx_control_j: 0.0,
             rx_data_j: 0.0,
             overhear_j: 0.0,
+            idle_j: 0.0,
+            sleep_j: 0.0,
             drained_j: 0.0,
         }
     }
 
-    /// Consume `joules` for the given purpose. Returns `false` if the battery was already
-    /// depleted (the consumption is still recorded up to the capacity).
+    /// Consume `joules` for the given purpose. Returns `false` if the battery is
+    /// depleted afterwards (or was already); the consumption is recorded up to the
+    /// capacity — a battery never books more energy than it ever held.
     pub fn consume(&mut self, joules: f64, usage: EnergyUse) -> bool {
+        self.accept(joules, usage);
+        !self.is_depleted()
+    }
+
+    /// Consume up to `joules` for the given purpose and return the amount actually
+    /// recorded: `joules` clamped to the remaining capacity, `0.0` once depleted. The
+    /// runtime attributes exactly this amount to the owning session, so per-session
+    /// energy sums conserve the batteries' totals even across depletion.
+    pub fn accept(&mut self, joules: f64, usage: EnergyUse) -> f64 {
         if self.is_depleted() {
-            return false;
+            return 0.0;
         }
-        let j = joules.max(0.0);
+        let j = joules.max(0.0).min(self.remaining());
         self.consumed_j += j;
         match usage {
             EnergyUse::TxControl => self.tx_control_j += j,
@@ -65,19 +84,22 @@ impl Battery {
             EnergyUse::RxControl => self.rx_control_j += j,
             EnergyUse::RxData => self.rx_data_j += j,
             EnergyUse::Overhear => self.overhear_j += j,
+            EnergyUse::IdleListen => self.idle_j += j,
+            EnergyUse::Sleep => self.sleep_j += j,
         }
-        !self.is_depleted()
+        j
     }
 
     /// Remove `joules` at once without attributing them to a radio activity — the
     /// fault layer's battery-drain spike (a co-located application, a sensor burst).
-    /// Not counted in [`Self::breakdown`]; see [`Self::drained`]. Returns `false` if
-    /// the battery was already depleted.
+    /// Not counted in [`Self::breakdown`]; see [`Self::drained`]. Clamped to the
+    /// remaining capacity like [`Self::consume`]. Returns `false` if the battery was
+    /// already depleted.
     pub fn drain(&mut self, joules: f64) -> bool {
         if self.is_depleted() {
             return false;
         }
-        let j = joules.max(0.0);
+        let j = joules.max(0.0).min(self.remaining());
         self.consumed_j += j;
         self.drained_j += j;
         !self.is_depleted()
@@ -96,6 +118,11 @@ impl Battery {
     /// Remaining energy, joules (infinite for unlimited batteries).
     pub fn remaining(&self) -> f64 {
         (self.capacity_j - self.consumed_j).max(0.0)
+    }
+
+    /// The battery's capacity, joules (infinite for unlimited batteries).
+    pub fn capacity(&self) -> f64 {
+        self.capacity_j
     }
 
     /// True once consumption has reached capacity.
@@ -124,7 +151,19 @@ impl Battery {
         self.overhear_j
     }
 
-    /// Breakdown `(tx_control, tx_data, rx_control, rx_data, overhear)` in joules.
+    /// Energy drained by idle listening (radio powered, no frame on the air), joules.
+    pub fn idle_listened(&self) -> f64 {
+        self.idle_j
+    }
+
+    /// Energy drained while the radio slept per its duty-cycle schedule, joules.
+    pub fn slept(&self) -> f64 {
+        self.sleep_j
+    }
+
+    /// Breakdown `(tx_control, tx_data, rx_control, rx_data, overhear)` in joules —
+    /// the per-packet radio activity only; idle/sleep drain and fault-injected spikes
+    /// are reported by [`Self::idle_listened`], [`Self::slept`] and [`Self::drained`].
     pub fn breakdown(&self) -> (f64, f64, f64, f64, f64) {
         (self.tx_control_j, self.tx_data_j, self.rx_control_j, self.rx_data_j, self.overhear_j)
     }
@@ -166,6 +205,27 @@ mod tests {
     }
 
     #[test]
+    fn consumption_is_recorded_only_up_to_the_capacity() {
+        // Pins the documented clamp: a 1 J battery asked for 0.6 + 0.6 J books exactly
+        // 1 J in total, and the crossing consumption's category gets only the 0.4 J the
+        // battery still held.
+        let mut b = Battery::with_capacity(1.0);
+        assert_eq!(b.accept(0.6, EnergyUse::TxData), 0.6);
+        assert_eq!(b.accept(0.6, EnergyUse::RxData), 0.4, "only the remaining energy books");
+        assert_eq!(b.consumed(), 1.0, "consumption never exceeds the capacity");
+        let (_, td, _, rd, _) = b.breakdown();
+        assert_eq!(td, 0.6);
+        assert_eq!(rd, 0.4);
+        assert_eq!(b.accept(0.5, EnergyUse::Overhear), 0.0, "a dead battery accepts nothing");
+        assert_eq!(b.consumed(), 1.0);
+        // The same clamp applies to unattributed drain spikes.
+        let mut b = Battery::with_capacity(2.0);
+        b.drain(5.0);
+        assert_eq!(b.consumed(), 2.0);
+        assert_eq!(b.drained(), 2.0);
+    }
+
+    #[test]
     fn drain_spikes_deplete_without_touching_the_radio_breakdown() {
         let mut b = Battery::with_capacity(2.0);
         b.consume(0.5, EnergyUse::TxData);
@@ -177,7 +237,23 @@ mod tests {
         assert!(!b.drain(1.0), "this spike crosses capacity");
         assert!(b.is_depleted());
         assert!(!b.drain(0.1), "depleted batteries absorb nothing further");
-        assert_eq!(b.drained(), 2.0);
+        assert_eq!(b.drained(), 1.5, "the crossing spike books only the remaining 0.5 J");
+        assert_eq!(b.consumed(), 2.0);
+    }
+
+    #[test]
+    fn idle_and_sleep_drain_have_their_own_categories() {
+        let mut b = Battery::unlimited();
+        b.consume(0.25, EnergyUse::IdleListen);
+        b.consume(0.0625, EnergyUse::Sleep);
+        b.consume(1.0, EnergyUse::TxData);
+        assert_eq!(b.idle_listened(), 0.25);
+        assert_eq!(b.slept(), 0.0625);
+        assert_eq!(b.consumed(), 1.3125);
+        let (tc, td, rc, rd, oh) = b.breakdown();
+        assert_eq!(tc + td + rc + rd + oh, 1.0, "continuous drain is not per-packet radio work");
+        // Conservation identity used by the lifecycle proptests.
+        assert_eq!(tc + td + rc + rd + oh + b.idle_listened() + b.slept() + b.drained(), 1.3125);
     }
 
     #[test]

@@ -6,7 +6,11 @@
 //! * [`mobility`] — random-waypoint (with the non-zero minimum-speed fix), Gauss–Markov,
 //!   grid placement and stationary trajectories.
 //! * [`energy`] — first-order radio energy model with power control, plus radio timing.
-//! * [`battery`] — per-node energy accounting split by purpose (tx/rx/overhear).
+//! * [`battery`] — per-node energy accounting split by purpose (tx/rx/overhear plus
+//!   continuous idle-listen/sleep drain).
+//! * [`lifecycle`] — the energy lifecycle: seeded radio duty-cycle schedules,
+//!   idle/sleep drain rates and distance-based TX power control; battery depletion is
+//!   a permanent node death feeding the [`ssmcast_metrics::LifetimeStats`] block.
 //! * [`channel`] — broadcast medium occupancy and the capture-effect collision model.
 //! * [`packet`] / [`node`] — frames, node ids, multicast group roles.
 //! * [`agent`] — the [`agent::ProtocolAgent`] trait protocol crates implement.
@@ -31,6 +35,7 @@ pub mod channel;
 pub mod energy;
 pub mod faults;
 pub mod geometry;
+pub mod lifecycle;
 pub mod medium;
 pub mod mobility;
 pub mod node;
@@ -51,6 +56,7 @@ pub use faults::{
     StabilizationObserver,
 };
 pub use geometry::{Area, Vec2};
+pub use lifecycle::{DutyCycleConfig, DutySchedule, LifecycleConfig};
 pub use medium::{MediumConfig, NeighborQuery, RadioMedium};
 pub use mobility::{
     grid_positions, BoxedMobility, GaussMarkov, GaussMarkovConfig, Mobility, RandomWaypoint,

@@ -237,6 +237,14 @@ impl RadioMedium {
         }
     }
 
+    /// Greatest distance from `center` to any node in `ids` at (the epoch of) `t` —
+    /// the minimum power-control range that covers them all (0 for an empty set). Used
+    /// by distance-based TX power control to price a broadcast by its farthest actual
+    /// receiver instead of the requested range.
+    pub fn farthest_distance(&mut self, center: Vec2, ids: &[NodeId], t: SimTime) -> f64 {
+        ids.iter().map(|&id| self.position_of(id, t).distance(&center)).fold(0.0, f64::max)
+    }
+
     /// Freeze the medium at (the epoch of) `t` into a [`TopologySnapshot`] with the given
     /// neighbour range.
     pub fn snapshot(&mut self, t: SimTime, range_m: f64) -> TopologySnapshot {

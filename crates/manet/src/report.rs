@@ -11,7 +11,7 @@ use crate::node::NodeId;
 use crate::packet::DataTag;
 use serde::{Deserialize, Serialize};
 use ssmcast_dessim::{SimDuration, SimTime};
-use ssmcast_metrics::{ConvergenceStats, GroupStats};
+use ssmcast_metrics::{ConvergenceStats, GroupStats, LifetimeStats};
 use std::collections::{HashMap, HashSet};
 
 /// Raw counters accumulated for one multicast session while a simulation runs.
@@ -154,6 +154,11 @@ impl Trace {
         self.delivered_count
     }
 
+    /// Deliveries owed so far (running total, for mid-run lifetime sampling).
+    pub fn expected_deliveries(&self) -> u64 {
+        self.expected
+    }
+
     /// Control packets transmitted so far (running total, for mid-run probes).
     pub fn control_packets(&self) -> u64 {
         self.control_packets
@@ -275,6 +280,7 @@ impl Trace {
             collisions,
             convergence: None,
             groups: None,
+            lifetime: None,
         }
     }
 
@@ -371,6 +377,12 @@ pub struct SimReport {
     /// Per-session breakdown for multi-group or churned runs; `None` (and absent from
     /// the serialized form) for plain single-group runs.
     pub groups: Option<Vec<GroupStats>>,
+    /// Network-lifetime measurements when the run tracked the energy lifecycle (finite
+    /// battery capacity or continuous idle/sleep drain): time-to-first-death, alive and
+    /// delivery-ratio curves, residual-energy histogram. `None` (and absent from the
+    /// serialized form) for unlimited-battery, drain-free runs, keeping them
+    /// byte-identical to pre-lifecycle builds.
+    pub lifetime: Option<LifetimeStats>,
 }
 
 impl Serialize for SimReport {
@@ -407,6 +419,9 @@ impl Serialize for SimReport {
         field!("convergence", self.convergence);
         if let Some(groups) = &self.groups {
             field!("groups", groups);
+        }
+        if let Some(lifetime) = &self.lifetime {
+            field!("lifetime", lifetime);
         }
         out.push('}');
     }
@@ -601,5 +616,25 @@ mod tests {
         let mut tagged = String::new();
         r.serialize_json(&mut tagged);
         assert!(tagged.contains("\"groups\":[{\"group\":0,"), "groups block renders: {tagged}");
+    }
+
+    #[test]
+    fn serialization_omits_lifetime_when_absent_and_renders_it_when_present() {
+        let tr = Trace::new(SimDuration::from_secs(1));
+        let mut r = tr.finish("p", SimDuration::from_secs(1), 0.0, 0.0, 0, 512, 0.95);
+        let mut plain = String::new();
+        r.serialize_json(&mut plain);
+        assert!(!plain.contains("\"lifetime\""), "no lifetime key for unlimited runs: {plain}");
+        let mut stats = LifetimeStats::empty(1.0, 4);
+        stats.first_death_s = Some(12.0);
+        stats.deaths = 1;
+        stats.alive_final = 3;
+        r.lifetime = Some(stats);
+        let mut tagged = String::new();
+        r.serialize_json(&mut tagged);
+        assert!(
+            tagged.contains("\"lifetime\":{\"sample_epoch_s\":1,\"first_death_s\":12,"),
+            "lifetime block renders: {tagged}"
+        );
     }
 }

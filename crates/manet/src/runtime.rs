@@ -15,6 +15,7 @@ use crate::energy::RadioConfig;
 use crate::faults::StabilizationObserver;
 use crate::faults::{FaultEvent, FaultKind, FaultPlan, ProbeContext, SessionProbe};
 use crate::geometry::Vec2;
+use crate::lifecycle::{DutySchedule, LifecycleConfig};
 use crate::medium::{MediumConfig, RadioMedium};
 use crate::mobility::BoxedMobility;
 use crate::node::{GroupRole, NodeId};
@@ -26,6 +27,7 @@ use crate::traffic::TrafficConfig;
 use rand::rngs::StdRng;
 use rand::Rng;
 use ssmcast_dessim::{RunOutcome, SeedSequence, SimDuration, SimTime, Simulator};
+use ssmcast_metrics::{LifetimeStats, RESIDUAL_HISTOGRAM_BINS};
 use std::collections::HashMap;
 
 /// Static setup for one simulation run.
@@ -41,6 +43,10 @@ pub struct SimSetup {
     pub n_nodes: usize,
     /// Battery capacity per node in joules (`f64::INFINITY` for the paper's experiments).
     pub battery_capacity_j: f64,
+    /// Energy-lifecycle knobs: radio duty-cycling, continuous idle/sleep drain and
+    /// distance-based TX power control. [`LifecycleConfig::off`] (the default) keeps
+    /// runs byte-identical to pre-lifecycle builds.
+    pub lifecycle: LifecycleConfig,
     /// Window used for the unavailability ratio.
     pub unavailability_window: SimDuration,
     /// Per-window delivery ratio below which the service counts as unavailable.
@@ -75,6 +81,7 @@ impl SimSetup {
             sessions: vec![SessionSetup::new(traffic, roles)],
             n_nodes,
             battery_capacity_j,
+            lifecycle: LifecycleConfig::off(),
             unavailability_window,
             availability_threshold,
             seeds,
@@ -173,6 +180,17 @@ pub struct NetworkSim<A: ProtocolAgent> {
     session_overhear_j: Vec<f64>,
     /// Per-node crash flag (driven by [`FaultKind::Crash`] / [`FaultKind::Rejoin`]).
     crashed: Vec<bool>,
+    /// Materialised per-node duty-cycle schedule (always-awake when duty cycling is off).
+    duty: DutySchedule,
+    /// Per-node horizon up to which continuous idle/sleep drain has been accrued.
+    accrued_until: Vec<SimTime>,
+    /// First instant each node's battery was observed depleted — battery death is
+    /// permanent and feeds the lifetime metrics.
+    death_at: Vec<Option<SimTime>>,
+    /// Battery-alive node count at each lifetime sample epoch.
+    alive_curve: Vec<u64>,
+    /// Cumulative delivery ratio at each lifetime sample epoch.
+    delivery_curve: Vec<f64>,
     rngs: Vec<StdRng>,
     loss_rng: StdRng,
     channel: Channel,
@@ -216,6 +234,10 @@ impl<A: ProtocolAgent> NetworkSim<A> {
         let loss_rng = setup.seeds.stream("channel-loss");
         let traces = (0..n_sessions).map(|_| Trace::new(setup.unavailability_window)).collect();
         let medium = RadioMedium::new(mobility, setup.medium, setup.radio.max_range_m);
+        let duty = DutySchedule::from_seeds(&setup.lifecycle.duty_cycle, n, &setup.seeds);
+        // A zero-capacity battery is depleted before the first event: record the death
+        // at time zero so lifetime metrics never censor an already-dead fleet.
+        let death_at = batteries.iter().map(|b| b.is_depleted().then_some(SimTime::ZERO)).collect();
         NetworkSim {
             sim: Simulator::with_capacity(1024),
             channel: Channel::new(n),
@@ -224,6 +246,11 @@ impl<A: ProtocolAgent> NetworkSim<A> {
             scratch_actions: Vec::with_capacity(16),
             scratch_receivers: Vec::with_capacity(16),
             crashed: vec![false; n],
+            duty,
+            accrued_until: vec![SimTime::ZERO; n],
+            death_at,
+            alive_curve: Vec::new(),
+            delivery_curve: Vec::new(),
             session_energy_j: vec![0.0; n_sessions],
             session_overhear_j: vec![0.0; n_sessions],
             joins: vec![0; n_sessions],
@@ -286,6 +313,130 @@ impl<A: ProtocolAgent> NetworkSim<A> {
     /// True while node `n` is crashed by an injected fault.
     pub fn is_crashed(&self, n: NodeId) -> bool {
         self.crashed[n.index()]
+    }
+
+    /// The instant node `n`'s battery was observed depleted, if it has died. Battery
+    /// death is permanent: unlike a crash there is no rejoin.
+    pub fn death_time(&self, n: NodeId) -> Option<SimTime> {
+        self.death_at[n.index()]
+    }
+
+    /// The materialised duty-cycle schedule driving this run's radios.
+    pub fn duty_schedule(&self) -> &DutySchedule {
+        &self.duty
+    }
+
+    /// True when this run tracks the energy lifecycle (finite batteries or continuous
+    /// drain) and therefore attaches a [`LifetimeStats`] block to its report.
+    fn lifetime_tracking(&self) -> bool {
+        self.setup.battery_capacity_j.is_finite() || self.setup.lifecycle.has_continuous_drain()
+    }
+
+    /// Record node `i`'s death the first time its battery is observed depleted.
+    fn note_death(&mut self, i: usize, t: SimTime) {
+        if self.death_at[i].is_none() && self.batteries[i].is_depleted() {
+            self.death_at[i] = Some(t);
+        }
+    }
+
+    /// Accrue node `i`'s continuous idle-listen / sleep drain up to `t`. The drain is
+    /// piecewise-linear over the duty-cycle schedule, so accruing lazily at event and
+    /// sample instants books exactly the same joules as accruing continuously; a node
+    /// whose battery runs dry between packets is observed dead at the next instant
+    /// anything (an event, a probe, a lifetime sample) looks at it.
+    fn accrue_idle(&mut self, i: usize, t: SimTime) {
+        if !self.setup.lifecycle.has_continuous_drain() {
+            return;
+        }
+        let from = self.accrued_until[i];
+        if t <= from {
+            return;
+        }
+        self.accrued_until[i] = t;
+        if self.batteries[i].is_depleted() {
+            return;
+        }
+        let awake = self.duty.awake_between(NodeId(i as u16), from, t);
+        let asleep = t.saturating_since(from) - awake;
+        let lc = self.setup.lifecycle;
+        if lc.idle_listen_w > 0.0 {
+            self.batteries[i].accept(lc.idle_listen_w * awake.as_secs_f64(), EnergyUse::IdleListen);
+        }
+        if lc.sleep_w > 0.0 {
+            self.batteries[i].accept(lc.sleep_w * asleep.as_secs_f64(), EnergyUse::Sleep);
+        }
+        self.note_death(i, t);
+    }
+
+    /// Accrue every node's continuous drain up to `t` (probes and lifetime samples need
+    /// the whole fleet's liveness to be current).
+    fn accrue_all(&mut self, t: SimTime) {
+        if !self.setup.lifecycle.has_continuous_drain() {
+            return;
+        }
+        for i in 0..self.setup.n_nodes {
+            self.accrue_idle(i, t);
+        }
+    }
+
+    /// Record one lifetime sample at `t`: battery-alive population and cumulative
+    /// delivery ratio.
+    fn sample_lifetime(&mut self, t: SimTime) {
+        self.accrue_all(t);
+        let alive = self.batteries.iter().filter(|b| !b.is_depleted()).count() as u64;
+        self.alive_curve.push(alive);
+        let delivered: u64 = self.traces.iter().map(Trace::delivered_count).sum();
+        let expected: u64 = self.traces.iter().map(|tr| tr.expected_deliveries()).sum();
+        let ratio = if expected > 0 { delivered as f64 / expected as f64 } else { 0.0 };
+        self.delivery_curve.push(ratio);
+    }
+
+    /// Build the [`LifetimeStats`] block from the current state, or `None` when the run
+    /// does not track the energy lifecycle.
+    fn lifetime_stats(&self) -> Option<LifetimeStats> {
+        if !self.lifetime_tracking() {
+            return None;
+        }
+        let epoch = self.sample_epoch();
+        let n = self.setup.n_nodes as u64;
+        let mut stats = LifetimeStats::empty(epoch.as_secs_f64(), n);
+        stats.first_death_s = self.death_at.iter().flatten().min().map(|t| t.as_secs_f64());
+        stats.deaths = self.batteries.iter().filter(|b| b.is_depleted()).count() as u64;
+        stats.alive_final = n - stats.deaths;
+        stats.alive_curve = self.alive_curve.clone();
+        stats.delivery_ratio_curve = self.delivery_curve.clone();
+        stats.idle_energy_j = self.batteries.iter().map(Battery::idle_listened).sum();
+        stats.sleep_energy_j = self.batteries.iter().map(Battery::slept).sum();
+        stats.drained_j = self.batteries.iter().map(Battery::drained).sum();
+        let capacity = self.setup.battery_capacity_j;
+        if capacity.is_finite() && !self.batteries.is_empty() {
+            let mut histogram = vec![0u64; RESIDUAL_HISTOGRAM_BINS];
+            let mut sum = 0.0f64;
+            let mut min = f64::INFINITY;
+            for b in &self.batteries {
+                let residual = b.remaining();
+                sum += residual;
+                min = min.min(residual);
+                let fraction = if capacity > 0.0 { residual / capacity } else { 0.0 };
+                let bin = ((fraction * RESIDUAL_HISTOGRAM_BINS as f64) as usize)
+                    .min(RESIDUAL_HISTOGRAM_BINS - 1);
+                histogram[bin] += 1;
+            }
+            stats.residual_energy_histogram = histogram;
+            stats.mean_residual_j = sum / self.batteries.len() as f64;
+            stats.min_residual_j = min;
+        }
+        Some(stats)
+    }
+
+    /// The lifetime sampling cadence (zero in the config falls back to one second).
+    fn sample_epoch(&self) -> SimDuration {
+        let epoch = self.setup.lifecycle.sample_epoch;
+        if epoch.is_zero() {
+            SimDuration::from_secs(1)
+        } else {
+            epoch
+        }
     }
 
     /// Network-wide energy consumed so far, joules (running total for mid-run probes).
@@ -382,6 +533,9 @@ impl<A: ProtocolAgent> NetworkSim<A> {
     /// no-op (corrupting or re-crashing an already-down node, draining an empty
     /// battery) so the probed loop does not report phantom faults to the observer.
     fn apply_fault(&mut self, t: SimTime, kind: FaultKind) -> bool {
+        // Bring the target's continuous drain up to date first, so a node whose battery
+        // ran dry between packets is already dead (and the fault a no-op) here.
+        self.accrue_idle(kind.node().index(), t);
         match kind {
             FaultKind::Corrupt { node } => {
                 let i = node.index();
@@ -431,13 +585,14 @@ impl<A: ProtocolAgent> NetworkSim<A> {
                 !self.crashed[node.index()] && !self.batteries[node.index()].is_depleted()
             }
             FaultKind::Drain { node, joules } => {
-                let battery = &mut self.batteries[node.index()];
+                let i = node.index();
                 // An unlimited battery cannot be hurt by a spike: skip it entirely so
                 // the energy report stays clean and no phantom episode opens.
-                if battery.is_unlimited() || battery.is_depleted() {
+                if self.batteries[i].is_unlimited() || self.batteries[i].is_depleted() {
                     return false;
                 }
-                battery.drain(joules);
+                self.batteries[i].drain(joules);
+                self.note_death(i, t);
                 true
             }
         }
@@ -471,6 +626,9 @@ impl<A: ProtocolAgent> NetworkSim<A> {
         observer: &mut dyn StabilizationObserver,
         fault: Option<&FaultKind>,
     ) {
+        // Idle drain accrues fleet-wide first, so the alive-sets below reflect nodes
+        // whose batteries ran dry between packets.
+        self.accrue_all(t);
         if !matches!(&self.probe_snapshot, Some((st, _)) if *st == t) {
             let snapshot = self.medium.snapshot(t, self.setup.radio.max_range_m);
             self.probe_snapshot = Some((t, snapshot));
@@ -526,25 +684,54 @@ impl<A: ProtocolAgent> NetworkSim<A> {
         data: Option<DataTag>,
         payload: A::Payload,
     ) {
+        self.accrue_idle(sender.index(), t);
         if self.batteries[sender.index()].is_depleted() || self.crashed[sender.index()] {
             return;
         }
         let radio = self.setup.radio;
         let range = radio.clamp_range(range_m);
-        let tx_energy = radio.energy.tx_energy(range, size_bytes);
         let usage = match class {
             PacketClass::Control => EnergyUse::TxControl,
             PacketClass::Data => EnergyUse::TxData,
         };
-        self.batteries[sender.index()].consume(tx_energy, usage);
-        self.session_energy_j[session] += tx_energy;
+        // A blacked-out sender still pays for the transmission but nobody hears it —
+        // at the requested range even under power control (its neighbourhood is
+        // unknowable through a jammed link), and without wasting a neighbour query
+        // whose result would be discarded.
+        if self.medium.is_blacked_out(sender, t) {
+            let accepted = self.batteries[sender.index()]
+                .accept(radio.energy.tx_energy(range, size_bytes), usage);
+            self.note_death(sender.index(), t);
+            self.session_energy_j[session] += accepted;
+            match class {
+                PacketClass::Control => self.traces[session].record_control_tx(size_bytes),
+                PacketClass::Data => self.traces[session].record_data_tx(size_bytes),
+            }
+            return;
+        }
+        // Receivers are computed up front (the query is RNG-free, so the loss draws
+        // below still happen in exactly the legacy order) so distance-based TX power
+        // control can price the transmission by its farthest actual receiver.
+        let mut receivers = std::mem::take(&mut self.scratch_receivers);
+        self.medium.receivers_within(sender, sender_pos, range, t, &mut receivers);
+        let tx_range = if self.setup.lifecycle.tx_power_control {
+            // Just enough power to cover the farthest receiver; the zero-range
+            // electronics term keeps the cost above the floor even with nobody in
+            // range. A sleeping receiver still counts — the sender cannot know.
+            self.medium.farthest_distance(sender_pos, &receivers, t).min(range)
+        } else {
+            range
+        };
+        let tx_energy = radio.energy.tx_energy(tx_range, size_bytes);
+        // Attribute only what the battery actually held: the dying gasp of a nearly
+        // drained node books (and charges its session with) the residual energy, so
+        // per-session sums conserve the batteries' totals across depletion.
+        let accepted = self.batteries[sender.index()].accept(tx_energy, usage);
+        self.note_death(sender.index(), t);
+        self.session_energy_j[session] += accepted;
         match class {
             PacketClass::Control => self.traces[session].record_control_tx(size_bytes),
             PacketClass::Data => self.traces[session].record_data_tx(size_bytes),
-        }
-        // A blacked-out sender still pays for the transmission but nobody hears it.
-        if self.medium.is_blacked_out(sender, t) {
-            return;
         }
 
         // Crude CSMA: every transmission waits a small random backoff before hitting the
@@ -560,8 +747,6 @@ impl<A: ProtocolAgent> NetworkSim<A> {
         // Receivers come back in ascending node-id order regardless of query mode, so
         // the per-receiver channel and loss draws below consume `loss_rng` in exactly
         // the sequence the brute-force scan would.
-        let mut receivers = std::mem::take(&mut self.scratch_receivers);
-        self.medium.receivers_within(sender, sender_pos, range, t, &mut receivers);
         for &rx in &receivers {
             if self.batteries[rx.index()].is_depleted() {
                 continue;
@@ -584,6 +769,7 @@ impl<A: ProtocolAgent> NetworkSim<A> {
         match ev {
             NetEvent::Deliver { session, rx, packet, corrupted } => {
                 let session = session as usize;
+                self.accrue_idle(rx.index(), t);
                 if self.batteries[rx.index()].is_depleted() || self.crashed[rx.index()] {
                     return;
                 }
@@ -591,11 +777,18 @@ impl<A: ProtocolAgent> NetworkSim<A> {
                 if self.medium.is_blacked_out(rx, t) {
                     return;
                 }
+                // A sleeping radio misses the frame entirely: no reception, no
+                // reception energy — the delivery cost of duty cycling.
+                if !self.duty.is_awake(rx, t) {
+                    return;
+                }
                 let rx_energy = self.setup.radio.energy.rx_energy(packet.size_bytes);
                 if corrupted {
-                    self.batteries[rx.index()].consume(rx_energy, EnergyUse::Overhear);
-                    self.session_energy_j[session] += rx_energy;
-                    self.session_overhear_j[session] += rx_energy;
+                    let accepted =
+                        self.batteries[rx.index()].accept(rx_energy, EnergyUse::Overhear);
+                    self.note_death(rx.index(), t);
+                    self.session_energy_j[session] += accepted;
+                    self.session_overhear_j[session] += accepted;
                     return;
                 }
                 let mut disposition = Disposition::Discarded;
@@ -607,14 +800,16 @@ impl<A: ProtocolAgent> NetworkSim<A> {
                     (Disposition::Consumed, PacketClass::Control) => EnergyUse::RxControl,
                     (Disposition::Consumed, PacketClass::Data) => EnergyUse::RxData,
                 };
-                self.batteries[rx.index()].consume(rx_energy, usage);
-                self.session_energy_j[session] += rx_energy;
+                let accepted = self.batteries[rx.index()].accept(rx_energy, usage);
+                self.note_death(rx.index(), t);
+                self.session_energy_j[session] += accepted;
                 if usage == EnergyUse::Overhear {
-                    self.session_overhear_j[session] += rx_energy;
+                    self.session_overhear_j[session] += accepted;
                 }
             }
             NetEvent::Timer { session, node, kind, key } => {
                 self.timers.remove(&(node.0, session, kind, key));
+                self.accrue_idle(node.index(), t);
                 if self.batteries[node.index()].is_depleted() || self.crashed[node.index()] {
                     return;
                 }
@@ -629,6 +824,7 @@ impl<A: ProtocolAgent> NetworkSim<A> {
                     return;
                 }
                 let source = traffic.source;
+                self.accrue_idle(source.index(), t);
                 let tag = DataTag { group: traffic.group, origin: source, seq, created_at: t };
                 let receivers = self.receiver_counts[s];
                 self.traces[s].record_generated(seq, t, receivers);
@@ -646,7 +842,9 @@ impl<A: ProtocolAgent> NetworkSim<A> {
                 self.apply_membership(session as usize, node, change);
             }
             NetEvent::Fault(kind) => {
-                // The probed run loop notifies the observer right after this applies.
+                // Defensive fallback only: `run_inner`'s loop intercepts fault events
+                // itself (it must decide whether to notify the observer and how to
+                // account the episode), so this arm never fires from a normal run.
                 let _ = self.apply_fault(t, kind);
             }
         }
@@ -721,62 +919,78 @@ impl<A: ProtocolAgent> NetworkSim<A> {
         }
         // Main loop. The closure trick: `run_until` hands us events one at a time; we
         // cannot call a method on `self` from inside a closure borrowing `self.sim`, so
-        // we drive the loop manually. With a probe, epochs interleave with events in
-        // strict time order (events at an epoch's exact timestamp dispatch first, so
-        // the probe sees the post-event state).
-        match probe {
-            Some(observer) => {
-                let epoch = observer.probe_epoch();
-                let epoch = if epoch.is_zero() { SimDuration::from_secs(1) } else { epoch };
-                let mut next_probe = SimTime::ZERO + epoch;
-                loop {
-                    match self.sim.peek_time() {
-                        Some(next) if next <= horizon && next <= next_probe => {
-                            let (t, ev) = self.sim.pop_next().expect("peeked event must pop");
-                            match ev {
-                                NetEvent::Fault(kind) => {
-                                    // Rejoins are repairs scheduled by an earlier
-                                    // crash, and no-op faults (e.g. corrupting an
-                                    // already-crashed node) never perturbed anything —
-                                    // reporting either would open spurious episodes.
-                                    let applied = self.apply_fault(t, kind);
-                                    if applied && !matches!(kind, FaultKind::Rejoin { .. }) {
-                                        self.observe(t, observer, Some(&kind));
-                                    }
-                                }
-                                other => self.dispatch(t, other),
-                            }
-                        }
-                        _ => {
-                            if next_probe > horizon {
-                                break;
-                            }
-                            self.observe(next_probe, observer, None);
-                            next_probe += epoch;
-                        }
-                    }
-                }
-                let mut report = self.report(duration);
-                report.convergence = observer.finish(horizon);
-                if let Some(groups) = report.groups.as_mut() {
-                    let per_session = observer.session_stats();
-                    for (group, stats) in groups.iter_mut().zip(per_session) {
-                        group.convergence = Some(stats);
-                    }
-                }
-                report
+        // we drive the loop manually. Probe epochs and lifetime samples interleave with
+        // events in strict time order (events at an epoch's exact timestamp dispatch
+        // first, so both see the post-event state); when a probe and a sample fall on
+        // the same instant the probe fires first — both only read state.
+        let mut probe = probe;
+        let probe_epoch = probe.as_ref().map(|observer| {
+            let epoch = observer.probe_epoch();
+            if epoch.is_zero() {
+                SimDuration::from_secs(1)
+            } else {
+                epoch
             }
-            None => {
-                while let Some(next) = self.sim.peek_time() {
-                    if next > horizon {
+        });
+        let mut next_probe = probe_epoch.map(|epoch| SimTime::ZERO + epoch);
+        let sample_epoch = self.sample_epoch();
+        let mut next_sample =
+            if self.lifetime_tracking() { Some(SimTime::ZERO + sample_epoch) } else { None };
+        loop {
+            let next_aux = match (next_probe, next_sample) {
+                (Some(p), Some(s)) => Some(p.min(s)),
+                (p, s) => p.or(s),
+            };
+            match self.sim.peek_time() {
+                Some(next) if next <= horizon && next_aux.is_none_or(|aux| next <= aux) => {
+                    let (t, ev) = self.sim.pop_next().expect("peeked event must pop");
+                    match ev {
+                        NetEvent::Fault(kind) => {
+                            // Rejoins are repairs scheduled by an earlier crash, and
+                            // no-op faults (e.g. corrupting an already-crashed node)
+                            // never perturbed anything — reporting either would open
+                            // spurious episodes.
+                            let applied = self.apply_fault(t, kind);
+                            if let Some(observer) = probe.as_deref_mut() {
+                                if applied && !matches!(kind, FaultKind::Rejoin { .. }) {
+                                    self.observe(t, observer, Some(&kind));
+                                }
+                            }
+                        }
+                        other => self.dispatch(t, other),
+                    }
+                }
+                _ => {
+                    let Some(aux) = next_aux else { break };
+                    if aux > horizon {
                         break;
                     }
-                    let (t, ev) = self.sim.pop_next().expect("peeked event must pop");
-                    self.dispatch(t, ev);
+                    if next_probe == Some(aux) {
+                        let observer = probe.as_deref_mut().expect("probe drives probe epochs");
+                        self.observe(aux, observer, None);
+                        next_probe = Some(aux + probe_epoch.expect("epoch set with the probe"));
+                    }
+                    if next_sample == Some(aux) {
+                        self.sample_lifetime(aux);
+                        next_sample = Some(aux + sample_epoch);
+                    }
                 }
-                self.report(duration)
             }
         }
+        // Bring every battery's continuous drain up to the horizon so the residual
+        // energy histogram and total-energy figures describe the whole run.
+        self.accrue_all(horizon);
+        let mut report = self.report(duration);
+        if let Some(observer) = probe {
+            report.convergence = observer.finish(horizon);
+            if let Some(groups) = report.groups.as_mut() {
+                let per_session = observer.session_stats();
+                for (group, stats) in groups.iter_mut().zip(per_session) {
+                    group.convergence = Some(stats);
+                }
+            }
+        }
+        report
     }
 
     /// Build a report from the current traces (normally called by [`Self::run`]). The
@@ -823,6 +1037,7 @@ impl<A: ProtocolAgent> NetworkSim<A> {
                 .collect();
             report.groups = Some(groups);
         }
+        report.lifetime = self.lifetime_stats();
         report
     }
 }
@@ -985,6 +1200,13 @@ mod tests {
         let mut sim = NetworkSim::new(setup, mobility, agents);
         let report = sim.run(SimDuration::from_secs(5));
         assert_eq!(report.delivered, 0, "dead radios deliver nothing");
+        // An initially depleted fleet is dead at time zero, not censored: the lifetime
+        // block must record the deaths rather than score a full-run lifetime.
+        assert_eq!(sim.death_time(NodeId(0)), Some(SimTime::ZERO));
+        let lifetime = report.lifetime.as_ref().expect("finite batteries track lifetime");
+        assert_eq!(lifetime.first_death_s, Some(0.0));
+        assert_eq!(lifetime.deaths, 3);
+        assert_eq!(lifetime.alive_final, 0);
     }
 
     #[test]

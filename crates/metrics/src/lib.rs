@@ -8,10 +8,12 @@
 
 pub mod convergence;
 pub mod group;
+pub mod lifetime;
 pub mod series;
 pub mod stats;
 
 pub use convergence::ConvergenceStats;
 pub use group::GroupStats;
+pub use lifetime::{LifetimeStats, RESIDUAL_HISTOGRAM_BINS};
 pub use series::{Series, SeriesPoint};
 pub use stats::SummaryStats;

@@ -1,0 +1,129 @@
+//! Network-lifetime statistics: how long a constrained-battery network keeps serving.
+//!
+//! The paper's evaluation runs on effectively unlimited batteries, so its energy story
+//! ends at joules-per-packet. Under a finite energy budget the interesting quantity is
+//! *lifetime*: when does the first node die, how does the alive population decay, and
+//! how much service (delivery ratio) the network sustains while it shrinks — the
+//! first-class metrics of the duty-cycle-aware and minimum-energy multicast literature.
+//! [`LifetimeStats`] is the per-run block the simulator fills in whenever lifetime
+//! tracking is active (finite battery capacity, or continuous idle/sleep drain); runs
+//! without either serialize the block as entirely absent, keeping them byte-identical
+//! to pre-lifecycle builds.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of bins in [`LifetimeStats::residual_energy_histogram`].
+pub const RESIDUAL_HISTOGRAM_BINS: usize = 10;
+
+/// Lifetime measurements accumulated over one simulation run.
+///
+/// The curves are sampled at a fixed epoch ([`Self::sample_epoch_s`]); entry `k`
+/// describes the state at simulated time `(k + 1) × sample_epoch_s`. A node is *dead*
+/// once its battery is depleted — battery death is permanent (unlike an injected crash,
+/// which may rejoin) and flows through the same liveness guards as a crash: a dead node
+/// neither transmits, nor receives, nor appears in probe alive-sets.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LifetimeStats {
+    /// Interval between lifetime samples, seconds.
+    pub sample_epoch_s: f64,
+    /// Simulated time at which the first node died (time-to-first-death), if any did.
+    pub first_death_s: Option<f64>,
+    /// Nodes whose batteries were depleted by the end of the run.
+    pub deaths: u64,
+    /// Nodes still battery-alive at the end of the run.
+    pub alive_final: u64,
+    /// Battery-alive node count at each sample epoch.
+    pub alive_curve: Vec<u64>,
+    /// Cumulative delivery ratio (delivered / expected so far) at each sample epoch.
+    pub delivery_ratio_curve: Vec<f64>,
+    /// Histogram of per-node residual energy as a fraction of capacity, over
+    /// [`RESIDUAL_HISTOGRAM_BINS`] equal bins of `[0, 1]` (bin 0 = nearly empty).
+    /// Empty for unlimited batteries (residual fractions are undefined).
+    pub residual_energy_histogram: Vec<u64>,
+    /// Mean residual energy across nodes at the end of the run, joules (0 for
+    /// unlimited batteries).
+    pub mean_residual_j: f64,
+    /// Smallest residual energy across nodes at the end of the run, joules (0 for
+    /// unlimited batteries).
+    pub min_residual_j: f64,
+    /// Total energy drained by idle listening across all nodes, joules.
+    pub idle_energy_j: f64,
+    /// Total energy drained while radios slept, joules.
+    pub sleep_energy_j: f64,
+    /// Total energy removed by fault-injected drain spikes, joules.
+    pub drained_j: f64,
+}
+
+impl LifetimeStats {
+    /// A zeroed block for a run that tracked nothing yet.
+    pub fn empty(sample_epoch_s: f64, n_nodes: u64) -> Self {
+        LifetimeStats {
+            sample_epoch_s,
+            first_death_s: None,
+            deaths: 0,
+            alive_final: n_nodes,
+            alive_curve: Vec::new(),
+            delivery_ratio_curve: Vec::new(),
+            residual_energy_histogram: Vec::new(),
+            mean_residual_j: 0.0,
+            min_residual_j: 0.0,
+            idle_energy_j: 0.0,
+            sleep_energy_j: 0.0,
+            drained_j: 0.0,
+        }
+    }
+
+    /// Total continuous (non-packet) drain: idle listening plus sleep current, joules.
+    pub fn continuous_drain_j(&self) -> f64 {
+        self.idle_energy_j + self.sleep_energy_j
+    }
+
+    /// True if every node survived the run.
+    pub fn all_alive(&self) -> bool {
+        self.deaths == 0
+    }
+
+    /// Time-to-first-death, censored at `run_end_s` when no node died: the y value the
+    /// lifetime figures chart (higher is better; a protocol that kills nobody scores
+    /// the full run length).
+    pub fn time_to_first_death_s(&self, run_end_s: f64) -> f64 {
+        self.first_death_s.unwrap_or(run_end_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_block_reports_everyone_alive() {
+        let l = LifetimeStats::empty(1.0, 50);
+        assert!(l.all_alive());
+        assert_eq!(l.alive_final, 50);
+        assert_eq!(l.first_death_s, None);
+        assert_eq!(l.time_to_first_death_s(180.0), 180.0, "censored at run end");
+        assert_eq!(l.continuous_drain_j(), 0.0);
+    }
+
+    #[test]
+    fn first_death_wins_over_censoring() {
+        let mut l = LifetimeStats::empty(0.5, 10);
+        l.first_death_s = Some(42.5);
+        l.deaths = 3;
+        l.alive_final = 7;
+        assert!(!l.all_alive());
+        assert_eq!(l.time_to_first_death_s(180.0), 42.5);
+    }
+
+    #[test]
+    fn serializes_with_the_curves() {
+        let mut l = LifetimeStats::empty(1.0, 3);
+        l.alive_curve = vec![3, 2];
+        l.delivery_ratio_curve = vec![1.0, 0.5];
+        let mut out = String::new();
+        serde::Serialize::serialize_json(&l, &mut out);
+        assert!(out.starts_with("{\"sample_epoch_s\":1,"));
+        assert!(out.contains("\"alive_curve\":[3,2]"));
+        assert!(out.contains("\"first_death_s\":null"));
+    }
+}

@@ -50,5 +50,5 @@ pub use scenario::{MobilityKind, ProtocolKind, Scenario};
 pub use sink::{
     CellInfo, CsvStreamSink, JsonLinesSink, MemorySink, NullSink, ProgressSink, RunSink, TeeSink,
 };
-pub use ssmcast_manet::FaultPlanSpec;
+pub use ssmcast_manet::{DutyCycleConfig, FaultPlanSpec, LifecycleConfig};
 pub use sweep::{sweep, to_series, Metric, SweepCell};

@@ -9,6 +9,7 @@ use crate::scenario::{ProtocolKind, Scenario};
 use crate::sink::{MemorySink, RunSink, TeeSink};
 use crate::sweep::{to_series, Metric, SweepCell};
 use serde::{Deserialize, Serialize};
+use ssmcast_core::MetricKind;
 use ssmcast_metrics::Series;
 
 /// Which parameter a figure sweeps.
@@ -28,6 +29,12 @@ pub enum SweptParameter {
     GroupCount,
     /// Membership churn rate: expected join/leave events per second per session.
     MemberChurnRate,
+    /// Per-node battery capacity in joules (clamped to ≥ 0; a drained battery is a
+    /// permanent node death, so this sweeps network lifetime).
+    BatteryCapacity,
+    /// Radio duty cycle: the awake fraction of each schedule period, in `(0, 1]`
+    /// (1.0 = always awake; sleeping radios miss deliveries).
+    DutyCycle,
 }
 
 impl SweptParameter {
@@ -56,6 +63,13 @@ impl SweptParameter {
             SweptParameter::MemberChurnRate => {
                 scenario.member_churn_rate = x.max(0.0);
             }
+            SweptParameter::BatteryCapacity => {
+                scenario.battery_capacity_j = x.max(0.0);
+            }
+            SweptParameter::DutyCycle => {
+                let period = scenario.lifecycle.duty_cycle.period;
+                scenario.lifecycle = scenario.lifecycle.with_duty_cycle(period, x.clamp(0.01, 1.0));
+            }
         }
     }
 
@@ -68,6 +82,8 @@ impl SweptParameter {
             SweptParameter::FaultBursts => "Corruption bursts per run",
             SweptParameter::GroupCount => "Concurrent multicast sessions",
             SweptParameter::MemberChurnRate => "Membership churn (events/s per session)",
+            SweptParameter::BatteryCapacity => "Battery capacity (J)",
+            SweptParameter::DutyCycle => "Radio duty cycle (awake fraction)",
         }
     }
 }
@@ -105,11 +121,18 @@ pub enum FigureId {
     /// single-group evaluation leaves out (cf. the multi-group settings of Han et al.'s
     /// all-to-all multicasting and Leone & Schiller's dynamic-network TDMA).
     FigGroups,
+    /// Time-to-first-death vs battery capacity under idle drain and distance-based TX
+    /// power control — the network-lifetime workload. Not a figure of the paper (its
+    /// batteries never deplete); it charts the consequence its energy-per-packet
+    /// curves predict, the way the duty-cycle-aware minimum-energy multicast
+    /// literature does: an energy-aware tree keeps the first node alive longest, blind
+    /// flooding kills it first.
+    FigLifetime,
 }
 
 impl FigureId {
     /// All evaluation figures in order.
-    pub const ALL: [FigureId; 12] = [
+    pub const ALL: [FigureId; 13] = [
         FigureId::Fig7,
         FigureId::Fig8,
         FigureId::Fig9,
@@ -122,6 +145,7 @@ impl FigureId {
         FigureId::Fig16,
         FigureId::FigFaults,
         FigureId::FigGroups,
+        FigureId::FigLifetime,
     ];
 
     /// The preset describing how to regenerate this figure.
@@ -226,6 +250,18 @@ impl FigureId {
                 protocols: ProtocolKind::paper_four().to_vec(),
                 metric: Metric::Pdr,
             },
+            FigureId::FigLifetime => FigureSpec {
+                id: self,
+                title: "Time to First Node Death as a Function of Battery Capacity",
+                swept: SweptParameter::BatteryCapacity,
+                xs: vec![5.0, 10.0, 20.0, 40.0],
+                protocols: vec![
+                    ProtocolKind::Flooding,
+                    ProtocolKind::SsSpst(MetricKind::Hop),
+                    ProtocolKind::SsSpst(MetricKind::EnergyAware),
+                ],
+                metric: Metric::TimeToFirstDeathS,
+            },
         }
     }
 
@@ -244,6 +280,7 @@ impl FigureId {
             FigureId::Fig16 => "fig16",
             FigureId::FigFaults => "fig_faults",
             FigureId::FigGroups => "fig_groups",
+            FigureId::FigLifetime => "fig_lifetime",
         }
     }
 }
@@ -302,6 +339,19 @@ pub fn base_scenario_for(spec: &FigureSpec) -> Scenario {
             s.max_speed_mps = 1.0;
             s.beacon_interval_s = 2.0;
             s.n_groups = 2;
+        }
+        SweptParameter::BatteryCapacity | SweptParameter::DutyCycle => {
+            // The network-lifetime studies: slow mobility (deaths should come from
+            // energy discipline, not partition luck), distance-based TX power control
+            // so short-link trees actually pay less per hop, a small idle-listen
+            // current so a radio that merely stays on also spends its budget, and a
+            // moderate battery (the capacity sweep overrides it per column; the
+            // duty-cycle sweep needs it fixed so the lifetime/PDR trade-off is
+            // visible within one run).
+            s.max_speed_mps = 1.0;
+            s.beacon_interval_s = 2.0;
+            s.battery_capacity_j = 10.0;
+            s.lifecycle = s.lifecycle.with_tx_power_control(true).with_idle_power(2e-3, 1e-4);
         }
     }
     s
@@ -435,5 +485,25 @@ mod tests {
         SweptParameter::GroupSize.apply(&mut s, 40.0);
         assert_eq!(s.group_size, 40);
         assert_eq!(SweptParameter::GroupSize.x_label(), "Group size");
+        SweptParameter::BatteryCapacity.apply(&mut s, 12.5);
+        assert_eq!(s.battery_capacity_j, 12.5);
+        SweptParameter::DutyCycle.apply(&mut s, 0.4);
+        assert_eq!(s.lifecycle.duty_cycle.awake_fraction, 0.4);
+        assert!(s.lifecycle.duty_cycle.is_on());
+        SweptParameter::DutyCycle.apply(&mut s, 7.0);
+        assert_eq!(s.lifecycle.duty_cycle.awake_fraction, 1.0, "clamped into (0, 1]");
+    }
+
+    #[test]
+    fn lifetime_preset_constrains_batteries_and_prices_tx_by_distance() {
+        let spec = FigureId::FigLifetime.spec();
+        assert_eq!(spec.swept, SweptParameter::BatteryCapacity);
+        assert_eq!(spec.metric, Metric::TimeToFirstDeathS);
+        assert_eq!(spec.protocols.len(), 3, "flooding vs hop tree vs energy-aware tree");
+        let base = base_scenario_for(&spec);
+        assert!(base.battery_capacity_j.is_finite());
+        assert!(base.lifecycle.tx_power_control);
+        assert!(base.lifecycle.has_continuous_drain());
+        assert_eq!(FigureId::FigLifetime.short_name(), "fig_lifetime");
     }
 }

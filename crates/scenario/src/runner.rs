@@ -164,6 +164,7 @@ pub fn build_setup(scenario: &Scenario, seeds: SeedSequence) -> SimSetup {
         sessions,
         n_nodes: scenario.n_nodes,
         battery_capacity_j: scenario.battery_capacity_j,
+        lifecycle: scenario.lifecycle,
         unavailability_window: SimDuration::from_secs(1),
         availability_threshold: 0.95,
         // The schedule is materialised from the scenario's spec with the scenario's own

@@ -2,7 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 use ssmcast_core::MetricKind;
-use ssmcast_manet::{FaultPlanSpec, MediumConfig, RadioConfig};
+use ssmcast_dessim::SimDuration;
+use ssmcast_manet::{FaultPlanSpec, LifecycleConfig, MediumConfig, RadioConfig};
 
 /// Which multicast protocol to run on a scenario.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Serialize, Deserialize)]
@@ -125,9 +126,15 @@ pub struct Scenario {
     /// Radio and energy configuration.
     pub radio: RadioConfig,
     /// Battery capacity per node, joules. The paper's experiments model no depletion
-    /// (`f64::INFINITY`, the default); set a finite capacity for energy-budget studies
-    /// and to make [`Self::faults`] battery-drain spikes physically meaningful.
+    /// (`f64::INFINITY`, the default); set a finite capacity for network-lifetime
+    /// studies and to make [`Self::faults`] battery-drain spikes physically meaningful.
+    /// A drained battery is a permanent node death, and any finite capacity attaches a
+    /// `LifetimeStats` block to the run report.
     pub battery_capacity_j: f64,
+    /// Energy-lifecycle knobs: radio duty-cycling, continuous idle/sleep drain and
+    /// distance-based TX power control. [`LifecycleConfig::off`] (the default)
+    /// reproduces the paper's always-on, flat-TX-cost model byte for byte.
+    pub lifecycle: LifecycleConfig,
     /// Mobility model plugged into [`crate::runner::build_mobility`].
     pub mobility: MobilityKind,
     /// Radio medium layer: position-cache epoch and neighbour-query mode. The default
@@ -162,6 +169,7 @@ impl Scenario {
             packet_size_bytes: 512,
             radio: RadioConfig::default(),
             battery_capacity_j: f64::INFINITY,
+            lifecycle: LifecycleConfig::off(),
             mobility: MobilityKind::RandomWaypoint,
             medium: MediumConfig::default(),
             faults: FaultPlanSpec::none(),
@@ -197,6 +205,35 @@ impl Scenario {
     /// per session (clamped to ≥ 0).
     pub fn with_churn_rate(mut self, rate: f64) -> Self {
         self.member_churn_rate = rate.max(0.0);
+        self
+    }
+
+    /// The same scenario with every node starting on a `capacity_j`-joule battery.
+    pub fn with_battery_capacity(mut self, capacity_j: f64) -> Self {
+        self.battery_capacity_j = capacity_j.max(0.0);
+        self
+    }
+
+    /// The same scenario under a radio duty-cycle schedule: awake for `awake_fraction`
+    /// of every `period_s` seconds (seeded per-node phases; sleeping radios miss
+    /// deliveries).
+    pub fn with_duty_cycle(mut self, period_s: f64, awake_fraction: f64) -> Self {
+        self.lifecycle =
+            self.lifecycle.with_duty_cycle(SimDuration::from_secs_f64(period_s), awake_fraction);
+        self
+    }
+
+    /// The same scenario with continuous idle-listen / sleep drain, watts.
+    pub fn with_idle_power(mut self, idle_listen_w: f64, sleep_w: f64) -> Self {
+        self.lifecycle = self.lifecycle.with_idle_power(idle_listen_w, sleep_w);
+        self
+    }
+
+    /// The same scenario with distance-based TX power control switched on or off
+    /// (transmissions priced by their farthest actual receiver instead of the
+    /// requested range).
+    pub fn with_tx_power_control(mut self, enabled: bool) -> Self {
+        self.lifecycle = self.lifecycle.with_tx_power_control(enabled);
         self
     }
 
@@ -279,6 +316,24 @@ mod tests {
         assert!(s.with_churn_rate(0.1).has_group_dynamics(), "churn alone counts");
         assert_eq!(s.with_groups(0).n_groups, 1, "clamped to at least one session");
         assert_eq!(s.with_churn_rate(-2.0).member_churn_rate, 0.0);
+    }
+
+    #[test]
+    fn lifecycle_knobs_default_off_and_compose() {
+        let s = Scenario::paper_default();
+        assert_eq!(s.lifecycle, LifecycleConfig::off());
+        assert!(s.battery_capacity_j.is_infinite());
+        let tuned = s
+            .with_battery_capacity(25.0)
+            .with_duty_cycle(0.5, 0.6)
+            .with_idle_power(1e-3, 1e-5)
+            .with_tx_power_control(true);
+        assert_eq!(tuned.battery_capacity_j, 25.0);
+        assert!(tuned.lifecycle.duty_cycle.is_on());
+        assert_eq!(tuned.lifecycle.duty_cycle.awake_fraction, 0.6);
+        assert!(tuned.lifecycle.has_continuous_drain());
+        assert!(tuned.lifecycle.tx_power_control);
+        assert_eq!(s.with_battery_capacity(-3.0).battery_capacity_j, 0.0, "clamped");
     }
 
     #[test]

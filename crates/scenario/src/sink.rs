@@ -346,6 +346,7 @@ mod tests {
             collisions: 0,
             convergence: None,
             groups: None,
+            lifetime: None,
         };
         SweepCell { x, protocol: protocol.to_string(), reports: vec![report] }
     }

@@ -28,6 +28,11 @@ pub enum Metric {
     /// Fraction of fault episodes left unrecovered at the end of the run (1.0 when a
     /// protocol never recovers; 0 for fault-free runs).
     UnrecoveredRatio,
+    /// Time until the first node's battery depleted, seconds — the network-lifetime
+    /// headline number (higher is better). Runs in which no node died are censored at
+    /// the run duration, so a protocol that kills nobody scores the full run length;
+    /// unlimited-battery runs (no lifetime block) report the run duration too.
+    TimeToFirstDeathS,
 }
 
 impl Metric {
@@ -57,6 +62,10 @@ impl Metric {
                     c.unrecovered as f64 / episodes as f64
                 }
             }),
+            Metric::TimeToFirstDeathS => report
+                .lifetime
+                .as_ref()
+                .map_or(report.duration_s, |l| l.time_to_first_death_s(report.duration_s)),
         }
     }
 
@@ -70,6 +79,7 @@ impl Metric {
             Metric::DelayMs => "Average Delay (ms)",
             Metric::MeanRecoveryS => "Mean Recovery Time after Fault (s)",
             Metric::UnrecoveredRatio => "Unrecovered Fault Episodes (ratio)",
+            Metric::TimeToFirstDeathS => "Time to First Node Death (s)",
         }
     }
 }

@@ -33,6 +33,10 @@ fn single_group_reports_match_the_pre_refactor_golden_bytes() {
         assert_eq!(g, n, "report line {i} diverged from the pre-refactor golden bytes");
     }
     assert_eq!(golden, now);
+    // The energy-lifecycle blocks must serialize as entirely absent — not null — on
+    // these unlimited-battery, duty-cycle-off runs (as must the per-group blocks).
+    assert!(!now.contains("\"lifetime\""), "lifetime block leaked into a lifecycle-off run");
+    assert!(!now.contains("\"groups\""));
 }
 
 /// Regenerate the golden file (run manually: `GOLDEN_WRITE=1 cargo test --test
