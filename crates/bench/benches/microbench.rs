@@ -5,7 +5,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use ssmcast_core::{cost_via, figure1_topology, MetricKind, MetricParams, ParentView, SyncModel};
 use ssmcast_dessim::{SimDuration, SimTime, Simulator};
-use ssmcast_manet::{FaultPlanSpec, MediumConfig};
+use ssmcast_manet::{FaultPlanSpec, MacConfig, MediumConfig};
 use ssmcast_scenario::{run_protocol, ProtocolKind, Scenario};
 
 fn bench_event_queue(c: &mut Criterion) {
@@ -204,6 +204,43 @@ fn bench_energy_lifecycle(c: &mut Criterion) {
     group.finish();
 }
 
+/// The MAC-layer path at n = 500: the same SS-SPST-E scenario under the three
+/// channel-access policies. Random jitter is the pre-MAC fast path (one extra virtual
+/// call per transmission); CSMA adds carrier sensing with retry events; TDMA adds slot
+/// arithmetic plus per-reception claim learning. The triple prices the subsystem and
+/// its two contention disciplines against the legacy baseline.
+fn bench_mac(c: &mut Criterion) {
+    let base = {
+        let mut s = Scenario::paper_default();
+        s.n_nodes = 500;
+        s.area_side_m = 2_800.0;
+        s.group_size = 40;
+        s.duration_s = 5.0;
+        s.warmup_s = 1.0;
+        s.medium = MediumConfig::grid().with_epoch(SimDuration::from_millis(200));
+        s
+    };
+    let mut group = c.benchmark_group("manet/mac_n500");
+    group.sample_size(3);
+    for (name, mac) in [
+        ("jitter", MacConfig::default()),
+        ("csma", MacConfig::csma()),
+        ("ss_tdma", MacConfig::ss_tdma()),
+    ] {
+        let scenario = base.with_mac(mac);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let report = run_protocol(
+                    black_box(&scenario),
+                    ProtocolKind::SsSpst(MetricKind::EnergyAware).to_protocol().as_ref(),
+                );
+                black_box(report)
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_event_queue,
@@ -212,6 +249,7 @@ criterion_group!(
     bench_broadcast_medium,
     bench_fault_recovery,
     bench_multi_group,
-    bench_energy_lifecycle
+    bench_energy_lifecycle,
+    bench_mac
 );
 criterion_main!(benches);

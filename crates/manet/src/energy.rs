@@ -69,8 +69,10 @@ pub struct RadioConfig {
     pub bitrate_bps: f64,
     /// Fixed per-packet propagation plus processing latency.
     pub fixed_delay: SimDuration,
-    /// Upper bound of the uniformly random channel-access backoff applied to every
-    /// transmission (a crude CSMA stand-in that desynchronises flood relays).
+    /// Upper bound of the uniformly random channel-access backoff the default
+    /// [`crate::mac::MacKind::RandomJitter`] policy applies to every transmission
+    /// (desynchronises flood relays). The CSMA and TDMA policies in [`crate::mac`]
+    /// ignore this knob and use their own timing parameters.
     pub mac_backoff_max: SimDuration,
     /// Independent per-reception loss probability (fading, interference noise).
     pub loss_probability: f64,

@@ -12,6 +12,9 @@
 //!   idle/sleep drain rates and distance-based TX power control; battery depletion is
 //!   a permanent node death feeding the [`ssmcast_metrics::LifetimeStats`] block.
 //! * [`channel`] — broadcast medium occupancy and the capture-effect collision model.
+//! * [`mac`] — pluggable medium-access policies deciding when pending broadcasts hit
+//!   the air: legacy random jitter, carrier-sense CSMA with exponential backoff, and a
+//!   self-stabilizing TDMA slot assignment in the style of Leone & Schiller.
 //! * [`packet`] / [`node`] — frames, node ids, multicast group roles.
 //! * [`agent`] — the [`agent::ProtocolAgent`] trait protocol crates implement.
 //! * [`faults`] — fault injection: seeded [`faults::FaultPlan`]s (state corruption,
@@ -36,6 +39,7 @@ pub mod energy;
 pub mod faults;
 pub mod geometry;
 pub mod lifecycle;
+pub mod mac;
 pub mod medium;
 pub mod mobility;
 pub mod node;
@@ -57,6 +61,7 @@ pub use faults::{
 };
 pub use geometry::{Area, Vec2};
 pub use lifecycle::{DutyCycleConfig, DutySchedule, LifecycleConfig};
+pub use mac::{CsmaConfig, MacConfig, MacDecision, MacFrame, MacKind, MacPolicy, TdmaConfig};
 pub use medium::{MediumConfig, NeighborQuery, RadioMedium};
 pub use mobility::{
     grid_positions, BoxedMobility, GaussMarkov, GaussMarkovConfig, Mobility, RandomWaypoint,

@@ -11,7 +11,7 @@ use crate::node::NodeId;
 use crate::packet::DataTag;
 use serde::{Deserialize, Serialize};
 use ssmcast_dessim::{SimDuration, SimTime};
-use ssmcast_metrics::{ConvergenceStats, GroupStats, LifetimeStats};
+use ssmcast_metrics::{ConvergenceStats, GroupStats, LifetimeStats, MacStats};
 use std::collections::{HashMap, HashSet};
 
 /// Raw counters accumulated for one multicast session while a simulation runs.
@@ -53,6 +53,8 @@ pub struct GroupAccounting {
     pub energy_j: f64,
     /// Overhearing energy attributed to this session, joules.
     pub overhear_energy_j: f64,
+    /// Receptions of this session's frames lost to a collision on the shared medium.
+    pub collisions: u64,
     /// Per-window delivery ratio below which the session counts as unavailable.
     pub availability_threshold: f64,
 }
@@ -281,6 +283,7 @@ impl Trace {
             convergence: None,
             groups: None,
             lifetime: None,
+            mac: None,
         }
     }
 
@@ -319,6 +322,7 @@ impl Trace {
             data_bytes_tx: self.data_bytes_tx,
             energy_j: acct.energy_j,
             overhear_energy_j: acct.overhear_energy_j,
+            collisions: acct.collisions,
             join_overhead_bytes_per_event: join_overhead,
             unavailability_ratio: self.unavailability(acct.availability_threshold),
             convergence: None,
@@ -383,6 +387,10 @@ pub struct SimReport {
     /// serialized form) for unlimited-battery, drain-free runs, keeping them
     /// byte-identical to pre-lifecycle builds.
     pub lifetime: Option<LifetimeStats>,
+    /// MAC-layer measurements when the run used a non-default medium-access policy (or
+    /// explicitly asked for them). `None` (and absent from the serialized form) for
+    /// default random-jitter runs, keeping them byte-identical to pre-MAC-layer builds.
+    pub mac: Option<MacStats>,
 }
 
 impl Serialize for SimReport {
@@ -422,6 +430,9 @@ impl Serialize for SimReport {
         }
         if let Some(lifetime) = &self.lifetime {
             field!("lifetime", lifetime);
+        }
+        if let Some(mac) = &self.mac {
+            field!("mac", mac);
         }
         out.push('}');
     }
@@ -581,6 +592,7 @@ mod tests {
             leaves: 1,
             energy_j: 0.75,
             overhear_energy_j: 0.25,
+            collisions: 4,
             availability_threshold: 0.95,
         });
         assert_eq!(g.group, 2);
@@ -591,6 +603,7 @@ mod tests {
         assert_eq!(g.membership_events(), 4);
         assert!((g.join_overhead_bytes_per_event - 50.0).abs() < 1e-12);
         assert!((g.energy_j - 0.75).abs() < 1e-12);
+        assert_eq!(g.collisions, 4);
         assert!(g.convergence.is_none());
     }
 
@@ -611,6 +624,7 @@ mod tests {
             leaves: 0,
             energy_j: 0.0,
             overhear_energy_j: 0.0,
+            collisions: 0,
             availability_threshold: 0.95,
         })]);
         let mut tagged = String::new();
@@ -636,5 +650,26 @@ mod tests {
             tagged.contains("\"lifetime\":{\"sample_epoch_s\":1,\"first_death_s\":12,"),
             "lifetime block renders: {tagged}"
         );
+    }
+
+    #[test]
+    fn serialization_omits_mac_when_absent_and_renders_it_when_present() {
+        let tr = Trace::new(SimDuration::from_secs(1));
+        let mut r = tr.finish("p", SimDuration::from_secs(1), 0.0, 0.0, 0, 512, 0.95);
+        let mut plain = String::new();
+        r.serialize_json(&mut plain);
+        assert!(!plain.contains("\"mac\""), "no mac key for default-policy runs: {plain}");
+        let mut stats = MacStats::empty("csma");
+        stats.frames_requested = 10;
+        stats.frames_sent = 9;
+        stats.mac_drops = 1;
+        r.mac = Some(stats);
+        let mut tagged = String::new();
+        r.serialize_json(&mut tagged);
+        assert!(
+            tagged.contains("\"mac\":{\"policy\":\"csma\",\"frames_requested\":10,"),
+            "mac block renders: {tagged}"
+        );
+        assert!(tagged.ends_with('}'));
     }
 }

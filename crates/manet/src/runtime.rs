@@ -16,6 +16,7 @@ use crate::faults::StabilizationObserver;
 use crate::faults::{FaultEvent, FaultKind, FaultPlan, ProbeContext, SessionProbe};
 use crate::geometry::Vec2;
 use crate::lifecycle::{DutySchedule, LifecycleConfig};
+use crate::mac::{MacConfig, MacDecision, MacFrame, MacPolicy};
 use crate::medium::{MediumConfig, RadioMedium};
 use crate::mobility::BoxedMobility;
 use crate::node::{GroupRole, NodeId};
@@ -27,7 +28,7 @@ use crate::traffic::TrafficConfig;
 use rand::rngs::StdRng;
 use rand::Rng;
 use ssmcast_dessim::{RunOutcome, SeedSequence, SimDuration, SimTime, Simulator};
-use ssmcast_metrics::{LifetimeStats, RESIDUAL_HISTOGRAM_BINS};
+use ssmcast_metrics::{LifetimeStats, MacStats, RESIDUAL_HISTOGRAM_BINS};
 use std::collections::HashMap;
 
 /// Static setup for one simulation run.
@@ -51,6 +52,10 @@ pub struct SimSetup {
     pub unavailability_window: SimDuration,
     /// Per-window delivery ratio below which the service counts as unavailable.
     pub availability_threshold: f64,
+    /// Medium-access policy deciding when pending broadcasts hit the air. The default
+    /// ([`MacConfig::default`]: random jitter, stats off) reproduces pre-MAC-layer runs
+    /// byte-identically.
+    pub mac: MacConfig,
     /// Seed sequence for loss sampling and per-node protocol jitter.
     pub seeds: SeedSequence,
     /// Radio medium configuration: position-cache epoch and neighbour-query mode.
@@ -82,6 +87,7 @@ impl SimSetup {
             n_nodes,
             battery_capacity_j,
             lifecycle: LifecycleConfig::off(),
+            mac: MacConfig::default(),
             unavailability_window,
             availability_threshold,
             seeds,
@@ -151,6 +157,28 @@ pub enum NetEvent<P> {
     },
     /// An injected fault fires (see [`crate::faults`]).
     Fault(FaultKind),
+    /// The MAC policy deferred a pending broadcast: retry channel access now.
+    MacRetry {
+        /// Session whose frame is pending.
+        session: u16,
+        /// The transmitting node.
+        sender: NodeId,
+        /// Control or data.
+        class: PacketClass,
+        /// Size on the wire, bytes.
+        size_bytes: u32,
+        /// Requested (already clamped) transmission range, metres.
+        range_m: f64,
+        /// Application-data tag, if the frame carries data.
+        data: Option<DataTag>,
+        /// Protocol payload, carried through the deferral.
+        payload: P,
+        /// Access attempt number (1 on the first retry).
+        attempt: u32,
+        /// When the protocol originally requested the broadcast (for access-delay
+        /// accounting).
+        requested_at: SimTime,
+    },
 }
 
 /// A complete network simulation for one protocol.
@@ -194,6 +222,21 @@ pub struct NetworkSim<A: ProtocolAgent> {
     rngs: Vec<StdRng>,
     loss_rng: StdRng,
     channel: Channel,
+    /// The medium-access policy built from the setup's [`MacConfig`].
+    mac: Box<dyn MacPolicy>,
+    /// Broadcast requests that reached the MAC (attempt 0, after liveness/blackout
+    /// filtering).
+    mac_requested: u64,
+    /// Frames the MAC actually put on the air.
+    mac_sent: u64,
+    /// Frames the MAC abandoned (retry cap exceeded).
+    mac_drops: u64,
+    /// MAC deferrals (each postponement of a pending frame counts once).
+    mac_deferrals: u64,
+    /// Sum of request-to-transmission delays over sent frames.
+    mac_access_delay: SimDuration,
+    /// Sum of transmit airtime over sent frames.
+    mac_airtime: SimDuration,
     /// Pending timers keyed by (node, session, kind, key).
     timers: HashMap<(u16, u16, u64, u64), ssmcast_dessim::EventId>,
     /// Snapshot built for the latest probed instant, reused across the observer
@@ -238,9 +281,17 @@ impl<A: ProtocolAgent> NetworkSim<A> {
         // A zero-capacity battery is depleted before the first event: record the death
         // at time zero so lifetime metrics never censor an already-dead fleet.
         let death_at = batteries.iter().map(|b| b.is_depleted().then_some(SimTime::ZERO)).collect();
+        let mac = setup.mac.build(n, &setup.seeds);
         NetworkSim {
             sim: Simulator::with_capacity(1024),
-            channel: Channel::new(n),
+            channel: Channel::new(n, n_sessions),
+            mac,
+            mac_requested: 0,
+            mac_sent: 0,
+            mac_drops: 0,
+            mac_deferrals: 0,
+            mac_access_delay: SimDuration::ZERO,
+            mac_airtime: SimDuration::ZERO,
             timers: HashMap::new(),
             probe_snapshot: None,
             scratch_actions: Vec::with_capacity(16),
@@ -542,11 +593,13 @@ impl<A: ProtocolAgent> NetworkSim<A> {
                 let up = !self.crashed[i] && !self.batteries[i].is_depleted();
                 if up {
                     // State corruption hits the node: every session's instance there is
-                    // scrambled (with the node's own seeded RNG, in session order).
+                    // scrambled (with the node's own seeded RNG, in session order), and
+                    // so is its MAC state — a corrupted TDMA schedule must re-converge.
                     for session in 0..self.setup.n_sessions() {
                         let idx = self.idx(session, node);
                         self.agents[idx].corrupt_state(&mut self.rngs[i]);
                     }
+                    self.mac.corrupt(node);
                 }
                 up
             }
@@ -684,6 +737,41 @@ impl<A: ProtocolAgent> NetworkSim<A> {
         data: Option<DataTag>,
         payload: A::Payload,
     ) {
+        self.try_send(
+            session,
+            sender,
+            t,
+            Some(sender_pos),
+            class,
+            size_bytes,
+            range_m,
+            data,
+            payload,
+            0,
+            t,
+        );
+    }
+
+    /// One MAC-mediated transmission attempt: run the liveness/blackout guards, ask the
+    /// MAC policy when the frame may transmit, and either put it on the air, schedule a
+    /// [`NetEvent::MacRetry`], or drop it. `sender_pos` is threaded from the protocol
+    /// context on the first attempt; retries pass `None` and re-query the (possibly
+    /// moved) node.
+    #[allow(clippy::too_many_arguments)]
+    fn try_send(
+        &mut self,
+        session: usize,
+        sender: NodeId,
+        t: SimTime,
+        sender_pos: Option<Vec2>,
+        class: PacketClass,
+        size_bytes: u32,
+        range_m: f64,
+        data: Option<DataTag>,
+        payload: A::Payload,
+        attempt: u32,
+        requested_at: SimTime,
+    ) {
         self.accrue_idle(sender.index(), t);
         if self.batteries[sender.index()].is_depleted() || self.crashed[sender.index()] {
             return;
@@ -697,7 +785,8 @@ impl<A: ProtocolAgent> NetworkSim<A> {
         // A blacked-out sender still pays for the transmission but nobody hears it —
         // at the requested range even under power control (its neighbourhood is
         // unknowable through a jammed link), and without wasting a neighbour query
-        // whose result would be discarded.
+        // whose result would be discarded. The MAC never sees these frames: carrier
+        // sensing through a jammed front end is meaningless.
         if self.medium.is_blacked_out(sender, t) {
             let accepted = self.batteries[sender.index()]
                 .accept(radio.energy.tx_energy(range, size_bytes), usage);
@@ -709,9 +798,45 @@ impl<A: ProtocolAgent> NetworkSim<A> {
             }
             return;
         }
+        if attempt == 0 {
+            self.mac_requested += 1;
+        }
+        // The MAC decides when the frame hits the air. The default jitter policy draws
+        // exactly the legacy backoff from `loss_rng` and always transmits, keeping
+        // pre-MAC-layer runs byte-identical; the contention policies use their own
+        // seeded streams and may defer or drop instead.
+        let frame = MacFrame { sender, class, size_bytes, attempt };
+        let decision = self.mac.access(&frame, t, &radio, &self.channel, &mut self.loss_rng);
+        let tx_start = match decision {
+            MacDecision::Drop => {
+                self.mac_drops += 1;
+                return;
+            }
+            MacDecision::Defer { until } => {
+                self.mac_deferrals += 1;
+                let ev = NetEvent::MacRetry {
+                    session: session as u16,
+                    sender,
+                    class,
+                    size_bytes,
+                    range_m: range,
+                    data,
+                    payload,
+                    attempt: attempt + 1,
+                    requested_at,
+                };
+                self.sim.schedule_at(until.max(t), ev);
+                return;
+            }
+            MacDecision::Transmit { at } => at.max(t),
+        };
+        self.mac_sent += 1;
+        self.mac_access_delay += tx_start.saturating_since(requested_at);
+        self.mac_airtime += radio.tx_duration(size_bytes);
         // Receivers are computed up front (the query is RNG-free, so the loss draws
         // below still happen in exactly the legacy order) so distance-based TX power
         // control can price the transmission by its farthest actual receiver.
+        let sender_pos = sender_pos.unwrap_or_else(|| self.medium.position_of(sender, t));
         let mut receivers = std::mem::take(&mut self.scratch_receivers);
         self.medium.receivers_within(sender, sender_pos, range, t, &mut receivers);
         let tx_range = if self.setup.lifecycle.tx_power_control {
@@ -734,14 +859,6 @@ impl<A: ProtocolAgent> NetworkSim<A> {
             PacketClass::Data => self.traces[session].record_data_tx(size_bytes),
         }
 
-        // Crude CSMA: every transmission waits a small random backoff before hitting the
-        // air, so relays of the same flood do not all collide at their common neighbours.
-        let backoff = if radio.mac_backoff_max.is_zero() {
-            SimDuration::ZERO
-        } else {
-            radio.mac_backoff_max.mul_f64(self.loss_rng.gen::<f64>())
-        };
-        let tx_start = t + backoff;
         let tx_end = tx_start + radio.tx_duration(size_bytes);
         let delivery_at = tx_start + radio.delivery_delay(size_bytes);
         // Receivers come back in ascending node-id order regardless of query mode, so
@@ -752,12 +869,22 @@ impl<A: ProtocolAgent> NetworkSim<A> {
                 continue;
             }
             let clean = if radio.collisions_enabled {
-                self.channel.try_receive(rx, tx_start, tx_end)
+                self.channel.try_receive(session as u16, rx, tx_start, tx_end)
             } else {
                 true
             };
             let lost = self.loss_rng.gen::<f64>() < radio.loss_probability;
             let corrupted = !clean || lost;
+            // A clean reception at a node that will actually hear it teaches the MAC:
+            // TDMA learns the sender's slot (and, on control frames, its claim table)
+            // exclusively through this call.
+            if !corrupted
+                && !self.crashed[rx.index()]
+                && self.duty.is_awake(rx, delivery_at)
+                && !self.medium.is_blacked_out(rx, delivery_at)
+            {
+                self.mac.on_overheard(rx, sender, class, tx_start);
+            }
             let packet = Packet { sender, class, size_bytes, data, payload: payload.clone() };
             let ev = NetEvent::Deliver { session: session as u16, rx, packet, corrupted };
             self.sim.schedule_at(delivery_at, ev);
@@ -846,6 +973,31 @@ impl<A: ProtocolAgent> NetworkSim<A> {
                 // itself (it must decide whether to notify the observer and how to
                 // account the episode), so this arm never fires from a normal run.
                 let _ = self.apply_fault(t, kind);
+            }
+            NetEvent::MacRetry {
+                session,
+                sender,
+                class,
+                size_bytes,
+                range_m,
+                data,
+                payload,
+                attempt,
+                requested_at,
+            } => {
+                self.try_send(
+                    session as usize,
+                    sender,
+                    t,
+                    None,
+                    class,
+                    size_bytes,
+                    range_m,
+                    data,
+                    payload,
+                    attempt,
+                    requested_at,
+                );
             }
         }
     }
@@ -1031,6 +1183,7 @@ impl<A: ProtocolAgent> NetworkSim<A> {
                         leaves: self.leaves[s],
                         energy_j: self.session_energy_j[s],
                         overhear_energy_j: self.session_overhear_j[s],
+                        collisions: self.channel.collisions_for(s),
                         availability_threshold: self.setup.availability_threshold,
                     })
                 })
@@ -1038,7 +1191,36 @@ impl<A: ProtocolAgent> NetworkSim<A> {
             report.groups = Some(groups);
         }
         report.lifetime = self.lifetime_stats();
+        if self.setup.mac.reports_stats() {
+            report.mac = Some(self.mac_stats(duration));
+        }
         report
+    }
+
+    /// Assemble the [`MacStats`] block from the runtime counters, the collision channel
+    /// and the policy's own accounting.
+    fn mac_stats(&self, duration: SimDuration) -> MacStats {
+        let mut mac = MacStats::empty(self.mac.label());
+        mac.frames_requested = self.mac_requested;
+        mac.frames_sent = self.mac_sent;
+        mac.mac_drops = self.mac_drops;
+        mac.deferrals = self.mac_deferrals;
+        mac.mean_access_delay_ms = if self.mac_sent > 0 {
+            self.mac_access_delay.as_millis_f64() / self.mac_sent as f64
+        } else {
+            0.0
+        };
+        mac.airtime_utilization = if duration.is_zero() {
+            0.0
+        } else {
+            self.mac_airtime.as_secs_f64() / duration.as_secs_f64()
+        };
+        mac.receptions = self.channel.receptions();
+        mac.collisions = self.channel.collisions();
+        mac.collision_rate =
+            if mac.receptions > 0 { mac.collisions as f64 / mac.receptions as f64 } else { 0.0 };
+        self.mac.fill_stats(&mut mac);
+        mac
     }
 }
 

@@ -9,11 +9,13 @@
 pub mod convergence;
 pub mod group;
 pub mod lifetime;
+pub mod mac;
 pub mod series;
 pub mod stats;
 
 pub use convergence::ConvergenceStats;
 pub use group::GroupStats;
 pub use lifetime::{LifetimeStats, RESIDUAL_HISTOGRAM_BINS};
+pub use mac::MacStats;
 pub use series::{Series, SeriesPoint};
 pub use stats::SummaryStats;

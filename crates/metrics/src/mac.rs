@@ -1,0 +1,110 @@
+//! Medium-access statistics: what happened between "the protocol asked to broadcast"
+//! and "the frame hit the air".
+//!
+//! The paper's energy and convergence figures assume an idealized broadcast medium; the
+//! simulator's pluggable MAC layer (`ssmcast-manet::mac`) makes channel access explicit —
+//! random jitter, CSMA contention, or self-stabilizing TDMA — and this block reports what
+//! the chosen policy did to the traffic: how long frames waited for the channel, how many
+//! were dropped at the retry cap, how loaded the air was, and (for TDMA) how long the
+//! slot schedule took to converge to collision-freedom.
+
+use serde::{Deserialize, Serialize};
+
+/// MAC-layer measurements accumulated over one simulation run.
+///
+/// `frames_requested` counts broadcast requests that reached the MAC (crashed, depleted
+/// and blacked-out senders are filtered out before the MAC sees them); every request ends
+/// as exactly one transmission (`frames_sent`) or one drop (`mac_drops`). Collision
+/// figures come from the capture-effect channel and count *receptions*, not
+/// transmissions: one transmission can collide at several receivers.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MacStats {
+    /// The MAC policy that produced these numbers (`"random-jitter"`, `"csma"`,
+    /// `"ss-tdma"`).
+    pub policy: String,
+    /// Broadcast requests handed to the MAC policy.
+    pub frames_requested: u64,
+    /// Frames that actually hit the air.
+    pub frames_sent: u64,
+    /// Frames abandoned by the MAC (CSMA retry cap exceeded).
+    pub mac_drops: u64,
+    /// Access deferrals: each time a pending frame was postponed (busy channel, backoff
+    /// in progress, waiting for an owned TDMA slot).
+    pub deferrals: u64,
+    /// Mean delay from broadcast request to transmission start over sent frames,
+    /// milliseconds.
+    pub mean_access_delay_ms: f64,
+    /// Aggregate transmit airtime divided by the run duration. This sums airtime over
+    /// all transmitters, so spatial reuse can push it above 1.0.
+    pub airtime_utilization: f64,
+    /// Frame receptions registered at the collision channel.
+    pub receptions: u64,
+    /// Receptions lost to a collision (capture effect: the later overlapping frame).
+    pub collisions: u64,
+    /// `collisions / receptions` (0 when nothing was received).
+    pub collision_rate: f64,
+    /// TDMA slot conflicts detected from overheard transmissions and piggybacked claim
+    /// tables (0 for other policies).
+    pub slot_conflicts: u64,
+    /// TDMA slot re-draws performed to resolve conflicts (0 for other policies).
+    pub slot_redraws: u64,
+    /// Time of the last TDMA slot re-draw, seconds — once the schedule has converged to
+    /// collision-freedom no further re-draws happen, so this bounds the convergence
+    /// time. `None` when no re-draw was ever needed (or the policy is not TDMA).
+    pub slot_last_redraw_s: Option<f64>,
+}
+
+impl MacStats {
+    /// A zeroed block for the named policy.
+    pub fn empty(policy: &str) -> Self {
+        MacStats {
+            policy: policy.to_string(),
+            frames_requested: 0,
+            frames_sent: 0,
+            mac_drops: 0,
+            deferrals: 0,
+            mean_access_delay_ms: 0.0,
+            airtime_utilization: 0.0,
+            receptions: 0,
+            collisions: 0,
+            collision_rate: 0.0,
+            slot_conflicts: 0,
+            slot_redraws: 0,
+            slot_last_redraw_s: None,
+        }
+    }
+
+    /// Fraction of MAC-handled frames that were dropped instead of sent (0 when the MAC
+    /// saw no traffic).
+    pub fn drop_ratio(&self) -> f64 {
+        if self.frames_requested == 0 {
+            0.0
+        } else {
+            self.mac_drops as f64 / self.frames_requested as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_block_is_all_zeroes() {
+        let m = MacStats::empty("csma");
+        assert_eq!(m.policy, "csma");
+        assert_eq!(m.frames_requested, 0);
+        assert_eq!(m.collision_rate, 0.0);
+        assert_eq!(m.slot_last_redraw_s, None);
+        assert_eq!(m.drop_ratio(), 0.0);
+    }
+
+    #[test]
+    fn drop_ratio_is_a_fraction() {
+        let mut m = MacStats::empty("csma");
+        m.frames_requested = 20;
+        m.frames_sent = 15;
+        m.mac_drops = 5;
+        assert!((m.drop_ratio() - 0.25).abs() < 1e-12);
+    }
+}

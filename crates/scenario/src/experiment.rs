@@ -62,32 +62,12 @@ pub struct Experiment {
     columns: Option<Vec<(f64, Scenario)>>,
     reps: usize,
     threads: Option<usize>,
-    /// When false, jobs run with each column's own `seed` instead of the derived
-    /// `(rep, xi)` child — the knob that lets the deprecated single-run shims route
-    /// through this engine without changing their documented seed semantics.
-    derive_seeds: bool,
 }
 
 impl Experiment {
     /// Start an experiment from a base scenario.
     pub fn new(base: Scenario) -> Self {
-        Experiment {
-            base,
-            protocols: Vec::new(),
-            columns: None,
-            reps: 1,
-            threads: None,
-            derive_seeds: true,
-        }
-    }
-
-    /// Use each column's literal scenario seed instead of the derived `(rep, xi)` child
-    /// seed. Crate-internal: only the legacy `run_scenario` shim needs it, and only for
-    /// single-repetition grids (with `reps > 1` every repetition would repeat the same
-    /// run).
-    pub(crate) fn literal_seed(mut self) -> Self {
-        self.derive_seeds = false;
-        self
+        Experiment { base, protocols: Vec::new(), columns: None, reps: 1, threads: None }
     }
 
     /// Add one protocol.
@@ -194,7 +174,6 @@ impl Experiment {
     /// Run the grid, streaming each completed cell through `sink`; nothing is retained.
     pub fn run_with_sink(self, sink: &mut dyn RunSink) {
         let base = self.base;
-        let derive_seeds = self.derive_seeds;
         let columns = self.columns.unwrap_or_else(|| vec![(0.0, base)]);
         let protocols = self.protocols;
         let reps = self.reps;
@@ -228,9 +207,7 @@ impl Experiment {
                     let pi = cell % n_p;
                     let xi = cell / n_p;
                     let (_, mut scenario) = columns[xi];
-                    if derive_seeds {
-                        scenario.seed = derive_cell_seed(scenario.seed, rep, xi);
-                    }
+                    scenario.seed = derive_cell_seed(scenario.seed, rep, xi);
                     let report = run_protocol(&scenario, protocols[pi].as_ref());
                     if tx.send((cell, rep, report)).is_err() {
                         break;
@@ -297,10 +274,8 @@ impl Experiment {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the shims under test are deprecated on purpose
 mod tests {
     use super::*;
-    use crate::runner::run_scenario;
     use crate::sink::CsvStreamSink;
     use std::collections::HashSet;
 
@@ -347,7 +322,7 @@ mod tests {
                 let mut manual = base;
                 manual.max_speed_mps = xs[xi];
                 manual.seed = derive_cell_seed(base.seed, rep, xi);
-                let expected = run_scenario(&manual, ProtocolKind::Flooding);
+                let expected = run_protocol(&manual, ProtocolKind::Flooding.to_protocol().as_ref());
                 assert_eq!(*report, expected, "cell xi={xi} rep={rep} diverged");
             }
         }

@@ -44,11 +44,11 @@ pub use protocol::{FnProtocol, Protocol, ProtocolRegistry, UnknownProtocol};
 pub use runner::{
     assign_roles, assign_session_roles, build_churn, build_mobility, build_setup, run_protocol,
 };
-#[allow(deprecated)]
-pub use runner::{run_repetitions, run_scenario};
 pub use scenario::{MobilityKind, ProtocolKind, Scenario};
 pub use sink::{
     CellInfo, CsvStreamSink, JsonLinesSink, MemorySink, NullSink, ProgressSink, RunSink, TeeSink,
 };
-pub use ssmcast_manet::{DutyCycleConfig, FaultPlanSpec, LifecycleConfig};
+pub use ssmcast_manet::{
+    CsmaConfig, DutyCycleConfig, FaultPlanSpec, LifecycleConfig, MacConfig, MacKind, TdmaConfig,
+};
 pub use sweep::{sweep, to_series, Metric, SweepCell};

@@ -10,6 +10,7 @@ use crate::sink::{MemorySink, RunSink, TeeSink};
 use crate::sweep::{to_series, Metric, SweepCell};
 use serde::{Deserialize, Serialize};
 use ssmcast_core::MetricKind;
+use ssmcast_manet::MacConfig;
 use ssmcast_metrics::Series;
 
 /// Which parameter a figure sweeps.
@@ -35,6 +36,11 @@ pub enum SweptParameter {
     /// Radio duty cycle: the awake fraction of each schedule period, in `(0, 1]`
     /// (1.0 = always awake; sleeping radios miss deliveries).
     DutyCycle,
+    /// Medium-access policy, encoded on the x axis: 0 = random jitter (stats on),
+    /// 1 = CSMA, 2 = self-stabilizing TDMA (rounded and clamped).
+    MacKind,
+    /// Offered load: the CBR source rate in kbit/s per session (clamped to ≥ 0).
+    TrafficLoad,
 }
 
 impl SweptParameter {
@@ -70,6 +76,18 @@ impl SweptParameter {
                 let period = scenario.lifecycle.duty_cycle.period;
                 scenario.lifecycle = scenario.lifecycle.with_duty_cycle(period, x.clamp(0.01, 1.0));
             }
+            SweptParameter::MacKind => {
+                // Stats on even for the jitter column, so the collision-rate metric
+                // reads a MacStats block for all three policies.
+                scenario.mac = match x.round().max(0.0) as u32 {
+                    0 => MacConfig::default().with_stats(),
+                    1 => MacConfig::csma(),
+                    _ => MacConfig::ss_tdma(),
+                };
+            }
+            SweptParameter::TrafficLoad => {
+                scenario.data_rate_bps = (x * 1000.0).max(0.0);
+            }
         }
     }
 
@@ -84,6 +102,8 @@ impl SweptParameter {
             SweptParameter::MemberChurnRate => "Membership churn (events/s per session)",
             SweptParameter::BatteryCapacity => "Battery capacity (J)",
             SweptParameter::DutyCycle => "Radio duty cycle (awake fraction)",
+            SweptParameter::MacKind => "MAC policy (0 = jitter, 1 = CSMA, 2 = SS-TDMA)",
+            SweptParameter::TrafficLoad => "Offered load (kbit/s per source)",
         }
     }
 }
@@ -128,11 +148,17 @@ pub enum FigureId {
     /// literature does: an energy-aware tree keeps the first node alive longest, blind
     /// flooding kills it first.
     FigLifetime,
+    /// Collision rate vs MAC policy at elevated offered load, four protocols. Not a
+    /// figure of the paper (its medium is contention-free) — it prices the idealized
+    /// broadcast assumption by swapping the channel-access layer beneath the same
+    /// protocols: blind jitter vs carrier sensing vs Leone & Schiller-style
+    /// self-stabilizing TDMA.
+    FigMac,
 }
 
 impl FigureId {
     /// All evaluation figures in order.
-    pub const ALL: [FigureId; 13] = [
+    pub const ALL: [FigureId; 14] = [
         FigureId::Fig7,
         FigureId::Fig8,
         FigureId::Fig9,
@@ -146,6 +172,7 @@ impl FigureId {
         FigureId::FigFaults,
         FigureId::FigGroups,
         FigureId::FigLifetime,
+        FigureId::FigMac,
     ];
 
     /// The preset describing how to regenerate this figure.
@@ -262,6 +289,14 @@ impl FigureId {
                 ],
                 metric: Metric::TimeToFirstDeathS,
             },
+            FigureId::FigMac => FigureSpec {
+                id: self,
+                title: "Collision Rate as a Function of MAC Policy",
+                swept: SweptParameter::MacKind,
+                xs: vec![0.0, 1.0, 2.0],
+                protocols: ProtocolKind::paper_four().to_vec(),
+                metric: Metric::CollisionRate,
+            },
         }
     }
 
@@ -281,6 +316,7 @@ impl FigureId {
             FigureId::FigFaults => "fig_faults",
             FigureId::FigGroups => "fig_groups",
             FigureId::FigLifetime => "fig_lifetime",
+            FigureId::FigMac => "fig_mac",
         }
     }
 }
@@ -352,6 +388,20 @@ pub fn base_scenario_for(spec: &FigureSpec) -> Scenario {
             s.beacon_interval_s = 2.0;
             s.battery_capacity_j = 10.0;
             s.lifecycle = s.lifecycle.with_tx_power_control(true).with_idle_power(2e-3, 1e-4);
+        }
+        SweptParameter::MacKind => {
+            // Slow mobility (contention, not partition luck, should drive losses) and
+            // double the paper's offered load so channel-access discipline is visible.
+            s.max_speed_mps = 1.0;
+            s.beacon_interval_s = 2.0;
+            s.data_rate_bps = 128_000.0;
+        }
+        SweptParameter::TrafficLoad => {
+            // Per-column load with carrier sensing on, so a load sweep prices
+            // contention rather than pure loss-draw luck.
+            s.max_speed_mps = 1.0;
+            s.beacon_interval_s = 2.0;
+            s.mac = MacConfig::csma();
         }
     }
     s
@@ -446,6 +496,61 @@ pub fn run_single_cell(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn figure_id_all_lists_every_variant_exactly_once() {
+        // The match is the guard: adding a FigureId variant without extending it is a
+        // compile error, and N_VARIANTS then forces ALL to grow with it.
+        const N_VARIANTS: usize = 14;
+        fn ordinal(id: FigureId) -> usize {
+            match id {
+                FigureId::Fig7 => 0,
+                FigureId::Fig8 => 1,
+                FigureId::Fig9 => 2,
+                FigureId::Fig10 => 3,
+                FigureId::Fig11 => 4,
+                FigureId::Fig12 => 5,
+                FigureId::Fig13 => 6,
+                FigureId::Fig14 => 7,
+                FigureId::Fig15 => 8,
+                FigureId::Fig16 => 9,
+                FigureId::FigFaults => 10,
+                FigureId::FigGroups => 11,
+                FigureId::FigLifetime => 12,
+                FigureId::FigMac => 13,
+            }
+        }
+        assert_eq!(FigureId::ALL.len(), N_VARIANTS, "ALL drifted from the enum");
+        let mut seen = [false; N_VARIANTS];
+        for id in FigureId::ALL {
+            let i = ordinal(id);
+            assert!(!seen[i], "{id:?} listed twice in FigureId::ALL");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "FigureId::ALL misses a variant");
+    }
+
+    #[test]
+    fn mac_preset_sweeps_the_three_policies_under_load() {
+        use ssmcast_manet::MacKind;
+        let spec = FigureId::FigMac.spec();
+        assert_eq!(spec.swept, SweptParameter::MacKind);
+        assert_eq!(spec.metric, Metric::CollisionRate);
+        assert_eq!(spec.xs, vec![0.0, 1.0, 2.0]);
+        let base = base_scenario_for(&spec);
+        assert!(base.data_rate_bps > Scenario::paper_default().data_rate_bps, "elevated load");
+        let mut s = base;
+        SweptParameter::MacKind.apply(&mut s, 0.0);
+        assert_eq!(s.mac.kind, MacKind::RandomJitter);
+        assert!(s.mac.reports_stats(), "the jitter column must still report stats");
+        SweptParameter::MacKind.apply(&mut s, 1.0);
+        assert_eq!(s.mac.kind, MacKind::Csma);
+        SweptParameter::MacKind.apply(&mut s, 2.0);
+        assert_eq!(s.mac.kind, MacKind::SsTdma);
+        SweptParameter::TrafficLoad.apply(&mut s, 256.0);
+        assert_eq!(s.data_rate_bps, 256_000.0, "kbit/s on the axis, bit/s in the scenario");
+        assert_eq!(FigureId::FigMac.short_name(), "fig_mac");
+    }
 
     #[test]
     fn every_figure_has_a_complete_spec() {

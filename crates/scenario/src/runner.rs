@@ -1,12 +1,11 @@
 //! Building and running one scenario: roles, mobility, setup, and protocol execution.
 //!
 //! The primary entry point is [`run_protocol`], which wires a [`crate::Protocol`] into
-//! the scenario's deterministic setup. [`run_scenario`] and [`run_repetitions`] remain as
-//! thin compatibility shims over the [`crate::Experiment`] machinery for callers that
-//! still speak [`ProtocolKind`].
+//! the scenario's deterministic setup. Grid execution (protocols × x-values ×
+//! repetitions) lives in the [`crate::Experiment`] builder.
 
 use crate::protocol::Protocol;
-use crate::scenario::{MobilityKind, ProtocolKind, Scenario};
+use crate::scenario::{MobilityKind, Scenario};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use ssmcast_dessim::{SeedSequence, SimDuration, SimTime};
@@ -170,6 +169,7 @@ pub fn build_setup(scenario: &Scenario, seeds: SeedSequence) -> SimSetup {
         // The schedule is materialised from the scenario's spec with the scenario's own
         // seed stream: same (scenario, seed) ⇒ same fault events, for every protocol.
         faults: FaultPlan::from_spec(&scenario.faults, scenario.n_nodes, &seeds),
+        mac: scenario.mac,
         seeds,
         medium: scenario.medium,
     }
@@ -185,42 +185,11 @@ pub fn run_protocol(scenario: &Scenario, protocol: &dyn Protocol) -> SimReport {
     protocol.run(scenario, setup, mobility)
 }
 
-/// Deprecated compatibility shim: run `scenario` under a built-in protocol kind.
-///
-/// Routed through the [`crate::Experiment`] engine (a single-cell grid with the
-/// scenario's own seed, i.e. no per-repetition derivation), so the thread-pool collector
-/// is the one and only execution path; the result is identical to
-/// `run_protocol(scenario, kind.to_protocol().as_ref())`.
-#[deprecated(note = "use run_protocol or the Experiment builder")]
-pub fn run_scenario(scenario: &Scenario, protocol: ProtocolKind) -> SimReport {
-    let cells = crate::Experiment::new(*scenario).protocol_kinds(&[protocol]).literal_seed().run();
-    cells
-        .into_iter()
-        .next()
-        .and_then(|c| c.reports.into_iter().next())
-        .expect("one protocol, one column, one repetition")
-}
-
-/// Deprecated compatibility shim: run the same scenario `reps` times with derived seeds.
-///
-/// New code should use [`crate::Experiment`] with [`crate::Experiment::reps`], which is
-/// what this delegates to (a single-column grid). Unlike the builder — which clamps to
-/// at least one repetition — this shim preserves the legacy `reps == 0` behaviour of
-/// running nothing.
-#[deprecated(note = "use the Experiment builder with `.reps(n)`")]
-pub fn run_repetitions(scenario: &Scenario, protocol: ProtocolKind, reps: usize) -> Vec<SimReport> {
-    if reps == 0 {
-        return Vec::new();
-    }
-    let cells = crate::Experiment::new(*scenario).protocol_kinds(&[protocol]).reps(reps).run();
-    cells.into_iter().next().map(|c| c.reports).unwrap_or_default()
-}
-
 #[cfg(test)]
-#[allow(deprecated)] // the legacy shims under test are deprecated on purpose
 mod tests {
     use super::*;
     use crate::protocol::ProtocolRegistry;
+    use crate::scenario::ProtocolKind;
     use ssmcast_core::MetricKind;
 
     #[test]
@@ -325,13 +294,17 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_shims_route_through_the_experiment_engine_unchanged() {
+    fn the_experiment_engine_matches_a_directly_seeded_run_protocol_call() {
         let mut s = Scenario::quick_test();
         s.duration_s = 20.0;
         s.n_nodes = 12;
         s.group_size = 5;
-        let direct = run_protocol(&s, ProtocolKind::Flooding.to_protocol().as_ref());
-        assert_eq!(run_scenario(&s, ProtocolKind::Flooding), direct);
+        let mut manual = s;
+        manual.seed = crate::derive_cell_seed(s.seed, 0, 0);
+        let direct = run_protocol(&manual, ProtocolKind::Flooding.to_protocol().as_ref());
+        let cells = crate::Experiment::new(s).protocol_kinds(&[ProtocolKind::Flooding]).run();
+        let engine = cells.into_iter().next().and_then(|c| c.reports.into_iter().next());
+        assert_eq!(engine.as_ref(), Some(&direct));
     }
 
     #[test]
@@ -399,7 +372,8 @@ mod tests {
         s.duration_s = 30.0;
         s.n_nodes = 20;
         s.group_size = 8;
-        let report = run_scenario(&s, ProtocolKind::SsSpst(MetricKind::EnergyAware));
+        let protocol = ProtocolKind::SsSpst(MetricKind::EnergyAware).to_protocol();
+        let report = run_protocol(&s, protocol.as_ref());
         assert!(report.generated > 100);
         assert!(report.pdr > 0.0, "a connected-ish 20-node field should deliver something");
     }
@@ -409,8 +383,9 @@ mod tests {
         let mut s = Scenario::quick_test();
         s.duration_s = 25.0;
         s.n_nodes = 15;
-        let a = run_scenario(&s, ProtocolKind::SsSpst(MetricKind::EnergyAware));
-        let b = run_scenario(&s, ProtocolKind::SsSpst(MetricKind::EnergyAware));
+        let protocol = ProtocolKind::SsSpst(MetricKind::EnergyAware).to_protocol();
+        let a = run_protocol(&s, protocol.as_ref());
+        let b = run_protocol(&s, protocol.as_ref());
         assert_eq!(a, b);
     }
 
@@ -419,7 +394,8 @@ mod tests {
         let mut s = Scenario::quick_test();
         s.duration_s = 25.0;
         s.n_nodes = 15;
-        let reports = run_repetitions(&s, ProtocolKind::Odmrp, 2);
+        let cells = crate::Experiment::new(s).protocol_kinds(&[ProtocolKind::Odmrp]).reps(2).run();
+        let reports = cells.into_iter().next().map(|c| c.reports).unwrap_or_default();
         assert_eq!(reports.len(), 2);
         assert_ne!(reports[0], reports[1], "different repetitions see different mobility");
     }

@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 use ssmcast_core::MetricKind;
 use ssmcast_dessim::SimDuration;
-use ssmcast_manet::{FaultPlanSpec, LifecycleConfig, MediumConfig, RadioConfig};
+use ssmcast_manet::{FaultPlanSpec, LifecycleConfig, MacConfig, MediumConfig, RadioConfig};
 
 /// Which multicast protocol to run on a scenario.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Serialize, Deserialize)]
@@ -145,6 +145,10 @@ pub struct Scenario {
     /// byte-identical to pre-fault builds; any configured fault makes the harness run a
     /// stabilization probe and attach a `ConvergenceStats` block to the report.
     pub faults: FaultPlanSpec,
+    /// Medium-access policy beneath the multicast protocols. The default (the legacy
+    /// uniform random jitter with stats reporting off) reproduces pre-MAC reports byte
+    /// for byte; CSMA and self-stabilizing TDMA attach a `MacStats` block.
+    pub mac: MacConfig,
     /// Master seed; repetitions derive child seeds from it.
     pub seed: u64,
 }
@@ -173,6 +177,7 @@ impl Scenario {
             mobility: MobilityKind::RandomWaypoint,
             medium: MediumConfig::default(),
             faults: FaultPlanSpec::none(),
+            mac: MacConfig::default(),
             seed: 0x55_5357,
         }
     }
@@ -192,6 +197,12 @@ impl Scenario {
     /// The same scenario under a fault-injection plan.
     pub fn with_faults(mut self, faults: FaultPlanSpec) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// The same scenario under a different medium-access policy.
+    pub fn with_mac(mut self, mac: MacConfig) -> Self {
+        self.mac = mac;
         self
     }
 
@@ -334,6 +345,18 @@ mod tests {
         assert!(tuned.lifecycle.has_continuous_drain());
         assert!(tuned.lifecycle.tx_power_control);
         assert_eq!(s.with_battery_capacity(-3.0).battery_capacity_j, 0.0, "clamped");
+    }
+
+    #[test]
+    fn mac_defaults_to_the_legacy_jitter_and_is_overridable() {
+        use ssmcast_manet::MacKind;
+        let s = Scenario::paper_default();
+        assert_eq!(s.mac, MacConfig::default());
+        assert_eq!(s.mac.kind, MacKind::RandomJitter);
+        assert!(!s.mac.reports_stats(), "default runs stay byte-identical to pre-MAC reports");
+        let tuned = s.with_mac(MacConfig::ss_tdma());
+        assert_eq!(tuned.mac.kind, MacKind::SsTdma);
+        assert!(tuned.mac.reports_stats());
     }
 
     #[test]

@@ -347,6 +347,7 @@ mod tests {
             convergence: None,
             groups: None,
             lifetime: None,
+            mac: None,
         };
         SweepCell { x, protocol: protocol.to_string(), reports: vec![report] }
     }

@@ -33,6 +33,9 @@ pub enum Metric {
     /// the run duration, so a protocol that kills nobody scores the full run length;
     /// unlimited-battery runs (no lifetime block) report the run duration too.
     TimeToFirstDeathS,
+    /// Fraction of receptions lost to channel collisions, from the report's `MacStats`
+    /// block. 0 for runs whose MAC policy reports no stats (the byte-identical default).
+    CollisionRate,
 }
 
 impl Metric {
@@ -66,6 +69,7 @@ impl Metric {
                 .lifetime
                 .as_ref()
                 .map_or(report.duration_s, |l| l.time_to_first_death_s(report.duration_s)),
+            Metric::CollisionRate => report.mac.as_ref().map_or(0.0, |m| m.collision_rate),
         }
     }
 
@@ -80,6 +84,7 @@ impl Metric {
             Metric::MeanRecoveryS => "Mean Recovery Time after Fault (s)",
             Metric::UnrecoveredRatio => "Unrecovered Fault Episodes (ratio)",
             Metric::TimeToFirstDeathS => "Time to First Node Death (s)",
+            Metric::CollisionRate => "Collision Rate (collided / receptions)",
         }
     }
 }
@@ -155,10 +160,9 @@ pub fn to_series(cells: &[SweepCell], metric: Metric) -> Vec<Series> {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the legacy shims under test are deprecated on purpose
 mod tests {
     use super::*;
-    use crate::runner::run_scenario;
+    use crate::runner::run_protocol;
     use ssmcast_core::MetricKind;
 
     #[test]
@@ -167,11 +171,22 @@ mod tests {
         s.duration_s = 25.0;
         s.n_nodes = 15;
         s.group_size = 6;
-        let report = run_scenario(&s, ProtocolKind::Flooding);
+        let report = run_protocol(&s, ProtocolKind::Flooding.to_protocol().as_ref());
         assert_eq!(Metric::Pdr.extract(&report), report.pdr);
         assert_eq!(Metric::DelayMs.extract(&report), report.avg_delay_ms);
         assert_eq!(Metric::EnergyPerPacketMj.extract(&report), report.energy_per_delivered_mj);
         assert!(!Metric::ControlOverhead.label().is_empty());
+        // No MacStats block (default policy) reads as a zero collision rate …
+        assert!(report.mac.is_none());
+        assert_eq!(Metric::CollisionRate.extract(&report), 0.0);
+        // … while a stats-reporting policy exposes the channel's ratio.
+        let noisy = run_protocol(
+            &s.with_mac(ssmcast_manet::MacConfig::default().with_stats()),
+            ProtocolKind::Flooding.to_protocol().as_ref(),
+        );
+        let mac = noisy.mac.as_ref().expect("stats-reporting MAC attaches a block");
+        assert_eq!(Metric::CollisionRate.extract(&noisy), mac.collision_rate);
+        assert!(!Metric::CollisionRate.label().is_empty());
     }
 
     #[test]
@@ -181,7 +196,6 @@ mod tests {
         let cells = sweep(&base, &[1.0, 5.0], &protocols, 0, |s, v| s.max_speed_mps = v);
         assert_eq!(cells.len(), 4);
         assert!(cells.iter().all(|c| c.reports.is_empty()));
-        assert_eq!(crate::runner::run_repetitions(&base, ProtocolKind::Flooding, 0), vec![]);
     }
 
     #[test]

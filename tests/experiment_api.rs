@@ -1,10 +1,11 @@
 //! Integration tests of the Experiment API v2 surface as seen through the umbrella
 //! crate: registry-driven protocol selection, mobility plugins, the `Experiment` builder
-//! with streaming sinks, and equivalence with the legacy free functions.
+//! with streaming sinks, and equivalence with directly seeded `run_protocol` calls.
 
 use ssmcast::scenario::{
-    derive_cell_seed, sweep, CsvStreamSink, Experiment, FigureId, MemorySink, MobilityKind,
-    ProgressSink, ProtocolKind, ProtocolRegistry, RunSink, Scenario, SweptParameter, TeeSink,
+    derive_cell_seed, run_protocol, sweep, CsvStreamSink, Experiment, FigureId, MemorySink,
+    MobilityKind, ProgressSink, ProtocolKind, ProtocolRegistry, RunSink, Scenario, SweptParameter,
+    TeeSink,
 };
 
 fn small_base() -> Scenario {
@@ -28,18 +29,15 @@ fn registry_names_round_trip_for_every_builtin() {
 }
 
 #[test]
-#[allow(deprecated)] // the legacy shim is the subject under test
-fn legacy_sweep_shim_preserves_grid_shape_and_seeding() {
-    // `sweep` delegates to `Experiment`, so this is a plumbing check (cell order,
-    // labels, repetition counts survive the shim), not an independent oracle. The
-    // behavioural regression — that each cell equals a directly-run scenario with the
-    // documented `derive_cell_seed` — is pinned against `run_scenario` below.
+fn sweep_grid_shape_and_seeding_match_directly_seeded_runs() {
+    // `sweep` delegates to `Experiment`; each cell must equal a directly-run scenario
+    // with the documented `derive_cell_seed`, pinned here against `run_protocol`.
     let base = small_base();
     let xs = [1.0, 10.0];
     let protocols = [ProtocolKind::Flooding, ProtocolKind::Odmrp];
-    let legacy = sweep(&base, &xs, &protocols, 2, |s, v| s.max_speed_mps = v);
-    assert_eq!(legacy.len(), 4);
-    for (i, cell) in legacy.iter().enumerate() {
+    let grid = sweep(&base, &xs, &protocols, 2, |s, v| s.max_speed_mps = v);
+    assert_eq!(grid.len(), 4);
+    for (i, cell) in grid.iter().enumerate() {
         let (xi, pi) = (i / protocols.len(), i % protocols.len());
         assert_eq!(cell.x, xs[xi]);
         assert_eq!(cell.protocol, protocols[pi].name());
@@ -48,7 +46,7 @@ fn legacy_sweep_shim_preserves_grid_shape_and_seeding() {
             let mut manual = base;
             manual.max_speed_mps = xs[xi];
             manual.seed = derive_cell_seed(base.seed, rep, xi);
-            let expected = ssmcast::scenario::run_scenario(&manual, protocols[pi]);
+            let expected = run_protocol(&manual, protocols[pi].to_protocol().as_ref());
             assert_eq!(*report, expected, "cell xi={xi} pi={pi} rep={rep} diverged");
         }
     }

@@ -37,6 +37,9 @@ fn single_group_reports_match_the_pre_refactor_golden_bytes() {
     // these unlimited-battery, duty-cycle-off runs (as must the per-group blocks).
     assert!(!now.contains("\"lifetime\""), "lifetime block leaked into a lifecycle-off run");
     assert!(!now.contains("\"groups\""));
+    // Likewise for the MAC layer: the default random-jitter policy must not attach a
+    // stats block, keeping pre-MAC reports byte-identical.
+    assert!(!now.contains("\"mac\""), "MacStats block leaked into a default-policy run");
 }
 
 /// Regenerate the golden file (run manually: `GOLDEN_WRITE=1 cargo test --test
