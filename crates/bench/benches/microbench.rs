@@ -241,6 +241,42 @@ fn bench_mac(c: &mut Criterion) {
     group.finish();
 }
 
+/// The region-sharded engine against the sequential loop on an n = 5000 flood
+/// (≈ 13 neighbours per node, field scaled for constant density). Shard counts 2/4/8
+/// price the partitioned engine's synchronization against the extra cores it can
+/// recruit: on a multi-core host the higher shard counts win; on a single core they
+/// only measure the synchronization overhead. Reports are byte-identical across the
+/// sharded counts (see `tests/shard_equivalence.rs`); the sequential run is the
+/// wall-clock baseline.
+fn bench_sharded_engine(c: &mut Criterion) {
+    let base = {
+        let mut s = Scenario::paper_default();
+        s.n_nodes = 5_000;
+        s.area_side_m = 8_573.0;
+        s.group_size = 50;
+        s.duration_s = 1.0;
+        s.warmup_s = 0.25;
+        s.medium = MediumConfig::grid().with_epoch(SimDuration::from_millis(200));
+        s
+    };
+    let mut group = c.benchmark_group("manet/shard_n5000");
+    group.sample_size(2);
+    for (name, shards) in [("sequential", 0u32), ("shards_2", 2), ("shards_4", 4), ("shards_8", 8)]
+    {
+        let scenario = if shards == 0 { base } else { base.with_shards(shards) };
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let report = run_protocol(
+                    black_box(&scenario),
+                    ProtocolKind::Flooding.to_protocol().as_ref(),
+                );
+                black_box(report)
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_event_queue,
@@ -250,6 +286,7 @@ criterion_group!(
     bench_fault_recovery,
     bench_multi_group,
     bench_energy_lifecycle,
-    bench_mac
+    bench_mac,
+    bench_sharded_engine
 );
 criterion_main!(benches);

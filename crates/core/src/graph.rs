@@ -25,13 +25,13 @@ impl MulticastTopology {
     /// the members vector has the wrong length.
     pub fn from_edges(
         n: usize,
-        edges: &[(u16, u16, f64)],
+        edges: &[(u32, u32, f64)],
         source: NodeId,
         members: Vec<bool>,
     ) -> Self {
         assert_eq!(members.len(), n, "one membership flag per node");
         assert!(source.index() < n, "source must exist");
-        let mut adj_map: Vec<BTreeMap<u16, f64>> = vec![BTreeMap::new(); n];
+        let mut adj_map: Vec<BTreeMap<u32, f64>> = vec![BTreeMap::new(); n];
         for &(u, v, d) in edges {
             assert!((u as usize) < n && (v as usize) < n, "edge endpoint out of range");
             assert!(u != v, "self loops are not allowed");
@@ -57,7 +57,7 @@ impl MulticastTopology {
         let n = snap.len();
         assert_eq!(members.len(), n);
         let mut edges = Vec::new();
-        for i in 0..n as u16 {
+        for i in 0..n as u32 {
             for j in snap.neighbors(NodeId(i)) {
                 if j.0 > i {
                     edges.push((i, j.0, snap.distance(NodeId(i), j)));
@@ -78,7 +78,7 @@ impl MulticastTopology {
         let source =
             roles.iter().position(|r| r.is_source()).expect("a session must have a source");
         let members = roles.iter().map(|r| r.is_member()).collect();
-        Self::from_snapshot(snap, NodeId(source as u16), members)
+        Self::from_snapshot(snap, NodeId(source as u32), members)
     }
 
     /// Number of nodes.
@@ -118,7 +118,7 @@ impl MulticastTopology {
 
     /// Iterate over all node ids.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.n as u16).map(NodeId)
+        (0..self.n as u32).map(NodeId)
     }
 
     /// Number of neighbours of `v` that are not group members.
@@ -180,7 +180,7 @@ mod tests {
         assert_eq!(t.distance(NodeId(0), NodeId(1)), Some(100.0));
         assert_eq!(t.distance(NodeId(1), NodeId(0)), Some(100.0));
         assert_eq!(t.distance(NodeId(0), NodeId(0)), None);
-        let ns: Vec<u16> = t.neighbors(NodeId(0)).iter().map(|(n, _)| n.0).collect();
+        let ns: Vec<u32> = t.neighbors(NodeId(0)).iter().map(|(n, _)| n.0).collect();
         assert_eq!(ns, vec![1, 2]);
     }
 

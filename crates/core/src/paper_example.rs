@@ -15,7 +15,7 @@ use crate::tree::MulticastTree;
 use ssmcast_manet::NodeId;
 
 /// Edge list of the Figure-1 topology: `(u, v, distance in metres)`.
-pub const FIGURE1_EDGES: [(u16, u16, f64); 13] = [
+pub const FIGURE1_EDGES: [(u32, u32, f64); 13] = [
     (0, 1, 120.10),
     (0, 7, 120.02),
     (0, 3, 200.03),

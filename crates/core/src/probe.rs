@@ -87,7 +87,7 @@ pub fn legitimate_over(
     let Some(source) = roles.iter().position(|r| r.is_source()) else {
         return false;
     };
-    let source = NodeId(source as u16);
+    let source = NodeId(source as u32);
     if !alive[source.index()] || blacked_out[source.index()] || parents[source.index()].is_some() {
         return false;
     }
@@ -110,7 +110,7 @@ pub fn legitimate_over(
     // its own first hop is unusable — so the predicate stays false for the duration of
     // a blackout that cuts any member off.
     for v in 0..n {
-        let id = NodeId(v as u16);
+        let id = NodeId(v as u32);
         if !alive[v] || !roles[v].is_member() || !reachable[v] || id == source {
             continue;
         }

@@ -125,7 +125,7 @@ impl SyncModel {
     /// Randomise the state of every node: random parents (possibly invalid), random costs
     /// and hop counts. Used to exercise self-stabilization from garbage states.
     pub fn scramble<R: Rng + ?Sized>(&mut self, rng: &mut R) {
-        let n = self.topo.len() as u16;
+        let n = self.topo.len() as u32;
         for v in 0..n {
             let parent = if rng.gen_bool(0.7) { Some(NodeId(rng.gen_range(0..n))) } else { None };
             self.state[v as usize] = NodeState {

@@ -44,7 +44,7 @@ impl MulticastTree {
 
     /// Children of `v`, in node-id order.
     pub fn children(&self, v: NodeId) -> Vec<NodeId> {
-        (0..self.parent.len() as u16)
+        (0..self.parent.len() as u32)
             .map(NodeId)
             .filter(|&c| self.parent[c.index()] == Some(v))
             .collect()
@@ -70,12 +70,12 @@ impl MulticastTree {
 
     /// Maximum depth over all connected nodes.
     pub fn max_depth(&self) -> u32 {
-        (0..self.parent.len() as u16).filter_map(|v| self.depth(NodeId(v))).max().unwrap_or(0)
+        (0..self.parent.len() as u32).filter_map(|v| self.depth(NodeId(v))).max().unwrap_or(0)
     }
 
     /// Nodes that reach the source through parent pointers (the source included).
     pub fn connected_nodes(&self) -> Vec<NodeId> {
-        (0..self.parent.len() as u16).map(NodeId).filter(|&v| self.depth(v).is_some()).collect()
+        (0..self.parent.len() as u32).map(NodeId).filter(|&v| self.depth(v).is_some()).collect()
     }
 
     /// True if every node reaches the source and there are no cycles — the structural part
@@ -86,7 +86,7 @@ impl MulticastTree {
 
     /// True if the parent pointers contain a cycle (count-to-infinity symptom).
     pub fn has_cycle(&self) -> bool {
-        (0..self.parent.len() as u16).any(|v| {
+        (0..self.parent.len() as u32).any(|v| {
             let v = NodeId(v);
             self.depth(v).is_none() && {
                 // Distinguish "disconnected chain ending in None" from a real cycle by
@@ -118,7 +118,7 @@ impl MulticastTree {
         &'a self,
         topo: &'a MulticastTopology,
     ) -> impl Iterator<Item = (NodeId, NodeId, Option<f64>)> + 'a {
-        (0..self.parent.len() as u16).filter_map(move |v| {
+        (0..self.parent.len() as u32).filter_map(move |v| {
             let v = NodeId(v);
             self.parent[v.index()].map(|p| (p, v, topo.distance(p, v)))
         })
@@ -129,7 +129,7 @@ impl MulticastTree {
     pub fn forwarding_set(&self, topo: &MulticastTopology) -> Vec<bool> {
         let n = self.parent.len();
         let mut flag = vec![false; n];
-        for v in 0..n as u16 {
+        for v in 0..n as u32 {
             let v = NodeId(v);
             if !topo.is_member(v) || self.depth(v).is_none() {
                 continue;

@@ -8,16 +8,20 @@
 //!   with convenient conversions from floating-point seconds.
 //! * [`EventQueue`] — a binary-heap future-event list with stable (time, sequence)
 //!   ordering and O(1) amortised cancellation.
+//! * [`KeyedQueue`] — the same structure with caller-keyed tie-breaking, so event order
+//!   is a pure function of the event set (the sharded runtime merges concurrently
+//!   produced events through it).
 //! * [`Simulator`] — the main loop: schedule events, pop them in time order, advance the
 //!   clock, and stop at a horizon or when the queue drains.
 //! * [`SeedSequence`] — reproducible derivation of independent RNG streams from a single
 //!   scenario seed, so simulations are replayable bit-for-bit.
 //!
-//! The engine is deliberately single-threaded and deterministic: given the same seed and
-//! the same sequence of schedule calls it produces the same trajectory. Parallelism in
-//! this workspace lives one level up (independent experiment cells run on a scoped
-//! thread pool in `ssmcast-scenario`), which keeps the hot loop allocation-light and
-//! free of synchronisation.
+//! The engine itself is single-threaded and deterministic: given the same seed and the
+//! same sequence of schedule calls it produces the same trajectory. Parallelism in this
+//! workspace lives one level up — independent experiment cells run on a scoped thread
+//! pool in `ssmcast-scenario`, and `ssmcast-manet` shards one large simulation across
+//! worker threads, each draining its own [`KeyedQueue`] — which keeps this hot loop
+//! allocation-light and free of synchronisation.
 //!
 //! ```
 //! use ssmcast_dessim::{Simulator, SimTime, SimDuration};
@@ -39,12 +43,14 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod keyed;
 pub mod queue;
 pub mod rng;
 pub mod sim;
 pub mod time;
 
 pub use event::EventId;
+pub use keyed::KeyedQueue;
 pub use queue::EventQueue;
 pub use rng::SeedSequence;
 pub use sim::{RunOutcome, Simulator};

@@ -159,9 +159,13 @@ impl<'a, P> NodeCtx<'a, P> {
 }
 
 /// A multicast protocol implementation, instantiated once per node.
-pub trait ProtocolAgent {
+///
+/// Agents are `Send` (and payloads `Send`) so the sharded engine can move each shard's
+/// agents onto its worker thread; agents never need to be `Sync` — exactly one thread
+/// drives any given agent at a time.
+pub trait ProtocolAgent: Send {
     /// The protocol's wire payload type.
-    type Payload: Clone + std::fmt::Debug;
+    type Payload: Clone + std::fmt::Debug + Send;
 
     /// Called once at simulation start (time zero) for every node.
     fn start(&mut self, ctx: &mut NodeCtx<'_, Self::Payload>);

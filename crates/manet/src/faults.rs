@@ -250,18 +250,18 @@ impl FaultPlan {
         // Nodes 1.. when sparing the source (node 0 by convention in the harness).
         let draw_node = |rng: &mut StdRng, spare: bool| {
             let lo = usize::from(spare && n_nodes > 1);
-            NodeId(rng.gen_range(lo..n_nodes) as u16)
+            NodeId(rng.gen_range(lo..n_nodes) as u32)
         };
         for _ in 0..spec.corruption_bursts {
             let at = draw_time(&mut rng);
             let k = ((spec.corruption_fraction * n_nodes as f64).ceil() as usize).clamp(1, n_nodes);
             // Seeded distinct subset: partial Fisher–Yates over the id range.
-            let mut ids: Vec<u16> = (0..n_nodes as u16).collect();
+            let mut ids: Vec<u32> = (0..n_nodes as u32).collect();
             for i in 0..k {
                 let j = rng.gen_range(i..ids.len());
                 ids.swap(i, j);
             }
-            let mut burst: Vec<u16> = ids[..k].to_vec();
+            let mut burst: Vec<u32> = ids[..k].to_vec();
             burst.sort_unstable();
             for id in burst {
                 plan.push_unsorted(at, FaultKind::Corrupt { node: NodeId(id) });
@@ -301,7 +301,7 @@ impl FaultPlan {
 pub fn scrambled_parent(rng: &mut StdRng) -> Option<NodeId> {
     match rng.gen_range(0..3u32) {
         0 => None,
-        _ => Some(NodeId(rng.gen::<u16>())),
+        _ => Some(NodeId(u32::from(rng.gen::<u16>()))),
     }
 }
 

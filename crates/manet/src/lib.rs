@@ -29,6 +29,8 @@
 //! * [`traffic`] — CBR multicast workload.
 //! * [`runtime`] — [`runtime::NetworkSim`], the event loop that ties it all together and
 //!   produces a [`report::SimReport`].
+//! * [`engine`] — [`engine::EngineConfig`]: selects the classic sequential loop or the
+//!   region-sharded multi-threaded engine for large-n runs.
 
 #![warn(missing_docs)]
 
@@ -36,6 +38,7 @@ pub mod agent;
 pub mod battery;
 pub mod channel;
 pub mod energy;
+pub mod engine;
 pub mod faults;
 pub mod geometry;
 pub mod lifecycle;
@@ -55,6 +58,7 @@ pub use agent::{Action, Disposition, NodeCtx, ProtocolAgent};
 pub use battery::{Battery, EnergyUse};
 pub use channel::Channel;
 pub use energy::{EnergyModel, RadioConfig};
+pub use engine::EngineConfig;
 pub use faults::{
     scrambled_parent, FaultEvent, FaultKind, FaultPlan, FaultPlanSpec, ProbeContext, SessionProbe,
     StabilizationObserver,

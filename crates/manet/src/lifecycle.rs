@@ -276,7 +276,7 @@ mod tests {
         let cfg = DutyCycleConfig::new(SimDuration::from_millis(500), 0.25);
         let sched = DutySchedule::from_seeds(&cfg, 4, &SeedSequence::new(9));
         assert!(sched.is_on());
-        for i in 0..4u16 {
+        for i in 0..4u32 {
             let awake = sched
                 .awake_between(NodeId(i), SimTime::ZERO, SimTime::from_secs(100))
                 .as_secs_f64();
@@ -289,7 +289,7 @@ mod tests {
         let cfg = DutyCycleConfig::new(SimDuration::from_millis(200), 0.4);
         let sched = DutySchedule::from_seeds(&cfg, 3, &SeedSequence::new(4));
         // Numerically integrate is_awake at 1 ms resolution and compare.
-        for i in 0..3u16 {
+        for i in 0..3u32 {
             let n = NodeId(i);
             let from = SimTime::ZERO + SimDuration::from_millis(137);
             let to = SimTime::ZERO + SimDuration::from_millis(2_951);
@@ -315,7 +315,7 @@ mod tests {
         let sched = DutySchedule::from_seeds(&cfg, 16, &SeedSequence::new(7));
         // With 16 seeded phases over a half-duty schedule, some instant separates nodes.
         let t = SimTime::ZERO + SimDuration::from_millis(250);
-        let awake = (0..16u16).filter(|&i| sched.is_awake(NodeId(i), t)).count();
+        let awake = (0..16u32).filter(|&i| sched.is_awake(NodeId(i), t)).count();
         assert!(awake > 0 && awake < 16, "phases must desynchronise the fleet: {awake}/16");
     }
 
@@ -326,7 +326,7 @@ mod tests {
         let b = DutySchedule::from_seeds(&cfg, 10, &SeedSequence::new(42));
         let c = DutySchedule::from_seeds(&cfg, 10, &SeedSequence::new(43));
         let mut diverged = false;
-        for i in 0..10u16 {
+        for i in 0..10u32 {
             for k in 0..50u64 {
                 let t = SimTime::ZERO + SimDuration::from_millis(k * 97);
                 assert_eq!(a.is_awake(NodeId(i), t), b.is_awake(NodeId(i), t));

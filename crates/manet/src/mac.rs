@@ -212,6 +212,15 @@ pub trait MacPolicy: Send {
         let _ = node;
     }
 
+    /// Called once per policy instance when a run adopts the sharded engine. A sharded
+    /// run builds one policy instance per shard, and an instance only observes the
+    /// receptions of its own shard's nodes — implementations must disable any decision
+    /// path that reads state learned *on behalf of another node* (state that one global
+    /// instance would have but a per-shard instance may not), so that results do not
+    /// depend on which nodes share a shard. The default does nothing (jitter and CSMA
+    /// decisions only read sender-local state).
+    fn prepare_sharded(&mut self) {}
+
     /// Add policy-specific counters (TDMA conflicts/re-draws) to a stats block.
     fn fill_stats(&self, stats: &mut MacStats) {
         let _ = stats;
@@ -339,6 +348,12 @@ pub struct SsTdma {
     /// End of each node's own ongoing transmission (serializes a node's frames within
     /// its slot).
     own_busy_until: Vec<SimTime>,
+    /// Use the piggybacked 2-hop claim tables on control frames. On the sequential
+    /// engine one global instance sees every reception, so a sender's table row is
+    /// meaningful at any receiver; a per-shard instance only fills rows for its own
+    /// nodes, so sharded runs disable the 2-hop read (1-hop conflict detection — the
+    /// self-stabilization workhorse — is receiver-local and stays on).
+    two_hop: bool,
     conflicts: u64,
     redraws: u64,
     last_redraw: Option<SimTime>,
@@ -358,6 +373,7 @@ impl SsTdma {
             slots,
             claims: vec![NO_CLAIM; n_nodes * n_nodes],
             own_busy_until: vec![SimTime::ZERO; n_nodes],
+            two_hop: true,
             conflicts: 0,
             redraws: 0,
             last_redraw: None,
@@ -466,7 +482,7 @@ impl MacPolicy for SsTdma {
         let mut conflict = s_slot == my;
         // 2-hop conflict: the sender's piggybacked claim table (carried on control
         // beacons) says some third node uses my slot.
-        if !conflict && class == PacketClass::Control {
+        if !conflict && self.two_hop && class == PacketClass::Control {
             let table = &self.claims[s * self.n..(s + 1) * self.n];
             conflict = table.iter().enumerate().any(|(j, &claim)| j != r && claim == my);
         }
@@ -487,6 +503,10 @@ impl MacPolicy for SsTdma {
         }
     }
 
+    fn prepare_sharded(&mut self) {
+        self.two_hop = false;
+    }
+
     fn fill_stats(&self, stats: &mut MacStats) {
         stats.slot_conflicts = self.conflicts;
         stats.slot_redraws = self.redraws;
@@ -503,7 +523,7 @@ mod tests {
     use super::*;
     use rand::SeedableRng;
 
-    fn frame(sender: u16, attempt: u32) -> MacFrame {
+    fn frame(sender: u32, attempt: u32) -> MacFrame {
         MacFrame { sender: NodeId(sender), class: PacketClass::Data, size_bytes: 512, attempt }
     }
 

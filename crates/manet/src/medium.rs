@@ -226,7 +226,7 @@ impl RadioMedium {
             out.clear();
             let r2 = range * range;
             for i in 0..self.positions.len() {
-                let id = NodeId(i as u16);
+                let id = NodeId(i as u32);
                 if id != sender
                     && !self.is_blacked_out(id, t)
                     && self.positions[i].distance_sq(&center) <= r2

@@ -6,14 +6,15 @@ use std::fmt;
 /// A node identifier, unique within one simulated network.
 ///
 /// The paper assumes "each node in the MANET is identified by a unique identifier"; we use
-/// a dense `u16` index so identifiers double as vector indices in the runtime.
+/// a dense `u32` index so identifiers double as vector indices in the runtime (and the
+/// sharded engine can address n ≥ 100k nodes).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub struct NodeId(pub u16);
+pub struct NodeId(pub u32);
 
 impl NodeId {
     /// Index into dense per-node arrays.
     pub fn index(self) -> usize {
-        usize::from(self.0)
+        self.0 as usize
     }
 }
 
@@ -29,9 +30,15 @@ impl fmt::Display for NodeId {
     }
 }
 
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
 impl From<u16> for NodeId {
     fn from(v: u16) -> Self {
-        NodeId(v)
+        NodeId(u32::from(v))
     }
 }
 
@@ -74,6 +81,7 @@ mod tests {
         let n = NodeId(42);
         assert_eq!(n.index(), 42);
         assert_eq!(NodeId::from(42u16), n);
+        assert_eq!(NodeId::from(42u32), n);
         assert_eq!(format!("{n}"), "42");
         assert_eq!(format!("{n:?}"), "n42");
     }

@@ -11,7 +11,7 @@ use crate::node::NodeId;
 use crate::packet::DataTag;
 use serde::{Deserialize, Serialize};
 use ssmcast_dessim::{SimDuration, SimTime};
-use ssmcast_metrics::{ConvergenceStats, GroupStats, LifetimeStats, MacStats};
+use ssmcast_metrics::{ConvergenceStats, EngineStats, GroupStats, LifetimeStats, MacStats};
 use std::collections::{HashMap, HashSet};
 
 /// Raw counters accumulated for one multicast session while a simulation runs.
@@ -19,7 +19,7 @@ use std::collections::{HashMap, HashSet};
 pub struct Trace {
     window: SimDuration,
     generated: HashMap<u64, SimTime>,
-    delivered: HashSet<(u64, u16)>,
+    delivered: HashSet<(u64, u32)>,
     /// Deliveries owed: summed per generated packet from the membership at that instant.
     expected: u64,
     delay_sum: SimDuration,
@@ -40,7 +40,7 @@ pub struct GroupAccounting {
     /// The session's group id.
     pub group: u16,
     /// The session's source node id.
-    pub source: u16,
+    pub source: u32,
     /// Receivers at the start of the run.
     pub members_initial: u64,
     /// Receivers at the end of the run.
@@ -177,6 +177,36 @@ impl Trace {
         unavailability_over(&self.expected_per_window, &self.delivered_per_window, threshold)
     }
 
+    /// Merge `other` into `self`: counters sum, maps union-sum, sets union. The sharded
+    /// engine records each session's trace piecewise (each shard sees only its own
+    /// nodes' deliveries) and folds the pieces with this. All merged quantities are
+    /// integers (delays are integer nanoseconds), so the merge is exact and
+    /// order-independent — a prerequisite for shard-count-invariant reports.
+    ///
+    /// The pieces must be disjoint: a `(packet, receiver)` delivery or a generated
+    /// sequence number must have been recorded by exactly one piece (the sharded engine
+    /// guarantees this — each node is owned by one shard).
+    pub fn absorb(&mut self, other: &Trace) {
+        for (&seq, &t) in &other.generated {
+            self.generated.insert(seq, t);
+        }
+        self.delivered.extend(other.delivered.iter().copied());
+        self.expected += other.expected;
+        self.delay_sum += other.delay_sum;
+        self.delivered_count += other.delivered_count;
+        self.duplicate_deliveries += other.duplicate_deliveries;
+        self.control_packets += other.control_packets;
+        self.control_bytes += other.control_bytes;
+        self.data_packets_tx += other.data_packets_tx;
+        self.data_bytes_tx += other.data_bytes_tx;
+        for (&w, &e) in &other.expected_per_window {
+            *self.expected_per_window.entry(w).or_insert(0) += e;
+        }
+        for (&w, &d) in &other.delivered_per_window {
+            *self.delivered_per_window.entry(w).or_insert(0) += d;
+        }
+    }
+
     /// Finish a single-session trace into a [`SimReport`] — the aggregate of one trace.
     #[allow(clippy::too_many_arguments)]
     pub fn finish(
@@ -284,6 +314,7 @@ impl Trace {
             groups: None,
             lifetime: None,
             mac: None,
+            engine: None,
         }
     }
 
@@ -391,6 +422,11 @@ pub struct SimReport {
     /// explicitly asked for them). `None` (and absent from the serialized form) for
     /// default random-jitter runs, keeping them byte-identical to pre-MAC-layer builds.
     pub mac: Option<MacStats>,
+    /// Event-loop measurements when the run opted in via `EngineConfig::with_stats`.
+    /// `None` (and absent from the serialized form) otherwise, keeping default reports
+    /// byte-identical to builds that predate the block. Contains a wall-clock-derived
+    /// rate, so stats-on reports are not byte-reproducible across runs.
+    pub engine: Option<EngineStats>,
 }
 
 impl Serialize for SimReport {
@@ -433,6 +469,9 @@ impl Serialize for SimReport {
         }
         if let Some(mac) = &self.mac {
             field!("mac", mac);
+        }
+        if let Some(engine) = &self.engine {
+            field!("engine", engine);
         }
         out.push('}');
     }
@@ -671,5 +710,50 @@ mod tests {
             "mac block renders: {tagged}"
         );
         assert!(tagged.ends_with('}'));
+    }
+
+    #[test]
+    fn serialization_omits_engine_when_absent_and_renders_it_when_present() {
+        let tr = Trace::new(SimDuration::from_secs(1));
+        let mut r = tr.finish("p", SimDuration::from_secs(1), 0.0, 0.0, 0, 512, 0.95);
+        let mut plain = String::new();
+        r.serialize_json(&mut plain);
+        assert!(!plain.contains("\"engine\""), "no engine key when stats are off: {plain}");
+        r.engine = Some(EngineStats::from_counts(2, vec![3, 5], 4, 6, 2.0));
+        let mut tagged = String::new();
+        r.serialize_json(&mut tagged);
+        assert!(
+            tagged.contains("\"engine\":{\"shards\":2,\"events_processed\":8,"),
+            "engine block renders: {tagged}"
+        );
+        assert!(tagged.ends_with('}'));
+    }
+
+    #[test]
+    fn absorb_merges_disjoint_trace_pieces_exactly() {
+        let window = SimDuration::from_secs(1);
+        // One trace that saw everything...
+        let mut whole = Trace::new(window);
+        whole.record_generated(0, SimTime::ZERO, 2);
+        whole.record_generated(1, SimTime::from_secs_f64(1.5), 2);
+        whole.record_delivery(&tag(0, 0), NodeId(1), SimTime::from_secs_f64(0.010));
+        whole.record_delivery(&tag(0, 0), NodeId(2), SimTime::from_secs_f64(0.020));
+        whole.record_delivery(&tag(0, 0), NodeId(2), SimTime::from_secs_f64(0.030)); // dup
+        whole.record_control_tx(100);
+        whole.record_data_tx(512);
+        // ...versus two shard-local pieces covering the same run.
+        let mut a = Trace::new(window);
+        a.record_generated(0, SimTime::ZERO, 2);
+        a.record_generated(1, SimTime::from_secs_f64(1.5), 2);
+        a.record_delivery(&tag(0, 0), NodeId(1), SimTime::from_secs_f64(0.010));
+        a.record_control_tx(100);
+        a.record_data_tx(512);
+        let mut b = Trace::new(window);
+        b.record_delivery(&tag(0, 0), NodeId(2), SimTime::from_secs_f64(0.020));
+        b.record_delivery(&tag(0, 0), NodeId(2), SimTime::from_secs_f64(0.030)); // dup
+        a.absorb(&b);
+        let merged = a.finish("p", SimDuration::from_secs(2), 0.5, 0.25, 3, 512, 0.95);
+        let direct = whole.finish("p", SimDuration::from_secs(2), 0.5, 0.25, 3, 512, 0.95);
+        assert_eq!(merged, direct);
     }
 }

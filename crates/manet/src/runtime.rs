@@ -12,6 +12,7 @@ use crate::agent::{Action, Disposition, NodeCtx, ProtocolAgent};
 use crate::battery::{Battery, EnergyUse};
 use crate::channel::Channel;
 use crate::energy::RadioConfig;
+use crate::engine::EngineConfig;
 use crate::faults::StabilizationObserver;
 use crate::faults::{FaultEvent, FaultKind, FaultPlan, ProbeContext, SessionProbe};
 use crate::geometry::Vec2;
@@ -28,8 +29,10 @@ use crate::traffic::TrafficConfig;
 use rand::rngs::StdRng;
 use rand::Rng;
 use ssmcast_dessim::{RunOutcome, SeedSequence, SimDuration, SimTime, Simulator};
-use ssmcast_metrics::{LifetimeStats, MacStats, RESIDUAL_HISTOGRAM_BINS};
+use ssmcast_metrics::{EngineStats, LifetimeStats, MacStats, RESIDUAL_HISTOGRAM_BINS};
 use std::collections::HashMap;
+
+mod shard;
 
 /// Static setup for one simulation run.
 #[derive(Clone, Debug)]
@@ -63,6 +66,9 @@ pub struct SimSetup {
     /// Scheduled fault events (empty for the paper's fault-free experiments). Injected
     /// through the event queue, so a `(seed, plan)` pair fully determines the run.
     pub faults: FaultPlan,
+    /// Engine selection: the classic sequential loop ([`EngineConfig::default`],
+    /// byte-identical to earlier builds) or the region-sharded parallel engine.
+    pub engine: EngineConfig,
 }
 
 impl SimSetup {
@@ -93,7 +99,14 @@ impl SimSetup {
             seeds,
             medium,
             faults,
+            engine: EngineConfig::default(),
         }
+    }
+
+    /// The same setup under a different engine configuration.
+    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// Number of nodes in the network.
@@ -238,7 +251,7 @@ pub struct NetworkSim<A: ProtocolAgent> {
     /// Sum of transmit airtime over sent frames.
     mac_airtime: SimDuration,
     /// Pending timers keyed by (node, session, kind, key).
-    timers: HashMap<(u16, u16, u64, u64), ssmcast_dessim::EventId>,
+    timers: HashMap<(u32, u16, u64, u64), ssmcast_dessim::EventId>,
     /// Snapshot built for the latest probed instant, reused across the observer
     /// notifications of a simultaneous fault burst (positions cannot change within one
     /// timestamp, and a burst at n = 500 would otherwise rebuild the spatial index once
@@ -248,6 +261,11 @@ pub struct NetworkSim<A: ProtocolAgent> {
     traces: Vec<Trace>,
     scratch_actions: Vec<Action<A::Payload>>,
     scratch_receivers: Vec<NodeId>,
+    /// Probe-assembly scratch, reused across epochs (a fault burst at n = 100k would
+    /// otherwise allocate three fleet-sized vectors per probed instant).
+    probe_parents: Vec<Option<NodeId>>,
+    probe_alive: Vec<bool>,
+    probe_blacked: Vec<bool>,
 }
 
 impl<A: ProtocolAgent> NetworkSim<A> {
@@ -296,6 +314,9 @@ impl<A: ProtocolAgent> NetworkSim<A> {
             probe_snapshot: None,
             scratch_actions: Vec::with_capacity(16),
             scratch_receivers: Vec::with_capacity(16),
+            probe_parents: Vec::new(),
+            probe_alive: Vec::new(),
+            probe_blacked: Vec::new(),
             crashed: vec![false; n],
             duty,
             accrued_until: vec![SimTime::ZERO; n],
@@ -407,7 +428,7 @@ impl<A: ProtocolAgent> NetworkSim<A> {
         if self.batteries[i].is_depleted() {
             return;
         }
-        let awake = self.duty.awake_between(NodeId(i as u16), from, t);
+        let awake = self.duty.awake_between(NodeId(i as u32), from, t);
         let asleep = t.saturating_since(from) - awake;
         let lc = self.setup.lifecycle;
         if lc.idle_listen_w > 0.0 {
@@ -688,14 +709,17 @@ impl<A: ProtocolAgent> NetworkSim<A> {
         }
         let snapshot = &self.probe_snapshot.as_ref().expect("primed above").1;
         let n = self.setup.n_nodes;
-        let parents: Vec<Option<NodeId>> =
-            self.agents.iter().map(ProtocolAgent::tree_parent).collect();
-        let alive: Vec<bool> =
-            (0..n).map(|i| !self.crashed[i] && !self.batteries[i].is_depleted()).collect();
+        self.probe_parents.clear();
+        self.probe_parents.extend(self.agents.iter().map(ProtocolAgent::tree_parent));
+        self.probe_alive.clear();
+        self.probe_alive
+            .extend((0..n).map(|i| !self.crashed[i] && !self.batteries[i].is_depleted()));
         // Blackout is reported separately from liveness: a blacked-out node still runs
         // (and still counts as a member to serve), its links are just unusable.
-        let blacked_out: Vec<bool> =
-            (0..n).map(|i| self.medium.is_blacked_out(NodeId(i as u16), t)).collect();
+        self.probe_blacked.clear();
+        self.probe_blacked.extend((0..n).map(|i| self.medium.is_blacked_out(NodeId(i as u32), t)));
+        let (parents, alive, blacked_out): (&[_], &[bool], &[bool]) =
+            (&self.probe_parents, &self.probe_alive, &self.probe_blacked);
         // One view per session: that session's parents, its churn-updated roles, and
         // its own running counters (so per-session recovery accounting does not charge
         // one session with another's traffic).
@@ -712,8 +736,8 @@ impl<A: ProtocolAgent> NetworkSim<A> {
             now: t,
             snapshot,
             sessions: &sessions,
-            alive: &alive,
-            blacked_out: &blacked_out,
+            alive,
+            blacked_out,
             control_packets: self.control_packets_sent(),
             data_packets: self.data_packets_sent(),
             energy_j: self.energy_consumed_j(),
@@ -1029,12 +1053,17 @@ impl<A: ProtocolAgent> NetworkSim<A> {
         duration: SimDuration,
         probe: Option<&mut dyn StabilizationObserver>,
     ) -> SimReport {
+        if self.setup.engine.is_parallel() {
+            return shard::run_sharded(self, duration, probe);
+        }
+        let wall = std::time::Instant::now();
+        let mut peak_depth: u64 = 0;
         let horizon = SimTime::ZERO + duration;
         // Start every agent at time zero, session-major (session 0 first keeps the
         // single-session event order of the pre-refactor runtime).
         for session in 0..self.setup.n_sessions() {
             for i in 0..self.setup.n_nodes {
-                self.make_ctx_and_call(session, NodeId(i as u16), SimTime::ZERO, |agent, ctx| {
+                self.make_ctx_and_call(session, NodeId(i as u32), SimTime::ZERO, |agent, ctx| {
                     agent.start(ctx)
                 });
             }
@@ -1089,6 +1118,9 @@ impl<A: ProtocolAgent> NetworkSim<A> {
         let mut next_sample =
             if self.lifetime_tracking() { Some(SimTime::ZERO + sample_epoch) } else { None };
         loop {
+            if self.setup.engine.stats {
+                peak_depth = peak_depth.max(self.sim.pending() as u64);
+            }
             let next_aux = match (next_probe, next_sample) {
                 (Some(p), Some(s)) => Some(p.min(s)),
                 (p, s) => p.or(s),
@@ -1133,6 +1165,15 @@ impl<A: ProtocolAgent> NetworkSim<A> {
         // energy histogram and total-energy figures describe the whole run.
         self.accrue_all(horizon);
         let mut report = self.report(duration);
+        if self.setup.engine.stats {
+            report.engine = Some(EngineStats::from_counts(
+                0,
+                vec![self.sim.events_processed()],
+                peak_depth,
+                0,
+                wall.elapsed().as_secs_f64(),
+            ));
+        }
         if let Some(observer) = probe {
             report.convergence = observer.finish(horizon);
             if let Some(groups) = report.groups.as_mut() {

@@ -76,7 +76,7 @@ impl TopologySnapshot {
 
     /// Iterate over all node ids.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.positions.len() as u16).map(NodeId)
+        (0..self.positions.len() as u32).map(NodeId)
     }
 
     /// True if the whole graph is connected (trivially true for 0 or 1 nodes).

@@ -39,7 +39,7 @@ pub struct SpatialIndex {
     /// CSR layout: `starts[c]..starts[c + 1]` indexes `items` for cell `c` (row-major).
     starts: Vec<u32>,
     /// Node ids grouped by cell, ascending within each cell.
-    items: Vec<u16>,
+    items: Vec<u32>,
     /// Scratch cursor reused across rebuilds.
     cursor: Vec<u32>,
 }
@@ -110,7 +110,7 @@ impl SpatialIndex {
         // counting sort).
         for (i, p) in positions.iter().enumerate() {
             let c = self.cell_of(p);
-            self.items[self.cursor[c] as usize] = i as u16;
+            self.items[self.cursor[c] as usize] = i as u32;
             self.cursor[c] += 1;
         }
     }
@@ -185,7 +185,7 @@ mod tests {
     /// The reference implementation the index must match exactly.
     fn brute_force(center: Vec2, radius: f64, positions: &[Vec2]) -> Vec<NodeId> {
         let r2 = radius * radius;
-        (0..positions.len() as u16)
+        (0..positions.len() as u32)
             .map(NodeId)
             .filter(|id| positions[id.index()].distance_sq(&center) <= r2)
             .collect()

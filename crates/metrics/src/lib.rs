@@ -7,6 +7,7 @@
 #![warn(missing_docs)]
 
 pub mod convergence;
+pub mod engine;
 pub mod group;
 pub mod lifetime;
 pub mod mac;
@@ -14,6 +15,7 @@ pub mod series;
 pub mod stats;
 
 pub use convergence::ConvergenceStats;
+pub use engine::EngineStats;
 pub use group::GroupStats;
 pub use lifetime::{LifetimeStats, RESIDUAL_HISTOGRAM_BINS};
 pub use mac::MacStats;

@@ -158,6 +158,20 @@ impl Experiment {
         self
     }
 
+    /// Override the event-loop engine for every run in the grid, including columns from
+    /// an earlier [`Experiment::sweep`] call. The default sequential engine reproduces
+    /// earlier builds byte for byte; [`ssmcast_manet::EngineConfig::sharded`] runs each
+    /// cell on the region-parallel engine (shard-count invariant results).
+    pub fn engine(mut self, engine: ssmcast_manet::EngineConfig) -> Self {
+        self.base.engine = engine;
+        if let Some(columns) = &mut self.columns {
+            for (_, scenario) in columns.iter_mut() {
+                scenario.engine = engine;
+            }
+        }
+        self
+    }
+
     /// Number of repetitions per cell (at least 1; each gets a derived seed).
     pub fn reps(mut self, reps: usize) -> Self {
         self.reps = reps.max(1);

@@ -67,7 +67,7 @@ impl FnProtocol {
                 let mut agents: Vec<A> = Vec::with_capacity(setup.n_sessions() * scenario.n_nodes);
                 for _session in 0..setup.n_sessions() {
                     for i in 0..scenario.n_nodes {
-                        agents.push(make_agent(scenario, NodeId(i as u16)));
+                        agents.push(make_agent(scenario, NodeId(i as u32)));
                     }
                 }
                 let horizon = SimDuration::from_secs_f64(scenario.duration_s);

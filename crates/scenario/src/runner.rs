@@ -84,7 +84,7 @@ pub fn build_churn(
         member[node] = !member[node];
         events.push(MembershipEvent {
             at: SimTime::from_secs_f64(t),
-            node: NodeId(node as u16),
+            node: NodeId(node as u32),
             change,
         });
     }
@@ -149,7 +149,7 @@ pub fn build_setup(scenario: &Scenario, seeds: SeedSequence) -> SimSetup {
             let churn = build_churn(scenario, &seeds, g, &roles);
             let traffic = TrafficConfig {
                 group: GroupId(g as u16),
-                source: NodeId((g % scenario.n_nodes.max(1)) as u16),
+                source: NodeId((g % scenario.n_nodes.max(1)) as u32),
                 data_rate_bps: scenario.data_rate_bps,
                 packet_size_bytes: scenario.packet_size_bytes,
                 start: SimTime::from_secs_f64(scenario.warmup_s),
@@ -172,6 +172,7 @@ pub fn build_setup(scenario: &Scenario, seeds: SeedSequence) -> SimSetup {
         mac: scenario.mac,
         seeds,
         medium: scenario.medium,
+        engine: scenario.engine,
     }
 }
 
@@ -287,7 +288,7 @@ mod tests {
         assert!(setup.has_group_dynamics());
         for (g, session) in setup.sessions.iter().enumerate() {
             assert_eq!(session.traffic.group, GroupId(g as u16));
-            assert_eq!(session.traffic.source, NodeId(g as u16));
+            assert_eq!(session.traffic.source, NodeId(g as u32));
             assert!(matches!(session.roles[g], GroupRole::Source));
             assert!(!session.churn.is_empty(), "session {g} churns");
         }

@@ -3,7 +3,9 @@
 use serde::{Deserialize, Serialize};
 use ssmcast_core::MetricKind;
 use ssmcast_dessim::SimDuration;
-use ssmcast_manet::{FaultPlanSpec, LifecycleConfig, MacConfig, MediumConfig, RadioConfig};
+use ssmcast_manet::{
+    EngineConfig, FaultPlanSpec, LifecycleConfig, MacConfig, MediumConfig, RadioConfig,
+};
 
 /// Which multicast protocol to run on a scenario.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Serialize, Deserialize)]
@@ -149,6 +151,10 @@ pub struct Scenario {
     /// uniform random jitter with stats reporting off) reproduces pre-MAC reports byte
     /// for byte; CSMA and self-stabilizing TDMA attach a `MacStats` block.
     pub mac: MacConfig,
+    /// Event-loop engine: the default sequential loop reproduces earlier builds byte
+    /// for byte; [`EngineConfig::sharded`] runs the region-parallel engine, whose
+    /// reports are invariant in the shard count.
+    pub engine: EngineConfig,
     /// Master seed; repetitions derive child seeds from it.
     pub seed: u64,
 }
@@ -178,6 +184,7 @@ impl Scenario {
             medium: MediumConfig::default(),
             faults: FaultPlanSpec::none(),
             mac: MacConfig::default(),
+            engine: EngineConfig::default(),
             seed: 0x55_5357,
         }
     }
@@ -203,6 +210,18 @@ impl Scenario {
     /// The same scenario under a different medium-access policy.
     pub fn with_mac(mut self, mac: MacConfig) -> Self {
         self.mac = mac;
+        self
+    }
+
+    /// The same scenario under a different event-loop engine.
+    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The same scenario on the sharded engine with `shards` worker threads.
+    pub fn with_shards(mut self, shards: u32) -> Self {
+        self.engine = EngineConfig { shards: shards.max(1), ..self.engine };
         self
     }
 

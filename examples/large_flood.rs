@@ -1,13 +1,25 @@
-//! Scaling demonstration: flooding at n = 500 under the radio medium layer.
+//! Scaling demonstration: blind flooding at large n, sequential and sharded.
 //!
-//! Runs the same large flooding scenario twice — once with the brute-force O(n) receiver
-//! scan and once with the grid-indexed O(k) path — and prints wall-clock time and
-//! events/sec for each, plus the (identical) delivery statistics. Reproduces the perf
-//! claim from the command line:
+//! With no arguments, runs the legacy n = 1200 comparison — the same scenario once with
+//! the brute-force O(n) receiver scan and once with the grid-indexed O(k) path — and
+//! prints wall-clock time and events/sec for each, plus the (identical) delivery
+//! statistics:
 //!
 //! ```text
 //! cargo run --release --example large_flood
 //! ```
+//!
+//! With arguments, runs the flood at a chosen node count under one or more engine
+//! configurations (`0` = the sequential engine, `k > 0` = the region-sharded engine with
+//! `k` worker threads) and prints the speedup of every later run over the first:
+//!
+//! ```text
+//! cargo run --release --example large_flood -- 20000 0 8    # n=20k, sequential vs 8 shards
+//! cargo run --release --example large_flood -- 100000 8     # n=100k on 8 shards
+//! ```
+//!
+//! The field is scaled with √n to hold node density (≈ 13 neighbours at 250 m range)
+//! constant, so per-node work stays comparable across n.
 
 use std::time::Instant;
 
@@ -32,38 +44,86 @@ fn large_scenario() -> Scenario {
     s
 }
 
-fn run_once(label: &str, medium: MediumConfig) -> (u64, f64) {
+/// The same flood at `n` nodes: field scaled with √n for constant density, simulated
+/// time shortened at very large n so the n = 100k configuration finishes in minutes.
+fn scaled_scenario(n: usize) -> Scenario {
     let mut s = large_scenario();
-    s.medium = medium;
+    s.n_nodes = n;
+    s.area_side_m = 4_200.0 * (n as f64 / 1_200.0).sqrt();
+    if n >= 50_000 {
+        s.duration_s = 1.0;
+        s.warmup_s = 0.2;
+    }
+    s
+}
+
+fn run_once(s: &Scenario, label: &str) -> (u64, f64) {
     let seeds = SeedSequence::new(s.seed);
-    let setup = build_setup(&s, seeds);
-    let mobility = build_mobility(&s, &seeds);
+    let setup = build_setup(s, seeds);
+    let mobility = build_mobility(s, &seeds);
     let agents = (0..s.n_nodes).map(|_| FloodingAgent::new()).collect();
     let mut sim = NetworkSim::new(setup, mobility, agents);
     let start = Instant::now();
     let report = sim.run(SimDuration::from_secs_f64(s.duration_s));
     let wall = start.elapsed();
-    let events = sim.events_processed();
+    let engine = report.engine.as_ref().expect("stats-on run attaches an engine block");
+    let events = engine.events_processed;
     let rate = events as f64 / wall.as_secs_f64();
     println!(
-        "{label:<22} {events:>9} events in {:>8.1?}  →  {rate:>10.0} events/s   \
+        "{label:<22} {events:>10} events in {:>8.1?}  →  {rate:>10.0} events/s   \
          (generated {}, pdr {:.3})",
         wall, report.generated, report.pdr
     );
-    (events, rate)
+    (events, wall.as_secs_f64())
 }
 
-fn main() {
+/// Legacy mode: brute-force vs grid receiver queries on the sequential engine.
+fn query_mode_comparison() {
     let s = large_scenario();
     println!(
         "flooding, n = {}, {:.0} m field, {:.0} s simulated, position epoch {}",
         s.n_nodes, s.area_side_m, s.duration_s, s.medium.position_epoch
     );
     let epoch = s.medium.position_epoch;
-    let (ev_brute, rate_brute) =
-        run_once("brute-force scan", MediumConfig::brute_force().with_epoch(epoch));
-    let (ev_grid, rate_grid) =
-        run_once("grid spatial index", MediumConfig::grid().with_epoch(epoch));
+    let mut brute = s;
+    brute.medium = MediumConfig::brute_force().with_epoch(epoch);
+    brute.engine = brute.engine.with_stats();
+    let (ev_brute, wall_brute) = run_once(&brute, "brute-force scan");
+    let mut grid = s;
+    grid.medium = MediumConfig::grid().with_epoch(epoch);
+    grid.engine = grid.engine.with_stats();
+    let (ev_grid, wall_grid) = run_once(&grid, "grid spatial index");
     assert_eq!(ev_brute, ev_grid, "query modes must process identical event streams");
-    println!("speedup: {:.2}x", rate_grid / rate_brute);
+    println!("speedup: {:.2}x", wall_brute / wall_grid);
+}
+
+fn main() {
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().unwrap_or_else(|_| panic!("expected an integer, got {a:?}")))
+        .collect();
+    let Some((&n, rest)) = args.split_first() else {
+        query_mode_comparison();
+        return;
+    };
+    let shard_counts: Vec<usize> = if rest.is_empty() { vec![0, 8] } else { rest.to_vec() };
+    let s = scaled_scenario(n);
+    println!(
+        "flooding, n = {}, {:.0} m field, {:.1} s simulated",
+        s.n_nodes, s.area_side_m, s.duration_s
+    );
+    let mut first_wall: Option<f64> = None;
+    for &k in &shard_counts {
+        let label = if k == 0 { "sequential".to_string() } else { format!("{k} shards") };
+        let mut run = s;
+        if k > 0 {
+            run = run.with_shards(k as u32);
+        }
+        run.engine = run.engine.with_stats();
+        let (_, wall) = run_once(&run, &label);
+        match first_wall {
+            None => first_wall = Some(wall),
+            Some(base) => println!("{:<22} {:.2}x vs the first run", "  speedup", base / wall),
+        }
+    }
 }

@@ -104,7 +104,7 @@ fn all_ss_variants_build_working_trees_on_the_static_grid() {
         );
         // The stabilized agents must agree on a loop-free structure: follow parents from
         // every node and confirm the walk reaches the source.
-        for i in 1..9u16 {
+        for i in 1..9u32 {
             let mut cur = NodeId(i);
             let mut hops = 0;
             while let Some(p) = sim.agent(cur).parent() {

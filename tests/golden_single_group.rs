@@ -40,6 +40,9 @@ fn single_group_reports_match_the_pre_refactor_golden_bytes() {
     // Likewise for the MAC layer: the default random-jitter policy must not attach a
     // stats block, keeping pre-MAC reports byte-identical.
     assert!(!now.contains("\"mac\""), "MacStats block leaked into a default-policy run");
+    // And for the engine: the default sequential loop with stats off must not attach an
+    // EngineStats block — the pre-sharding golden bytes are the contract.
+    assert!(!now.contains("\"engine\""), "EngineStats block leaked into a default-engine run");
 }
 
 /// Regenerate the golden file (run manually: `GOLDEN_WRITE=1 cargo test --test

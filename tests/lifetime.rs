@@ -17,8 +17,7 @@ use ssmcast::scenario::{
     run_protocol, run_single_cell, FigureId, Metric, MobilityKind, ProtocolKind, ProtocolRegistry,
     Scenario,
 };
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// The acceptance criterion of the lifetime workload: on the `FigLifetime` preset the
 /// energy-aware tree keeps its first node alive at least as long as the hop tree, which
@@ -90,7 +89,7 @@ fn unlimited_battery_lifecycle_off_runs_carry_no_lifetime_block() {
 /// test can prove no callback ever reaches a dead node.
 struct RecordingFlood {
     seen: std::collections::HashSet<u64>,
-    log: Rc<RefCell<Vec<(NodeId, SimTime)>>>,
+    log: Arc<Mutex<Vec<(NodeId, SimTime)>>>,
 }
 
 impl ProtocolAgent for RecordingFlood {
@@ -99,7 +98,7 @@ impl ProtocolAgent for RecordingFlood {
     fn start(&mut self, _ctx: &mut NodeCtx<'_, ()>) {}
 
     fn on_packet(&mut self, ctx: &mut NodeCtx<'_, ()>, packet: &Packet<()>) -> Disposition {
-        self.log.borrow_mut().push((ctx.id, ctx.now));
+        self.log.lock().unwrap().push((ctx.id, ctx.now));
         let Some(tag) = packet.data else { return Disposition::Discarded };
         if !self.seen.insert(tag.seq) {
             return Disposition::Discarded;
@@ -112,11 +111,11 @@ impl ProtocolAgent for RecordingFlood {
     }
 
     fn on_timer(&mut self, ctx: &mut NodeCtx<'_, ()>, _kind: u64, _key: u64) {
-        self.log.borrow_mut().push((ctx.id, ctx.now));
+        self.log.lock().unwrap().push((ctx.id, ctx.now));
     }
 
     fn on_app_data(&mut self, ctx: &mut NodeCtx<'_, ()>, tag: DataTag, size: u32) {
-        self.log.borrow_mut().push((ctx.id, ctx.now));
+        self.log.lock().unwrap().push((ctx.id, ctx.now));
         self.seen.insert(tag.seq);
         ctx.broadcast_data(size, ctx.radio.max_range_m, tag, ());
     }
@@ -181,14 +180,15 @@ fn dead_nodes_never_transmit_receive_or_appear_alive() {
         FaultPlan::new(),
     );
     setup.lifecycle = setup.lifecycle.with_idle_power(5e-3, 0.0);
-    let log = Rc::new(RefCell::new(Vec::new()));
-    let agents =
-        (0..n).map(|_| RecordingFlood { seen: Default::default(), log: Rc::clone(&log) }).collect();
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let agents = (0..n)
+        .map(|_| RecordingFlood { seen: Default::default(), log: Arc::clone(&log) })
+        .collect();
     let mut sim = NetworkSim::new(setup, mobility, agents);
     let mut observer = AliveRecorder::default();
     let report = sim.run_probed(SimDuration::from_secs(30), &mut observer);
 
-    let deaths: Vec<Option<SimTime>> = (0..n).map(|i| sim.death_time(NodeId(i as u16))).collect();
+    let deaths: Vec<Option<SimTime>> = (0..n).map(|i| sim.death_time(NodeId(i as u32))).collect();
     assert!(deaths.iter().filter(|d| d.is_some()).count() >= 2, "tiny batteries kill nodes");
     let lifetime = report.lifetime.as_ref().expect("finite batteries track lifetime");
     assert_eq!(lifetime.deaths as usize, deaths.iter().filter(|d| d.is_some()).count());
@@ -198,14 +198,14 @@ fn dead_nodes_never_transmit_receive_or_appear_alive() {
     );
 
     // No protocol callback (reception, timer, app send) ever reached a dead node.
-    for &(node, at) in log.borrow().iter() {
+    for &(node, at) in log.lock().unwrap().iter() {
         if let Some(died) = deaths[node.index()] {
             assert!(at <= died, "{node:?} saw a callback at {at} after dying at {died}");
         }
     }
     // The battery books exactly its capacity, never more (the documented clamp).
     for (i, death) in deaths.iter().enumerate() {
-        let b = sim.battery(NodeId(i as u16));
+        let b = sim.battery(NodeId(i as u32));
         assert!(b.consumed() <= 2.0 + 1e-12, "node {i} consumed {}", b.consumed());
         if death.is_some() {
             assert!(b.is_depleted());
@@ -314,7 +314,7 @@ proptest! {
         let cfg = DutyCycleConfig::new(SimDuration::from_millis(period_ms), fraction);
         let a = DutySchedule::from_seeds(&cfg, 6, &SeedSequence::new(seed));
         let b = DutySchedule::from_seeds(&cfg, 6, &SeedSequence::new(seed));
-        for i in 0..6u16 {
+        for i in 0..6u32 {
             let node = NodeId(i);
             for k in 0..40u64 {
                 let t = SimTime::ZERO + SimDuration::from_millis(k * 73);

@@ -30,7 +30,7 @@ fn multi_group_reports_carry_one_block_per_session() {
     assert_eq!(groups.len(), 3);
     for (g, block) in groups.iter().enumerate() {
         assert_eq!(block.group, g as u16);
-        assert_eq!(block.source, g as u16, "session g is sourced at node g");
+        assert_eq!(block.source, g as u32, "session g is sourced at node g");
         assert!(block.generated > 100, "session {g} generates CBR traffic");
         assert!(block.pdr > 0.0 && block.pdr <= 1.01, "session {g} pdr={}", block.pdr);
         assert!(block.membership_events() > 0, "session {g} churned");

@@ -1,0 +1,150 @@
+//! Shard-count invariance: the region-parallel engine must produce **byte-identical**
+//! serialized reports for every shard count — `shards ∈ {1, 2, 8}` are all the same
+//! run, merely partitioned differently. (The sharded engine is deliberately *not*
+//! byte-compared against the sequential engine: it quantizes position refreshes to the
+//! synchronization window and draws channel loss from per-sender streams — see
+//! EXPERIMENTS.md, "Sharded engine".)
+//!
+//! Engine stats stay **off** here: `events_per_sec` is wall-clock derived and would
+//! break byte equality between otherwise identical runs.
+
+use proptest::prelude::*;
+use ssmcast::core::MetricKind;
+use ssmcast::manet::{FaultPlanSpec, MacConfig};
+use ssmcast::scenario::{base_scenario_for, run_protocol, FigureId, ProtocolKind, Scenario};
+
+const SHARD_COUNTS: [u32; 3] = [1, 2, 8];
+
+/// Serialize the scenario's report on the sharded engine with `shards` workers.
+fn rendered(scenario: &Scenario, shards: u32, kind: ProtocolKind) -> String {
+    let sharded = (*scenario).with_shards(shards);
+    let report = run_protocol(&sharded, kind.to_protocol().as_ref());
+    serde_json::to_string(&report).expect("reports serialize")
+}
+
+/// Assert the serialized report is invariant across `SHARD_COUNTS`.
+fn assert_shard_invariant(scenario: &Scenario, kind: ProtocolKind, label: &str) {
+    let baseline = rendered(scenario, SHARD_COUNTS[0], kind);
+    for &k in &SHARD_COUNTS[1..] {
+        let other = rendered(scenario, k, kind);
+        assert_eq!(
+            baseline, other,
+            "{label}: report at {k} shards diverged from {} shards",
+            SHARD_COUNTS[0]
+        );
+    }
+}
+
+/// A short harness-friendly run: every figure preset's physics, compressed in time so
+/// the full matrix stays fast.
+fn shorten(mut s: Scenario) -> Scenario {
+    s.duration_s = 20.0;
+    s.warmup_s = s.warmup_s.min(2.0);
+    s
+}
+
+#[test]
+fn every_figure_preset_is_shard_count_invariant() {
+    for fig in FigureId::ALL {
+        let spec = fig.spec();
+        let mut s = shorten(base_scenario_for(&spec));
+        // Exercise the preset at its first swept x-value, under its first protocol —
+        // one cell of the figure grid, with that figure's fixed parameters.
+        spec.swept.apply(&mut s, spec.xs[0]);
+        let kind = spec.protocols[0];
+        assert_shard_invariant(&s, kind, spec.title);
+    }
+}
+
+#[test]
+fn every_mac_policy_is_shard_count_invariant() {
+    for (name, mac) in [
+        ("random-jitter", MacConfig::default().with_stats()),
+        ("csma", MacConfig::csma()),
+        ("ss-tdma", MacConfig::ss_tdma()),
+    ] {
+        let s = shorten(Scenario::quick_test()).with_mac(mac);
+        assert_shard_invariant(&s, ProtocolKind::SsSpst(MetricKind::EnergyAware), name);
+    }
+}
+
+#[test]
+fn fault_plans_are_shard_count_invariant() {
+    // All four fault kinds at once, probed: corruption bursts, crashes (+rejoins),
+    // link blackouts and battery-drain spikes on finite batteries.
+    let mut faults = FaultPlanSpec::none();
+    faults.corruption_bursts = 2;
+    faults.corruption_fraction = 0.3;
+    faults.crashes = 2;
+    faults.crash_downtime_s = 3.0;
+    faults.blackouts = 2;
+    faults.blackout_duration_s = 2.0;
+    faults.battery_drains = 2;
+    faults.drain_joules = 5.0;
+    faults.window_start_s = 3.0;
+    faults.window_end_s = 15.0;
+    let s = shorten(Scenario::quick_test()).with_faults(faults).with_battery_capacity(50.0);
+    for kind in [ProtocolKind::Flooding, ProtocolKind::SsSpst(MetricKind::EnergyAware)] {
+        assert_shard_invariant(&s, kind, "fault plan");
+    }
+}
+
+#[test]
+fn churning_multi_group_runs_are_shard_count_invariant() {
+    let s = shorten(Scenario::quick_test()).with_groups(3).with_churn_rate(0.4);
+    assert_shard_invariant(&s, ProtocolKind::Odmrp, "multi-group churn");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// Different seeds draw different topologies/mobility; each must still be
+    /// shard-count invariant. Byte-identical serialized reports imply identical
+    /// per-session traces (delivery counts, energy, delay, per-group blocks).
+    #[test]
+    fn random_topologies_yield_identical_traces_across_shard_counts(
+        seed in 0u64..1_000_000,
+        n_nodes in 20usize..=45,
+    ) {
+        let mut s = shorten(Scenario::quick_test());
+        s.duration_s = 15.0;
+        s.seed = seed;
+        s.n_nodes = n_nodes;
+        assert_shard_invariant(&s, ProtocolKind::Flooding, "random topology");
+    }
+}
+
+#[test]
+fn sequential_and_sharded_default_reports_omit_engine_stats() {
+    let s = shorten(Scenario::quick_test());
+    let seq =
+        serde_json::to_string(&run_protocol(&s, ProtocolKind::Flooding.to_protocol().as_ref()))
+            .expect("reports serialize");
+    assert!(!seq.contains("\"engine\""), "stats-off sequential report grew an engine block");
+    let sharded = rendered(&s, 2, ProtocolKind::Flooding);
+    assert!(!sharded.contains("\"engine\""), "stats-off sharded report grew an engine block");
+}
+
+#[test]
+fn engine_stats_block_reports_the_shard_layout() {
+    let s = shorten(Scenario::quick_test());
+    let sharded = s.with_shards(4);
+    let sharded = Scenario { engine: sharded.engine.with_stats(), ..sharded };
+    let report = run_protocol(&sharded, ProtocolKind::Flooding.to_protocol().as_ref());
+    let engine = report.engine.expect("stats-on run must attach an engine block");
+    assert_eq!(engine.shards, 4);
+    assert_eq!(engine.shard_event_counts.len(), 4);
+    assert_eq!(engine.events_processed, engine.shard_event_counts.iter().sum::<u64>());
+    assert!(engine.events_processed > 0);
+    assert!(engine.sync_rounds > 0);
+    assert!(engine.peak_queue_depth > 0);
+    assert!(engine.imbalance_ratio >= 1.0);
+
+    let seq = Scenario { engine: s.engine.with_stats(), ..s };
+    let report = run_protocol(&seq, ProtocolKind::Flooding.to_protocol().as_ref());
+    let engine = report.engine.expect("stats-on sequential run must attach an engine block");
+    assert_eq!(engine.shards, 0);
+    assert_eq!(engine.shard_event_counts.len(), 1);
+    assert_eq!(engine.sync_rounds, 0);
+    assert!(engine.events_processed > 0);
+}
