@@ -5,7 +5,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use ssmcast_core::{cost_via, figure1_topology, MetricKind, MetricParams, ParentView, SyncModel};
 use ssmcast_dessim::{SimDuration, SimTime, Simulator};
-use ssmcast_manet::{FaultPlanSpec, MacConfig, MediumConfig};
+use ssmcast_manet::{FaultPlanSpec, MacConfig, MediumConfig, SilenceConfig};
 use ssmcast_scenario::{run_protocol, ProtocolKind, Scenario};
 
 fn bench_event_queue(c: &mut Criterion) {
@@ -277,6 +277,38 @@ fn bench_sharded_engine(c: &mut Criterion) {
     group.finish();
 }
 
+/// Beacon suppression off vs on, SS-SPST-E at n = 500. Suppression prices the extra
+/// per-round silence bookkeeping plus the phase-split accounting — and on a short run
+/// mostly measures that the feature costs nothing when the network is still
+/// converging (the steady-state byte win needs long runs; see `tests/silence.rs`).
+fn bench_silence(c: &mut Criterion) {
+    let base = {
+        let mut s = Scenario::paper_default();
+        s.n_nodes = 500;
+        s.area_side_m = 2_800.0;
+        s.group_size = 40;
+        s.duration_s = 5.0;
+        s.warmup_s = 1.0;
+        s.medium = MediumConfig::grid().with_epoch(SimDuration::from_millis(200));
+        s
+    };
+    let mut group = c.benchmark_group("manet/silence_n500");
+    group.sample_size(3);
+    for (name, silence) in [("off", SilenceConfig::off()), ("on", SilenceConfig::on())] {
+        let scenario = base.with_silence(silence);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let report = run_protocol(
+                    black_box(&scenario),
+                    ProtocolKind::SsSpst(MetricKind::EnergyAware).to_protocol().as_ref(),
+                );
+                black_box(report)
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_event_queue,
@@ -287,6 +319,7 @@ criterion_group!(
     bench_multi_group,
     bench_energy_lifecycle,
     bench_mac,
-    bench_sharded_engine
+    bench_sharded_engine,
+    bench_silence
 );
 criterion_main!(benches);

@@ -16,11 +16,66 @@
 use crate::beacon::Beacon;
 use crate::metric::{cost_via, MetricKind, MetricParams, ParentView};
 use ssmcast_dessim::{SimDuration, SimTime};
-use ssmcast_manet::{DataTag, Disposition, NodeCtx, NodeId, Packet, ProtocolAgent, Vec2};
+use ssmcast_manet::{
+    DataTag, Disposition, NodeCtx, NodeId, Packet, ProtocolAgent, SilenceConfig, Vec2,
+};
 use std::collections::{HashMap, HashSet};
 
 /// Timer class used for the periodic beacon.
 const TIMER_BEACON: u64 = 1;
+
+/// Per-node bookkeeping for adaptive beacon suppression ("silent stabilization").
+///
+/// A node that has observed `quiet_rounds` consecutive beacon rounds with its local
+/// legitimacy predicate holding backs its beacon cadence off exponentially, up to the
+/// configured cap. Any evidence of illegitimacy — a neighbour appearing or expiring, a
+/// parent change, state corruption, or an overheard beacon inconsistent with the cached
+/// neighbour view — resets the state and snaps the cadence back to the base interval.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct SilenceState {
+    /// Consecutive quiet rounds observed since the last evidence.
+    quiet_rounds: u32,
+    /// Current backoff level; the beacon interval is `base * factor^level` (capped).
+    level: u32,
+    /// Evidence of illegitimacy seen since the last round closed.
+    evidence: bool,
+}
+
+impl SilenceState {
+    /// The beacon interval at the current backoff level.
+    pub(crate) fn interval(&self, cfg: &SilenceConfig, base: SimDuration) -> SimDuration {
+        cfg.interval_at(base, self.level)
+    }
+
+    /// Record evidence of illegitimacy. Returns true when the beacon timer was backed
+    /// off, i.e. the caller must cancel it and reschedule at the base cadence.
+    pub(crate) fn note_evidence(&mut self) -> bool {
+        let was_suppressed = self.level > 0;
+        self.evidence = true;
+        self.quiet_rounds = 0;
+        self.level = 0;
+        was_suppressed
+    }
+
+    /// Close one beacon round: a round is quiet when the local legitimacy predicate
+    /// held and no evidence arrived since the previous round.
+    pub(crate) fn close_round(&mut self, cfg: &SilenceConfig, locally_legitimate: bool) {
+        if !cfg.enabled {
+            return;
+        }
+        let quiet = locally_legitimate && !self.evidence;
+        self.evidence = false;
+        if quiet {
+            self.quiet_rounds = self.quiet_rounds.saturating_add(1);
+            if self.quiet_rounds >= cfg.quiet_rounds {
+                self.level = (self.level + 1).min(64);
+            }
+        } else {
+            self.quiet_rounds = 0;
+            self.level = 0;
+        }
+    }
+}
 
 /// Wire payload of the SS-SPST family: either a beacon or a data frame (whose application
 /// identity travels in [`ssmcast_manet::Packet::data`]).
@@ -49,6 +104,9 @@ pub struct SsSpstConfig {
     /// A node abandons a still-valid parent only for a relative improvement larger than
     /// this (hysteresis against tree flapping).
     pub switch_margin: f64,
+    /// Adaptive beacon suppression. Off by default, which keeps the classic wire
+    /// format and cadence byte for byte.
+    pub silence: SilenceConfig,
 }
 
 impl SsSpstConfig {
@@ -62,6 +120,7 @@ impl SsSpstConfig {
             neighbor_timeout_intervals: 2.5,
             range_margin: 1.10,
             switch_margin: 0.05,
+            silence: SilenceConfig::off(),
         }
     }
 
@@ -87,6 +146,10 @@ struct NeighborEntry {
     /// Distances to the neighbour's potential overhearers (SS-SPST-E beacons only).
     non_member_neighbor_distances: Vec<f64>,
     last_heard: SimTime,
+    /// Staleness bound for this entry. Scales with the neighbour's advertised
+    /// next-beacon bound under suppression, so a correctly silent neighbour is not
+    /// falsely expired.
+    timeout: SimDuration,
 }
 
 /// The per-node SS-SPST protocol state machine.
@@ -103,6 +166,7 @@ pub struct SsSpstAgent {
     seen_data: HashSet<u64>,
     parent_changes: u64,
     beacons_sent: u64,
+    silence: SilenceState,
 }
 
 impl SsSpstAgent {
@@ -120,6 +184,7 @@ impl SsSpstAgent {
             seen_data: HashSet::new(),
             parent_changes: 0,
             beacons_sent: 0,
+            silence: SilenceState::default(),
         }
     }
 
@@ -167,13 +232,39 @@ impl SsSpstAgent {
         v
     }
 
-    fn neighbor_timeout(&self) -> SimDuration {
-        self.config.beacon_interval.mul_f64(self.config.neighbor_timeout_intervals)
+    /// Staleness bound for a neighbour that just sent `b`. With suppression enabled
+    /// the bound tracks the beacon's advertised next-beacon time, never less than the
+    /// configured interval; with suppression off it is the classic fixed timeout.
+    fn timeout_for(&self, b: &Beacon) -> SimDuration {
+        let base = if self.config.silence.enabled {
+            let interval_s = self.config.beacon_interval.as_secs_f64();
+            SimDuration::from_secs_f64(b.next_beacon_s.max(interval_s))
+        } else {
+            self.config.beacon_interval
+        };
+        base.mul_f64(self.config.neighbor_timeout_intervals)
     }
 
-    fn expire_neighbors(&mut self, now: SimTime) {
-        let timeout = self.neighbor_timeout();
-        self.neighbors.retain(|_, e| now.saturating_since(e.last_heard) <= timeout);
+    /// Drop stale neighbours; returns true when any entry expired (evidence of a
+    /// topology change under suppression).
+    fn expire_neighbors(&mut self, now: SimTime) -> bool {
+        let before = self.neighbors.len();
+        self.neighbors.retain(|_, e| now.saturating_since(e.last_heard) <= e.timeout);
+        self.neighbors.len() != before
+    }
+
+    /// The local legitimacy predicate of the silence detector: the source is always
+    /// legitimate; any other node is legitimate when it has a live parent and a
+    /// finite cost. Quiet rounds are rounds in which this predicate held and no
+    /// evidence (expiry, parent change, inconsistent beacon, corruption) arrived.
+    fn locally_legitimate(&self, ctx: &NodeCtx<'_, SsSpstPayload>) -> bool {
+        if ctx.is_source() {
+            return true;
+        }
+        match self.parent {
+            Some(p) => self.neighbors.contains_key(&p) && self.cost < self.infinity_cost,
+            None => false,
+        }
     }
 
     /// The `E_init` / hop bound used by the guarded commands, derived from network size
@@ -315,6 +406,7 @@ impl SsSpstAgent {
         } else {
             Vec::new()
         };
+        let interval = self.silence.interval(&self.config.silence, self.config.beacon_interval);
         let beacon = Beacon {
             position: ctx.position,
             cost: self.cost,
@@ -324,22 +416,31 @@ impl SsSpstAgent {
             has_downstream_member: self.has_downstream_member,
             children,
             non_member_neighbor_distances,
+            // The next beacon leaves at most 0.95·interval + 0.1·interval from now.
+            next_beacon_s: interval.mul_f64(1.05).as_secs_f64(),
         };
-        let size = beacon.wire_size(self.config.kind);
+        let size = beacon.advertised_wire_size(self.config.kind, self.config.silence.enabled);
         ctx.broadcast_control(size, ctx.radio.max_range_m, SsSpstPayload::Beacon(beacon));
         self.beacons_sent += 1;
     }
 
     fn schedule_next_beacon(&self, ctx: &mut NodeCtx<'_, SsSpstPayload>) {
         // Desynchronise beacons slightly so they do not all collide every interval.
-        let jitter = ctx.jitter(self.config.beacon_interval.mul_f64(0.1));
-        let delay = self.config.beacon_interval.mul_f64(0.95) + jitter;
+        let interval = self.silence.interval(&self.config.silence, self.config.beacon_interval);
+        let jitter = ctx.jitter(interval.mul_f64(0.1));
+        let delay = interval.mul_f64(0.95) + jitter;
         ctx.set_timer(delay, TIMER_BEACON, 0);
     }
 }
 
 impl NeighborEntry {
-    fn from_beacon(me: NodeId, my_pos: Vec2, b: &Beacon, now: SimTime) -> Self {
+    fn from_beacon(
+        me: NodeId,
+        my_pos: Vec2,
+        b: &Beacon,
+        now: SimTime,
+        timeout: SimDuration,
+    ) -> Self {
         let distance = my_pos.distance(&b.position);
         NeighborEntry {
             distance,
@@ -356,6 +457,7 @@ impl NeighborEntry {
                 .collect(),
             non_member_neighbor_distances: b.non_member_neighbor_distances.clone(),
             last_heard: now,
+            timeout,
         }
     }
 }
@@ -370,10 +472,11 @@ impl ProtocolAgent for SsSpstAgent {
             self.hop = 0;
         }
         self.has_downstream_member = ctx.is_member();
-        // First beacon goes out after a random fraction of the interval so the network does
-        // not fire in lockstep at t = 0.
-        let delay = ctx.jitter(self.config.beacon_interval);
-        ctx.set_timer(delay, TIMER_BEACON, 0);
+        // The first beacon uses the same 0.95·I + U(0, 0.1·I) draw as every later
+        // round, so the mean beacon period is exactly the configured interval from
+        // round one; the per-node jitter still desynchronises the network so beacons
+        // do not all fire in lockstep.
+        self.schedule_next_beacon(ctx);
     }
 
     fn on_packet(
@@ -383,7 +486,27 @@ impl ProtocolAgent for SsSpstAgent {
     ) -> Disposition {
         match &packet.payload {
             SsSpstPayload::Beacon(beacon) => {
-                let entry = NeighborEntry::from_beacon(ctx.id, ctx.position, beacon, ctx.now);
+                let timeout = self.timeout_for(beacon);
+                let entry =
+                    NeighborEntry::from_beacon(ctx.id, ctx.position, beacon, ctx.now, timeout);
+                if self.config.silence.enabled {
+                    // A brand-new neighbour, or a beacon disagreeing with the cached
+                    // view of the sender, is evidence the tree may be reshaping.
+                    let inconsistent = match self.neighbors.get(&packet.sender) {
+                        None => true,
+                        Some(prev) => {
+                            prev.parent_is_me != entry.parent_is_me
+                                || prev.hop != entry.hop
+                                || prev.member != entry.member
+                                || prev.has_downstream_member != entry.has_downstream_member
+                        }
+                    };
+                    if inconsistent && self.silence.note_evidence() {
+                        // Snap a backed-off beacon timer back to the base cadence.
+                        ctx.cancel_timer(TIMER_BEACON, 0);
+                        self.schedule_next_beacon(ctx);
+                    }
+                }
                 self.neighbors.insert(packet.sender, entry);
                 Disposition::Consumed
             }
@@ -411,9 +534,17 @@ impl ProtocolAgent for SsSpstAgent {
             return;
         }
         self.initialise_bounds(ctx);
-        self.expire_neighbors(ctx.now);
+        let expired = self.expire_neighbors(ctx.now);
+        let parent_before = self.parent;
         self.stabilize(ctx);
         self.refresh_downstream_flag(ctx);
+        if self.config.silence.enabled {
+            if expired || self.parent != parent_before {
+                self.silence.note_evidence();
+            }
+            let legitimate = self.locally_legitimate(ctx);
+            self.silence.close_round(&self.config.silence, legitimate);
+        }
         self.send_beacon(ctx);
         self.schedule_next_beacon(ctx);
     }
@@ -437,6 +568,9 @@ impl ProtocolAgent for SsSpstAgent {
     /// legitimate tree from *any* of these states.
     fn corrupt_state(&mut self, rng: &mut rand::rngs::StdRng) {
         use rand::Rng;
+        // Corruption is evidence of illegitimacy: a suppressed node resumes the base
+        // cadence at its next beacon round instead of staying silent while broken.
+        self.silence.note_evidence();
         let bound = if self.infinity_cost.is_finite() { self.infinity_cost * 2.0 } else { 1.0e6 };
         self.cost = rng.gen::<f64>() * bound;
         self.hop = rng.gen::<u32>();
@@ -453,6 +587,18 @@ impl ProtocolAgent for SsSpstAgent {
             entry.parent_is_me = rng.gen::<bool>();
             entry.has_downstream_member = rng.gen::<bool>();
         }
+    }
+
+    fn on_corrupted(&mut self, ctx: &mut NodeCtx<'_, SsSpstPayload>) {
+        if !self.config.silence.enabled {
+            return;
+        }
+        // `corrupt_state` already noted the evidence and reset the backoff level; the
+        // beacon timer armed under the old suppressed cadence would still keep the
+        // scrambled state invisible for up to the heartbeat floor. Re-arm it at the
+        // base interval so neighbours see the corruption within one beacon round.
+        ctx.cancel_timer(TIMER_BEACON, 0);
+        self.schedule_next_beacon(ctx);
     }
 }
 
@@ -471,9 +617,13 @@ mod tests {
 
     impl Harness {
         fn new() -> Self {
+            Self::with_seed(5)
+        }
+
+        fn with_seed(seed: u64) -> Self {
             Harness {
                 radio: RadioConfig::default(),
-                rng: StdRng::seed_from_u64(5),
+                rng: StdRng::seed_from_u64(seed),
                 actions: Vec::new(),
             }
         }
@@ -500,7 +650,18 @@ mod tests {
             has_downstream_member: downstream,
             children: vec![],
             non_member_neighbor_distances: vec![],
+            next_beacon_s: 2.0,
         }
+    }
+
+    fn timer_delay(actions: &[Action<SsSpstPayload>]) -> SimDuration {
+        actions
+            .iter()
+            .find_map(|a| match a {
+                Action::SetTimer { delay, kind: TIMER_BEACON, .. } => Some(*delay),
+                _ => None,
+            })
+            .expect("a beacon timer must be scheduled")
     }
 
     #[test]
@@ -720,5 +881,165 @@ mod tests {
                 .expect("beacon emitted")
         };
         assert!(run(MetricKind::EnergyAware) > run(MetricKind::Hop));
+    }
+
+    #[test]
+    fn first_beacon_uses_the_steady_state_cadence() {
+        // Satellite fix: the first beacon must draw from the same 0.95·I + U(0, 0.1·I)
+        // model as every later round, so the mean period is exactly the beacon
+        // interval from round one (it used to be U(0, I), mean I/2).
+        let interval = SimDuration::from_secs(2).as_secs_f64();
+        let reps = 300u64;
+        let mut sum = 0.0;
+        for seed in 0..reps {
+            let mut h = Harness::with_seed(seed);
+            let mut agent = SsSpstAgent::new(SsSpstConfig::paper_default(MetricKind::Hop));
+            {
+                let mut ctx = h.ctx(SimTime::ZERO, NodeId(1), Vec2::ZERO, GroupRole::Member);
+                agent.start(&mut ctx);
+            }
+            let first = timer_delay(&h.actions).as_secs_f64();
+            assert!(
+                (interval * 0.95..=interval * 1.05).contains(&first),
+                "first beacon delay {first} outside the steady-state cadence band"
+            );
+            {
+                let mut ctx =
+                    h.ctx(SimTime::from_secs(2), NodeId(1), Vec2::ZERO, GroupRole::Member);
+                agent.on_timer(&mut ctx, TIMER_BEACON, 0);
+            }
+            let steady = timer_delay(&h.actions).as_secs_f64();
+            assert!(
+                (interval * 0.95..=interval * 1.05).contains(&steady),
+                "steady-state delay {steady} outside the cadence band"
+            );
+            sum += first;
+        }
+        let mean = sum / reps as f64;
+        assert!(
+            (mean - interval).abs() < 0.02,
+            "mean first-beacon period {mean} should be the configured interval {interval}"
+        );
+    }
+
+    #[test]
+    fn quiet_rounds_back_the_beacon_cadence_off_to_the_cap() {
+        let mut config = SsSpstConfig::paper_default(MetricKind::Hop);
+        config.silence = SilenceConfig::on();
+        let mut h = Harness::new();
+        let mut agent = SsSpstAgent::new(config);
+        {
+            let mut ctx = h.ctx(SimTime::ZERO, NodeId(0), Vec2::ZERO, GroupRole::Source);
+            agent.start(&mut ctx);
+        }
+        let mut delays = Vec::new();
+        let mut sizes = Vec::new();
+        for round in 0..8u64 {
+            let mut ctx = h.ctx(
+                SimTime::from_secs(2 * (round + 1)),
+                NodeId(0),
+                Vec2::ZERO,
+                GroupRole::Source,
+            );
+            agent.on_timer(&mut ctx, TIMER_BEACON, 0);
+            delays.push(timer_delay(&h.actions).as_secs_f64());
+            sizes.push(
+                h.actions
+                    .iter()
+                    .find_map(|a| match a {
+                        Action::Broadcast { class: PacketClass::Control, size_bytes, .. } => {
+                            Some(*size_bytes)
+                        }
+                        _ => None,
+                    })
+                    .expect("beacon emitted"),
+            );
+        }
+        assert!(delays[0] <= 2.1, "round one stays at the base cadence");
+        // quiet_rounds = 3, factor 2, cap 8×: levels reach 8 × 2 s = 16 s and hold.
+        let last = *delays.last().unwrap();
+        assert!(
+            (15.2..=16.8).contains(&last),
+            "suppressed cadence {last} should sit at the 8x cap"
+        );
+        assert!(delays.windows(2).all(|w| w[1] >= w[0] - 1.7), "cadence backs off, never snaps");
+        // Suppression-enabled beacons pay for the advertised next-beacon bound.
+        assert!(sizes.iter().all(|&s| s == 24 + Beacon::BOUND_FIELD_BYTES));
+    }
+
+    #[test]
+    fn evidence_snaps_a_suppressed_node_back_to_base_cadence() {
+        let mut config = SsSpstConfig::paper_default(MetricKind::Hop);
+        config.silence = SilenceConfig::on();
+        let mut h = Harness::new();
+        let mut agent = SsSpstAgent::new(config);
+        {
+            let mut ctx = h.ctx(SimTime::ZERO, NodeId(0), Vec2::ZERO, GroupRole::Source);
+            agent.start(&mut ctx);
+        }
+        for round in 0..6u64 {
+            let mut ctx = h.ctx(
+                SimTime::from_secs(2 * (round + 1)),
+                NodeId(0),
+                Vec2::ZERO,
+                GroupRole::Source,
+            );
+            agent.on_timer(&mut ctx, TIMER_BEACON, 0);
+        }
+        assert!(timer_delay(&h.actions).as_secs_f64() > 10.0, "node is deeply suppressed");
+        // An unheard-of neighbour shows up: cancel the backed-off timer and resume
+        // the base cadence immediately.
+        let pkt = Packet::control(
+            NodeId(7),
+            32,
+            SsSpstPayload::Beacon(beacon_from(5.0, 1, Vec2::new(50.0, 0.0), false, false)),
+        );
+        {
+            let mut ctx = h.ctx(SimTime::from_secs(20), NodeId(0), Vec2::ZERO, GroupRole::Source);
+            agent.on_packet(&mut ctx, &pkt);
+        }
+        assert!(
+            h.actions.iter().any(|a| matches!(a, Action::CancelTimer { kind: TIMER_BEACON, .. })),
+            "the suppressed timer must be cancelled"
+        );
+        let delay = timer_delay(&h.actions).as_secs_f64();
+        assert!(delay <= 2.1, "snap-back reschedules at the base cadence, got {delay}");
+    }
+
+    #[test]
+    fn advertised_beacon_bound_prevents_false_expiry_of_silent_neighbors() {
+        let mut config = SsSpstConfig::paper_default(MetricKind::Hop);
+        config.silence = SilenceConfig::on();
+        let mut h = Harness::new();
+        let mut agent = SsSpstAgent::new(config);
+        let me = NodeId(2);
+        let my_pos = Vec2::new(100.0, 0.0);
+        {
+            let mut ctx = h.ctx(SimTime::ZERO, me, my_pos, GroupRole::Member);
+            agent.start(&mut ctx);
+        }
+        // The source is deeply suppressed and advertises a 16 s next-beacon bound.
+        let mut b = beacon_from(0.0, 0, Vec2::ZERO, true, true);
+        b.next_beacon_s = 16.0;
+        let pkt = Packet::control(NodeId(0), 32, SsSpstPayload::Beacon(b));
+        {
+            let mut ctx = h.ctx(SimTime::from_secs(1), me, my_pos, GroupRole::Member);
+            agent.on_packet(&mut ctx, &pkt);
+        }
+        {
+            let mut ctx = h.ctx(SimTime::from_secs(2), me, my_pos, GroupRole::Member);
+            agent.on_timer(&mut ctx, TIMER_BEACON, 0);
+        }
+        assert_eq!(agent.parent(), Some(NodeId(0)));
+        // 9 s of silence: past the fixed 5 s timeout, well inside 2.5 × 16 s.
+        {
+            let mut ctx = h.ctx(SimTime::from_secs(10), me, my_pos, GroupRole::Member);
+            agent.on_timer(&mut ctx, TIMER_BEACON, 0);
+        }
+        assert_eq!(
+            agent.parent(),
+            Some(NodeId(0)),
+            "a correctly silent neighbour must not be expired"
+        );
     }
 }

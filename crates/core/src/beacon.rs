@@ -31,6 +31,13 @@ pub struct Beacon {
     /// Distances from the sender to its non-member, non-tree neighbours (potential
     /// overhearers). Only advertised by SS-SPST-E.
     pub non_member_neighbor_distances: Vec<f64>,
+    /// Upper bound, in seconds, on the time until the sender's next beacon. Under
+    /// adaptive beacon suppression a quiet node backs its cadence off, and receivers
+    /// must scale their staleness expiry by this advertised bound instead of falsely
+    /// expiring a correctly silent neighbour. Suppression-off senders advertise their
+    /// fixed beacon interval, and the field rides the wire only when suppression is
+    /// enabled (see [`Beacon::advertised_wire_size`]).
+    pub next_beacon_s: f64,
 }
 
 impl Beacon {
@@ -49,6 +56,17 @@ impl Beacon {
                     + 2 * self.non_member_neighbor_distances.len() as u32
             }
         }
+    }
+
+    /// Bytes the advertised next-beacon bound adds to the wire format when beacon
+    /// suppression is enabled.
+    pub const BOUND_FIELD_BYTES: u32 = 4;
+
+    /// Wire size including the next-beacon bound when `advertise_bound` is set.
+    /// Suppression-off runs never advertise, so their beacons keep the classic
+    /// [`Beacon::wire_size`] byte for byte.
+    pub fn advertised_wire_size(&self, kind: MetricKind, advertise_bound: bool) -> u32 {
+        self.wire_size(kind) + if advertise_bound { Self::BOUND_FIELD_BYTES } else { 0 }
     }
 
     /// Distance to the farthest advertised child, excluding `exclude` (the evaluating
@@ -72,6 +90,7 @@ mod tests {
             has_downstream_member: true,
             children: vec![(NodeId(3), 80.0), (NodeId(4), 120.0)],
             non_member_neighbor_distances: vec![60.0, 90.0, 140.0],
+            next_beacon_s: 2.0,
         }
     }
 
@@ -87,6 +106,18 @@ mod tests {
         assert!(e > f, "SS-SPST-E beacons carry overhearer info (Figure 13)");
         assert_eq!(f, 24 + 6);
         assert_eq!(e, 24 + 6 + 6);
+    }
+
+    #[test]
+    fn next_beacon_bound_costs_bytes_only_when_advertised() {
+        let b = beacon();
+        for kind in MetricKind::ALL {
+            assert_eq!(b.advertised_wire_size(kind, false), b.wire_size(kind));
+            assert_eq!(
+                b.advertised_wire_size(kind, true),
+                b.wire_size(kind) + Beacon::BOUND_FIELD_BYTES
+            );
+        }
     }
 
     #[test]

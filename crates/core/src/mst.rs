@@ -1,0 +1,652 @@
+//! Event-driven self-stabilizing minimum(-bottleneck) spanning tree multicast.
+//!
+//! A loop-free SS-MST construction in the style of Blin, Potop-Butucaru, Rovedakis and
+//! Tixeuil: every node tracks the *bottleneck* cost of its path to the source — the
+//! longest single link on the path — and greedily re-parents onto the neighbour that
+//! minimises it. The guarded command is the minimax analogue of SS-SPST's additive
+//! shortest path: `cost(v) = max(cost(parent), |v, parent|)`. Loop freedom comes from
+//! three guards: a node never adopts a neighbour that currently claims it as parent,
+//! hops stay bounded by the network size, and parent switches pay the same hysteresis
+//! margin as SS-SPST so the tree does not flap between equal-bottleneck paths.
+//!
+//! The agent reuses the SS-SPST wire format ([`Beacon`] / [`SsSpstPayload`]) and the
+//! adaptive beacon-suppression machinery, so it drops into the same experiment harness
+//! and the same silence sweeps as the SS-SPST variants.
+
+use crate::agent::{SilenceState, SsSpstPayload};
+use crate::beacon::Beacon;
+use crate::metric::MetricKind;
+use ssmcast_dessim::{SimDuration, SimTime};
+use ssmcast_manet::{
+    DataTag, Disposition, NodeCtx, NodeId, Packet, ProtocolAgent, SilenceConfig, Vec2,
+};
+use std::collections::{HashMap, HashSet};
+
+/// Timer class used for the periodic beacon (same slot as SS-SPST's).
+const TIMER_BEACON: u64 = 1;
+
+/// Configuration of an [`SsMstAgent`].
+#[derive(Clone, Copy, Debug)]
+pub struct SsMstConfig {
+    /// Beacon interval (defaults to the paper's 2 s).
+    pub beacon_interval: SimDuration,
+    /// A neighbour is dropped after this many beacon intervals of silence.
+    pub neighbor_timeout_intervals: f64,
+    /// Data transmissions reach the farthest forwarding child scaled by this margin.
+    pub range_margin: f64,
+    /// Relative bottleneck improvement required before abandoning a valid parent.
+    pub switch_margin: f64,
+    /// Adaptive beacon suppression; off by default.
+    pub silence: SilenceConfig,
+}
+
+impl SsMstConfig {
+    /// Defaults matching the SS-SPST harness settings.
+    pub fn paper_default() -> Self {
+        SsMstConfig {
+            beacon_interval: SimDuration::from_secs(2),
+            neighbor_timeout_intervals: 2.5,
+            range_margin: 1.10,
+            switch_margin: 0.05,
+            silence: SilenceConfig::off(),
+        }
+    }
+
+    /// Same defaults with a custom beacon interval.
+    pub fn with_beacon_interval(interval: SimDuration) -> Self {
+        SsMstConfig { beacon_interval: interval, ..Self::paper_default() }
+    }
+}
+
+/// What this node last heard from one neighbour.
+#[derive(Clone, Debug)]
+struct MstNeighbor {
+    distance: f64,
+    cost: f64,
+    hop: u32,
+    has_downstream_member: bool,
+    parent_is_me: bool,
+    member: bool,
+    last_heard: SimTime,
+    timeout: SimDuration,
+}
+
+/// The per-node SS-MST protocol state machine.
+#[derive(Debug)]
+pub struct SsMstAgent {
+    config: SsMstConfig,
+    cost: f64,
+    hop: u32,
+    parent: Option<NodeId>,
+    infinity_cost: f64,
+    max_hops: u32,
+    has_downstream_member: bool,
+    neighbors: HashMap<NodeId, MstNeighbor>,
+    seen_data: HashSet<u64>,
+    parent_changes: u64,
+    beacons_sent: u64,
+    silence: SilenceState,
+}
+
+impl SsMstAgent {
+    /// Create an agent with the given configuration.
+    pub fn new(config: SsMstConfig) -> Self {
+        SsMstAgent {
+            config,
+            cost: f64::INFINITY,
+            hop: u32::MAX,
+            parent: None,
+            infinity_cost: f64::INFINITY,
+            max_hops: u32::MAX,
+            has_downstream_member: false,
+            neighbors: HashMap::new(),
+            seen_data: HashSet::new(),
+            parent_changes: 0,
+            beacons_sent: 0,
+            silence: SilenceState::default(),
+        }
+    }
+
+    /// Current parent (None while disconnected or at the source).
+    pub fn parent(&self) -> Option<NodeId> {
+        self.parent
+    }
+
+    /// Current bottleneck cost: the longest link on this node's path to the source.
+    pub fn cost(&self) -> f64 {
+        self.cost
+    }
+
+    /// Current hop count.
+    pub fn hop(&self) -> u32 {
+        self.hop
+    }
+
+    /// Number of parent switches (tree churn indicator).
+    pub fn parent_changes(&self) -> u64 {
+        self.parent_changes
+    }
+
+    /// Number of beacons transmitted.
+    pub fn beacons_sent(&self) -> u64 {
+        self.beacons_sent
+    }
+
+    fn initialise_bounds(&mut self, ctx: &NodeCtx<'_, SsSpstPayload>) {
+        self.max_hops = ctx.n_nodes.max(1) as u32;
+        // Legitimate bottleneck costs are single link lengths, bounded by the radio.
+        self.infinity_cost = ctx.radio.max_range_m + 1.0;
+        if self.cost.is_infinite() {
+            self.cost = self.infinity_cost;
+            self.hop = self.max_hops;
+        }
+    }
+
+    /// Staleness bound for a neighbour that just advertised `b` (see
+    /// [`crate::agent::SsSpstAgent`]'s identical rule).
+    fn timeout_for(&self, b: &Beacon) -> SimDuration {
+        let base = if self.config.silence.enabled {
+            let interval_s = self.config.beacon_interval.as_secs_f64();
+            SimDuration::from_secs_f64(b.next_beacon_s.max(interval_s))
+        } else {
+            self.config.beacon_interval
+        };
+        base.mul_f64(self.config.neighbor_timeout_intervals)
+    }
+
+    fn expire_neighbors(&mut self, now: SimTime) -> bool {
+        let before = self.neighbors.len();
+        self.neighbors.retain(|_, e| now.saturating_since(e.last_heard) <= e.timeout);
+        self.neighbors.len() != before
+    }
+
+    fn locally_legitimate(&self, ctx: &NodeCtx<'_, SsSpstPayload>) -> bool {
+        if ctx.is_source() {
+            return true;
+        }
+        match self.parent {
+            Some(p) => self.neighbors.contains_key(&p) && self.cost < self.infinity_cost,
+            None => false,
+        }
+    }
+
+    /// Re-evaluate the minimax guarded commands against the neighbour table.
+    fn stabilize(&mut self, ctx: &NodeCtx<'_, SsSpstPayload>) {
+        if ctx.is_source() {
+            self.cost = 0.0;
+            self.hop = 0;
+            self.parent = None;
+            return;
+        }
+        let mut best: Option<(NodeId, f64, u32)> = None;
+        let mut via_current: Option<(f64, u32)> = None;
+        for (&u, entry) in &self.neighbors {
+            if entry.cost >= self.infinity_cost || entry.hop.saturating_add(1) > self.max_hops {
+                continue;
+            }
+            // Loop guard: a neighbour claiming this node as its parent is downstream
+            // of us; adopting it would close a cycle instantly.
+            if entry.parent_is_me {
+                continue;
+            }
+            // The bottleneck of the path through u: u's bottleneck or our link to u,
+            // whichever is longer.
+            let c = entry.cost.max(entry.distance);
+            let h = entry.hop + 1;
+            if self.parent == Some(u) {
+                via_current = Some((c, h));
+            }
+            match best {
+                None => best = Some((u, c, h)),
+                Some((bu, bc, _)) => {
+                    if c < bc - 1e-12 || ((c - bc).abs() <= 1e-12 && u < bu) {
+                        best = Some((u, c, h));
+                    }
+                }
+            }
+        }
+        match best {
+            None => {
+                if self.parent.is_some() {
+                    self.parent_changes += 1;
+                }
+                self.parent = None;
+                self.cost = self.infinity_cost;
+                self.hop = self.max_hops;
+            }
+            Some((bu, bc, bh)) => {
+                if let Some((cc, ch)) = via_current {
+                    if cc <= bc * (1.0 + self.config.switch_margin) + 1e-12 {
+                        self.cost = cc;
+                        self.hop = ch;
+                        return;
+                    }
+                }
+                if self.parent != Some(bu) {
+                    self.parent_changes += 1;
+                }
+                self.parent = Some(bu);
+                self.cost = bc;
+                self.hop = bh;
+            }
+        }
+    }
+
+    fn refresh_downstream_flag(&mut self, ctx: &NodeCtx<'_, SsSpstPayload>) {
+        let from_children =
+            self.neighbors.values().any(|e| e.parent_is_me && e.has_downstream_member);
+        self.has_downstream_member = ctx.is_member() || from_children;
+    }
+
+    fn forwarding_children(&self) -> Vec<(NodeId, f64)> {
+        self.neighbors
+            .iter()
+            .filter(|(_, e)| e.parent_is_me && e.has_downstream_member)
+            .map(|(id, e)| (*id, e.distance))
+            .collect()
+    }
+
+    /// Forward data down the tree with power control: the bottleneck objective keeps
+    /// every tree link short, so reaching the farthest forwarding child (plus the
+    /// movement margin) is the natural transmission range.
+    fn forward_data(&mut self, ctx: &mut NodeCtx<'_, SsSpstPayload>, tag: DataTag, size: u32) {
+        let targets = self.forwarding_children();
+        if targets.is_empty() {
+            return;
+        }
+        let far = targets.iter().map(|(_, d)| *d).fold(0.0, f64::max);
+        let range = (far * self.config.range_margin).min(ctx.radio.max_range_m);
+        ctx.broadcast_data(size, range, tag, SsSpstPayload::Data);
+    }
+
+    fn send_beacon(&mut self, ctx: &mut NodeCtx<'_, SsSpstPayload>) {
+        let children: Vec<(NodeId, f64)> = self
+            .neighbors
+            .iter()
+            .filter(|(_, e)| e.parent_is_me)
+            .map(|(id, e)| (*id, e.distance))
+            .collect();
+        let interval = self.silence.interval(&self.config.silence, self.config.beacon_interval);
+        let beacon = Beacon {
+            position: ctx.position,
+            cost: self.cost,
+            hop: self.hop,
+            parent: self.parent,
+            member: ctx.is_member(),
+            has_downstream_member: self.has_downstream_member,
+            children,
+            non_member_neighbor_distances: Vec::new(),
+            next_beacon_s: interval.mul_f64(1.05).as_secs_f64(),
+        };
+        // SS-MST beacons carry the same link-based fields as plain SS-SPST.
+        let size = beacon.advertised_wire_size(MetricKind::Hop, self.config.silence.enabled);
+        ctx.broadcast_control(size, ctx.radio.max_range_m, SsSpstPayload::Beacon(beacon));
+        self.beacons_sent += 1;
+    }
+
+    fn schedule_next_beacon(&self, ctx: &mut NodeCtx<'_, SsSpstPayload>) {
+        let interval = self.silence.interval(&self.config.silence, self.config.beacon_interval);
+        let jitter = ctx.jitter(interval.mul_f64(0.1));
+        let delay = interval.mul_f64(0.95) + jitter;
+        ctx.set_timer(delay, TIMER_BEACON, 0);
+    }
+}
+
+impl MstNeighbor {
+    fn from_beacon(
+        me: NodeId,
+        my_pos: Vec2,
+        b: &Beacon,
+        now: SimTime,
+        timeout: SimDuration,
+    ) -> Self {
+        MstNeighbor {
+            distance: my_pos.distance(&b.position),
+            cost: b.cost,
+            hop: b.hop,
+            has_downstream_member: b.has_downstream_member,
+            parent_is_me: b.parent == Some(me),
+            member: b.member,
+            last_heard: now,
+            timeout,
+        }
+    }
+}
+
+impl ProtocolAgent for SsMstAgent {
+    type Payload = SsSpstPayload;
+
+    fn start(&mut self, ctx: &mut NodeCtx<'_, SsSpstPayload>) {
+        self.initialise_bounds(ctx);
+        if ctx.is_source() {
+            self.cost = 0.0;
+            self.hop = 0;
+        }
+        self.has_downstream_member = ctx.is_member();
+        // Same steady-state cadence from round one as SS-SPST (mean period exactly
+        // the beacon interval).
+        self.schedule_next_beacon(ctx);
+    }
+
+    fn on_packet(
+        &mut self,
+        ctx: &mut NodeCtx<'_, SsSpstPayload>,
+        packet: &Packet<SsSpstPayload>,
+    ) -> Disposition {
+        match &packet.payload {
+            SsSpstPayload::Beacon(beacon) => {
+                let timeout = self.timeout_for(beacon);
+                let entry =
+                    MstNeighbor::from_beacon(ctx.id, ctx.position, beacon, ctx.now, timeout);
+                if self.config.silence.enabled {
+                    let inconsistent = match self.neighbors.get(&packet.sender) {
+                        None => true,
+                        Some(prev) => {
+                            prev.parent_is_me != entry.parent_is_me
+                                || prev.hop != entry.hop
+                                || prev.member != entry.member
+                                || prev.has_downstream_member != entry.has_downstream_member
+                        }
+                    };
+                    if inconsistent && self.silence.note_evidence() {
+                        ctx.cancel_timer(TIMER_BEACON, 0);
+                        self.schedule_next_beacon(ctx);
+                    }
+                }
+                self.neighbors.insert(packet.sender, entry);
+                Disposition::Consumed
+            }
+            SsSpstPayload::Data => {
+                let Some(tag) = packet.data else { return Disposition::Discarded };
+                if Some(packet.sender) != self.parent {
+                    return Disposition::Discarded;
+                }
+                if !self.seen_data.insert(tag.seq) {
+                    return Disposition::Discarded;
+                }
+                if ctx.is_member() && !ctx.is_source() {
+                    ctx.deliver_data(tag);
+                }
+                self.forward_data(ctx, tag, packet.size_bytes);
+                Disposition::Consumed
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_, SsSpstPayload>, kind: u64, _key: u64) {
+        if kind != TIMER_BEACON {
+            return;
+        }
+        self.initialise_bounds(ctx);
+        let expired = self.expire_neighbors(ctx.now);
+        let parent_before = self.parent;
+        self.stabilize(ctx);
+        self.refresh_downstream_flag(ctx);
+        if self.config.silence.enabled {
+            if expired || self.parent != parent_before {
+                self.silence.note_evidence();
+            }
+            let legitimate = self.locally_legitimate(ctx);
+            self.silence.close_round(&self.config.silence, legitimate);
+        }
+        self.send_beacon(ctx);
+        self.schedule_next_beacon(ctx);
+    }
+
+    fn on_app_data(&mut self, ctx: &mut NodeCtx<'_, SsSpstPayload>, tag: DataTag, size: u32) {
+        self.seen_data.insert(tag.seq);
+        self.forward_data(ctx, tag, size);
+    }
+
+    fn label(&self) -> &'static str {
+        "SS-MST"
+    }
+
+    fn tree_parent(&self) -> Option<NodeId> {
+        self.parent
+    }
+
+    fn corrupt_state(&mut self, rng: &mut rand::rngs::StdRng) {
+        use rand::Rng;
+        self.silence.note_evidence();
+        let bound = if self.infinity_cost.is_finite() { self.infinity_cost * 2.0 } else { 1.0e6 };
+        self.cost = rng.gen::<f64>() * bound;
+        self.hop = rng.gen::<u32>();
+        self.parent = ssmcast_manet::scrambled_parent(rng);
+        self.has_downstream_member = rng.gen::<bool>();
+        let mut ids: Vec<NodeId> = self.neighbors.keys().copied().collect();
+        ids.sort();
+        for id in ids {
+            let entry = self.neighbors.get_mut(&id).expect("id collected above");
+            entry.cost = rng.gen::<f64>() * bound;
+            entry.hop = rng.gen::<u32>();
+            entry.parent_is_me = rng.gen::<bool>();
+            entry.has_downstream_member = rng.gen::<bool>();
+        }
+    }
+
+    fn on_corrupted(&mut self, ctx: &mut NodeCtx<'_, SsSpstPayload>) {
+        if !self.config.silence.enabled {
+            return;
+        }
+        // Same rationale as the SS-SPST agent: the backoff level was reset by
+        // `corrupt_state`, but the timer armed under the suppressed cadence must not
+        // keep the scrambled state silent for up to the heartbeat floor.
+        ctx.cancel_timer(TIMER_BEACON, 0);
+        self.schedule_next_beacon(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ssmcast_manet::{Action, GroupRole, PacketClass, RadioConfig};
+
+    struct Harness {
+        radio: RadioConfig,
+        rng: StdRng,
+        actions: Vec<Action<SsSpstPayload>>,
+    }
+
+    impl Harness {
+        fn new() -> Self {
+            Harness {
+                radio: RadioConfig::default(),
+                rng: StdRng::seed_from_u64(9),
+                actions: Vec::new(),
+            }
+        }
+
+        fn ctx<'a>(
+            &'a mut self,
+            now: SimTime,
+            id: NodeId,
+            pos: Vec2,
+            role: GroupRole,
+        ) -> NodeCtx<'a, SsSpstPayload> {
+            self.actions.clear();
+            NodeCtx::new(now, id, pos, role, 10, &self.radio, &mut self.rng, &mut self.actions)
+        }
+    }
+
+    fn beacon(cost: f64, hop: u32, pos: Vec2, parent: Option<NodeId>) -> Beacon {
+        Beacon {
+            position: pos,
+            cost,
+            hop,
+            parent,
+            member: true,
+            has_downstream_member: true,
+            children: vec![],
+            non_member_neighbor_distances: vec![],
+            next_beacon_s: 2.0,
+        }
+    }
+
+    #[test]
+    fn picks_the_minimum_bottleneck_parent_not_the_shortest_path() {
+        // Me at (100, 0). Node 0 (the source) is 100 m away; node 1 sits at (60, 0)
+        // with a 60 m bottleneck path to the source. Additive shortest-path would go
+        // direct (100 < 60 + 40 in hops terms it is 1 hop), but the minimax objective
+        // prefers the two-hop path whose longest link is only 60 m.
+        let mut h = Harness::new();
+        let mut agent = SsMstAgent::new(SsMstConfig::paper_default());
+        let me = NodeId(2);
+        let my_pos = Vec2::new(100.0, 0.0);
+        {
+            let mut ctx = h.ctx(SimTime::ZERO, me, my_pos, GroupRole::Member);
+            agent.start(&mut ctx);
+        }
+        let direct =
+            Packet::control(NodeId(0), 32, SsSpstPayload::Beacon(beacon(0.0, 0, Vec2::ZERO, None)));
+        let relay = Packet::control(
+            NodeId(1),
+            32,
+            SsSpstPayload::Beacon(beacon(60.0, 1, Vec2::new(60.0, 0.0), Some(NodeId(0)))),
+        );
+        {
+            let mut ctx = h.ctx(SimTime::from_secs(1), me, my_pos, GroupRole::Member);
+            agent.on_packet(&mut ctx, &direct);
+            agent.on_packet(&mut ctx, &relay);
+        }
+        {
+            let mut ctx = h.ctx(SimTime::from_secs(2), me, my_pos, GroupRole::Member);
+            agent.on_timer(&mut ctx, TIMER_BEACON, 0);
+        }
+        assert_eq!(agent.parent(), Some(NodeId(1)), "minimax prefers the 60 m bottleneck");
+        assert!((agent.cost() - 60.0).abs() < 1e-9);
+        assert_eq!(agent.hop(), 2);
+    }
+
+    #[test]
+    fn never_adopts_a_neighbor_that_claims_us_as_parent() {
+        // Node 5 advertises a tempting zero-ish bottleneck but lists us as its parent:
+        // adopting it would close a two-cycle. The loop guard must skip it.
+        let mut h = Harness::new();
+        let mut agent = SsMstAgent::new(SsMstConfig::paper_default());
+        let me = NodeId(2);
+        let my_pos = Vec2::new(100.0, 0.0);
+        {
+            let mut ctx = h.ctx(SimTime::ZERO, me, my_pos, GroupRole::Member);
+            agent.start(&mut ctx);
+        }
+        let cyclic = Packet::control(
+            NodeId(5),
+            32,
+            SsSpstPayload::Beacon(beacon(1.0, 1, Vec2::new(110.0, 0.0), Some(me))),
+        );
+        {
+            let mut ctx = h.ctx(SimTime::from_secs(1), me, my_pos, GroupRole::Member);
+            agent.on_packet(&mut ctx, &cyclic);
+        }
+        {
+            let mut ctx = h.ctx(SimTime::from_secs(2), me, my_pos, GroupRole::Member);
+            agent.on_timer(&mut ctx, TIMER_BEACON, 0);
+        }
+        assert_eq!(agent.parent(), None, "the only candidate is our own child");
+        assert!(agent.cost() >= agent.infinity_cost);
+    }
+
+    #[test]
+    fn emits_hop_sized_beacons_and_forwards_down_the_tree() {
+        let mut h = Harness::new();
+        let mut agent = SsMstAgent::new(SsMstConfig::paper_default());
+        let me = NodeId(1);
+        let my_pos = Vec2::new(80.0, 0.0);
+        {
+            let mut ctx = h.ctx(SimTime::ZERO, me, my_pos, GroupRole::Member);
+            agent.start(&mut ctx);
+        }
+        let src =
+            Packet::control(NodeId(0), 32, SsSpstPayload::Beacon(beacon(0.0, 0, Vec2::ZERO, None)));
+        let child = Packet::control(
+            NodeId(3),
+            32,
+            SsSpstPayload::Beacon(beacon(90.0, 2, Vec2::new(170.0, 0.0), Some(me))),
+        );
+        {
+            let mut ctx = h.ctx(SimTime::from_secs(1), me, my_pos, GroupRole::Member);
+            agent.on_packet(&mut ctx, &src);
+            agent.on_packet(&mut ctx, &child);
+        }
+        {
+            let mut ctx = h.ctx(SimTime::from_secs(2), me, my_pos, GroupRole::Member);
+            agent.on_timer(&mut ctx, TIMER_BEACON, 0);
+        }
+        assert_eq!(agent.parent(), Some(NodeId(0)));
+        let size = h
+            .actions
+            .iter()
+            .find_map(|a| match a {
+                Action::Broadcast { class: PacketClass::Control, size_bytes, .. } => {
+                    Some(*size_bytes)
+                }
+                _ => None,
+            })
+            .expect("beacon emitted");
+        assert_eq!(size, 24, "SS-MST beacons use the link-based wire format");
+
+        // Data from the parent is delivered and forwarded toward the child.
+        let tag = DataTag {
+            group: Default::default(),
+            origin: NodeId(0),
+            seq: 1,
+            created_at: SimTime::from_secs(3),
+        };
+        let data = Packet::data(NodeId(0), 512, tag, SsSpstPayload::Data);
+        {
+            let mut ctx = h.ctx(SimTime::from_secs(3), me, my_pos, GroupRole::Member);
+            assert_eq!(agent.on_packet(&mut ctx, &data), Disposition::Consumed);
+        }
+        assert!(h.actions.iter().any(|a| matches!(a, Action::DeliverData { .. })));
+        assert!(h
+            .actions
+            .iter()
+            .any(|a| matches!(a, Action::Broadcast { class: PacketClass::Data, .. })));
+    }
+
+    #[test]
+    fn suppression_backs_off_and_snaps_back_like_ss_spst() {
+        let mut config = SsMstConfig::paper_default();
+        config.silence = SilenceConfig::on();
+        let mut h = Harness::new();
+        let mut agent = SsMstAgent::new(config);
+        {
+            let mut ctx = h.ctx(SimTime::ZERO, NodeId(0), Vec2::ZERO, GroupRole::Source);
+            agent.start(&mut ctx);
+        }
+        for round in 0..6u64 {
+            let mut ctx = h.ctx(
+                SimTime::from_secs(2 * (round + 1)),
+                NodeId(0),
+                Vec2::ZERO,
+                GroupRole::Source,
+            );
+            agent.on_timer(&mut ctx, TIMER_BEACON, 0);
+        }
+        let delay = h
+            .actions
+            .iter()
+            .find_map(|a| match a {
+                Action::SetTimer { delay, kind: TIMER_BEACON, .. } => Some(delay.as_secs_f64()),
+                _ => None,
+            })
+            .expect("timer scheduled");
+        assert!(delay > 10.0, "quiet source backs off, got {delay}");
+        let pkt = Packet::control(
+            NodeId(7),
+            32,
+            SsSpstPayload::Beacon(beacon(5.0, 1, Vec2::new(50.0, 0.0), None)),
+        );
+        {
+            let mut ctx = h.ctx(SimTime::from_secs(20), NodeId(0), Vec2::ZERO, GroupRole::Source);
+            agent.on_packet(&mut ctx, &pkt);
+        }
+        assert!(h
+            .actions
+            .iter()
+            .any(|a| matches!(a, Action::CancelTimer { kind: TIMER_BEACON, .. })));
+    }
+}

@@ -316,6 +316,13 @@ impl StabilizationObserver for StabilizationProbe {
     fn session_stats(&self) -> Vec<ConvergenceStats> {
         self.finished_sessions.clone()
     }
+
+    fn session_recovering(&self, session: usize) -> bool {
+        // A session is "recovering" from its first fault notification until the first
+        // probe epoch at which its legitimacy predicate holds again (per-session
+        // tracks are created lazily, so an unseen session is trivially steady).
+        self.per_session.get(session).is_some_and(|track| track.episode.is_some())
+    }
 }
 
 #[cfg(test)]

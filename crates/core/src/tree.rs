@@ -226,6 +226,13 @@ impl MulticastTree {
     pub fn child_distances_in(&self, topo: &MulticastTopology, v: NodeId) -> Vec<f64> {
         self.child_distances(topo, v)
     }
+
+    /// The bottleneck cost of the tree: the longest single link among its edges still
+    /// present in the topology — the minimax objective SS-MST stabilizes. Stale edges
+    /// (endpoints no longer adjacent) are skipped.
+    pub fn bottleneck_cost(&self, topo: &MulticastTopology) -> f64 {
+        self.edges(topo).filter_map(|(_, _, d)| d).fold(0.0, f64::max)
+    }
 }
 
 #[cfg(test)]
@@ -328,6 +335,22 @@ mod tests {
         let e = chain.per_packet_energy(&params, &topo);
         // Three transmissions at 100 m plus at least three receptions.
         assert!(e > 3.0 * params.tx(100.0));
+    }
+
+    #[test]
+    fn bottleneck_cost_is_the_longest_tree_link() {
+        let topo = topo();
+        let chain = MulticastTree::new(
+            NodeId(0),
+            vec![None, Some(NodeId(0)), Some(NodeId(1)), Some(NodeId(2))],
+        );
+        assert_eq!(chain.bottleneck_cost(&topo), 100.0);
+        let direct = MulticastTree::new(
+            NodeId(0),
+            vec![None, Some(NodeId(0)), Some(NodeId(1)), Some(NodeId(0))],
+        );
+        assert_eq!(direct.bottleneck_cost(&topo), 240.0, "the 0-3 chord dominates");
+        assert!(chain.bottleneck_cost(&topo) < direct.bottleneck_cost(&topo));
     }
 
     #[test]

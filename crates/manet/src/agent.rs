@@ -205,6 +205,15 @@ pub trait ProtocolAgent: Send {
     fn corrupt_state(&mut self, rng: &mut StdRng) {
         let _ = rng;
     }
+
+    /// Called immediately after [`Self::corrupt_state`], with a full node context, so
+    /// the agent can re-arm timers the corruption made urgent. The suppressing tree
+    /// agents use this to snap a backed-off beacon schedule to the base cadence: the
+    /// corrupted state must not stay silent for up to the heartbeat floor before its
+    /// neighbours can even see it. The default does nothing.
+    fn on_corrupted(&mut self, ctx: &mut NodeCtx<'_, Self::Payload>) {
+        let _ = ctx;
+    }
 }
 
 #[cfg(test)]

@@ -382,6 +382,16 @@ pub trait StabilizationObserver {
     fn session_stats(&self) -> Vec<ConvergenceStats> {
         Vec::new()
     }
+
+    /// True while `session` is inside an open recovery episode (its legitimacy
+    /// predicate was observed broken and has not been seen to hold again). The runtime
+    /// polls this after every epoch and fault notification to bucket control
+    /// bytes-on-air into steady-state vs recovery phases for the `SilenceStats`
+    /// report block. The default (always `false`) attributes everything to the
+    /// steady-state phase — correct for observers that do not track episodes.
+    fn session_recovering(&self, _session: usize) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

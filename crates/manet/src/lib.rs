@@ -20,6 +20,9 @@
 //! * [`faults`] — fault injection: seeded [`faults::FaultPlan`]s (state corruption,
 //!   crash/rejoin, link blackouts, battery drains) and the
 //!   [`faults::StabilizationObserver`] probe interface for convergence measurement.
+//! * [`silence`] — [`silence::SilenceConfig`]: adaptive beacon suppression (silent
+//!   stabilization) for the self-stabilizing tree agents, with phase-split
+//!   bytes-on-air accounting in the runtime.
 //! * [`spatial`] — the uniform-grid [`spatial::SpatialIndex`] answering range queries in
 //!   O(k) candidates instead of O(n).
 //! * [`medium`] — the radio medium layer: [`medium::RadioMedium`] with epoch-cached
@@ -50,6 +53,7 @@ pub mod packet;
 pub mod report;
 pub mod runtime;
 pub mod session;
+pub mod silence;
 pub mod snapshot;
 pub mod spatial;
 pub mod traffic;
@@ -76,6 +80,7 @@ pub use packet::{DataTag, Packet, PacketClass};
 pub use report::{GroupAccounting, SimReport, Trace};
 pub use runtime::{NetEvent, NetworkSim, SimSetup};
 pub use session::{MembershipChange, MembershipEvent, SessionSetup};
+pub use silence::SilenceConfig;
 pub use snapshot::TopologySnapshot;
 pub use spatial::SpatialIndex;
 pub use traffic::TrafficConfig;

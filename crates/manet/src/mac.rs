@@ -198,12 +198,30 @@ pub trait MacPolicy: Send {
         loss_rng: &mut StdRng,
     ) -> MacDecision;
 
+    /// State the frame carries on behalf of the MAC itself, captured at transmit time.
+    /// TDMA piggybacks the sender's claim-table row on control frames; the runtime
+    /// snapshots it here and hands it back to every receiver's [`Self::on_overheard`] —
+    /// including receivers on *other shards*, which is what keeps the two-hop read
+    /// partition-independent. The default carries nothing.
+    fn piggyback_row(&self, sender: NodeId, class: PacketClass) -> Option<Vec<u16>> {
+        let _ = (sender, class);
+        None
+    }
+
     /// `rx` cleanly receives a frame that `sender` started transmitting at `tx_start`.
     /// This is the policy's only learning channel: TDMA reads the sender's slot from
-    /// the transmission timing and, for control frames, the sender's piggybacked claim
-    /// table.
-    fn on_overheard(&mut self, rx: NodeId, sender: NodeId, class: PacketClass, tx_start: SimTime) {
-        let _ = (rx, sender, class, tx_start);
+    /// the transmission timing and, on control frames, the sender's claim table from
+    /// `piggyback` (the [`Self::piggyback_row`] snapshot taken when the frame left the
+    /// sender, possibly on another shard).
+    fn on_overheard(
+        &mut self,
+        rx: NodeId,
+        sender: NodeId,
+        class: PacketClass,
+        tx_start: SimTime,
+        piggyback: Option<&[u16]>,
+    ) {
+        let _ = (rx, sender, class, tx_start, piggyback);
     }
 
     /// Scramble `node`'s MAC state (fault injection): afterwards the schedule must
@@ -211,15 +229,6 @@ pub trait MacPolicy: Send {
     fn corrupt(&mut self, node: NodeId) {
         let _ = node;
     }
-
-    /// Called once per policy instance when a run adopts the sharded engine. A sharded
-    /// run builds one policy instance per shard, and an instance only observes the
-    /// receptions of its own shard's nodes — implementations must disable any decision
-    /// path that reads state learned *on behalf of another node* (state that one global
-    /// instance would have but a per-shard instance may not), so that results do not
-    /// depend on which nodes share a shard. The default does nothing (jitter and CSMA
-    /// decisions only read sender-local state).
-    fn prepare_sharded(&mut self) {}
 
     /// Add policy-specific counters (TDMA conflicts/re-draws) to a stats block.
     fn fill_stats(&self, stats: &mut MacStats) {
@@ -348,12 +357,6 @@ pub struct SsTdma {
     /// End of each node's own ongoing transmission (serializes a node's frames within
     /// its slot).
     own_busy_until: Vec<SimTime>,
-    /// Use the piggybacked 2-hop claim tables on control frames. On the sequential
-    /// engine one global instance sees every reception, so a sender's table row is
-    /// meaningful at any receiver; a per-shard instance only fills rows for its own
-    /// nodes, so sharded runs disable the 2-hop read (1-hop conflict detection — the
-    /// self-stabilization workhorse — is receiver-local and stays on).
-    two_hop: bool,
     conflicts: u64,
     redraws: u64,
     last_redraw: Option<SimTime>,
@@ -373,7 +376,6 @@ impl SsTdma {
             slots,
             claims: vec![NO_CLAIM; n_nodes * n_nodes],
             own_busy_until: vec![SimTime::ZERO; n_nodes],
-            two_hop: true,
             conflicts: 0,
             redraws: 0,
             last_redraw: None,
@@ -470,7 +472,22 @@ impl MacPolicy for SsTdma {
         }
     }
 
-    fn on_overheard(&mut self, rx: NodeId, sender: NodeId, class: PacketClass, tx_start: SimTime) {
+    fn piggyback_row(&self, sender: NodeId, class: PacketClass) -> Option<Vec<u16>> {
+        if self.cfg.slot.is_zero() || class != PacketClass::Control {
+            return None;
+        }
+        let s = sender.index();
+        Some(self.claims[s * self.n..(s + 1) * self.n].to_vec())
+    }
+
+    fn on_overheard(
+        &mut self,
+        rx: NodeId,
+        sender: NodeId,
+        class: PacketClass,
+        tx_start: SimTime,
+        piggyback: Option<&[u16]>,
+    ) {
         if self.cfg.slot.is_zero() || rx == sender {
             return;
         }
@@ -481,9 +498,11 @@ impl MacPolicy for SsTdma {
         let my = self.slots[r];
         let mut conflict = s_slot == my;
         // 2-hop conflict: the sender's piggybacked claim table (carried on control
-        // beacons) says some third node uses my slot.
-        if !conflict && self.two_hop && class == PacketClass::Control {
-            let table = &self.claims[s * self.n..(s + 1) * self.n];
+        // beacons, snapshotted at transmit time — `piggyback` when the frame crossed a
+        // shard boundary, this instance's own copy of the sender's row otherwise) says
+        // some third node uses my slot.
+        if !conflict && class == PacketClass::Control {
+            let table = piggyback.unwrap_or(&self.claims[s * self.n..(s + 1) * self.n]);
             conflict = table.iter().enumerate().any(|(j, &claim)| j != r && claim == my);
         }
         if conflict {
@@ -501,10 +520,6 @@ impl MacPolicy for SsTdma {
         for j in 0..self.n {
             self.claims[i * self.n + j] = NO_CLAIM;
         }
-    }
-
-    fn prepare_sharded(&mut self) {
-        self.two_hop = false;
     }
 
     fn fill_stats(&self, stats: &mut MacStats) {
@@ -677,7 +692,7 @@ mod tests {
         let before = policy.slots[1];
         // Node 0 transmits inside node 1's slot: node 1 must detect and re-draw.
         let tx_start = SimTime::ZERO + cfg.slot.saturating_mul(u64::from(before));
-        policy.on_overheard(NodeId(1), NodeId(0), PacketClass::Data, tx_start);
+        policy.on_overheard(NodeId(1), NodeId(0), PacketClass::Data, tx_start, None);
         assert_eq!(policy.conflicts, 1);
         assert_eq!(policy.redraws, 1);
         assert_ne!(policy.slots[1], before, "the observed claim rules the old slot out");
@@ -702,12 +717,40 @@ mod tests {
         let tx = SimTime::ZERO + cfg.slot.saturating_mul(u64::from(harmless));
         // Make sure the harmless slot is not node 2's own.
         assert_ne!(harmless, my);
-        policy.on_overheard(NodeId(2), NodeId(1), PacketClass::Data, tx);
+        policy.on_overheard(NodeId(2), NodeId(1), PacketClass::Data, tx, None);
         assert_eq!(policy.redraws, 0, "data frames carry no claim table");
         // The same overhearing on a control frame exposes the 2-hop conflict.
-        policy.on_overheard(NodeId(2), NodeId(1), PacketClass::Control, tx);
+        policy.on_overheard(NodeId(2), NodeId(1), PacketClass::Control, tx, None);
         assert_eq!(policy.conflicts, 1);
         assert_ne!(policy.slots[2], my);
+    }
+
+    #[test]
+    fn tdma_piggyback_row_carries_two_hop_claims_across_instances() {
+        // Sender-side instance (one shard) has observed node 0 claim node 2's slot;
+        // the receiver-side instance (another shard) has an empty table. The snapshot
+        // taken by `piggyback_row` must expose the 2-hop conflict to the receiver.
+        let cfg = TdmaConfig::default();
+        let mut sender_side = SsTdma::new(cfg, 4, &SeedSequence::new(3));
+        let mut rx_side = SsTdma::new(cfg, 4, &SeedSequence::new(3));
+        let my = rx_side.slots[2];
+        let idx = self_idx(&sender_side, 1, 0);
+        sender_side.claims[idx] = my;
+        let row = sender_side
+            .piggyback_row(NodeId(1), PacketClass::Control)
+            .expect("control frames carry the claim table");
+        assert_eq!(row[0], my);
+        assert_eq!(sender_side.piggyback_row(NodeId(1), PacketClass::Data), None);
+        let harmless = (my + 1) % cfg.slots_per_frame;
+        let tx = SimTime::ZERO + cfg.slot.saturating_mul(u64::from(harmless));
+        assert_ne!(harmless, my);
+        // Without the piggybacked row the receiver-side instance sees no conflict…
+        rx_side.on_overheard(NodeId(2), NodeId(1), PacketClass::Control, tx, None);
+        assert_eq!(rx_side.conflicts, 0, "the local replica of node 1's row is empty");
+        // …with it, the cross-shard 2-hop read works exactly like the sequential one.
+        rx_side.on_overheard(NodeId(2), NodeId(1), PacketClass::Control, tx, Some(&row));
+        assert_eq!(rx_side.conflicts, 1);
+        assert_ne!(rx_side.slots[2], my);
     }
 
     fn self_idx(p: &SsTdma, i: usize, j: usize) -> usize {

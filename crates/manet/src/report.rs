@@ -11,7 +11,9 @@ use crate::node::NodeId;
 use crate::packet::DataTag;
 use serde::{Deserialize, Serialize};
 use ssmcast_dessim::{SimDuration, SimTime};
-use ssmcast_metrics::{ConvergenceStats, EngineStats, GroupStats, LifetimeStats, MacStats};
+use ssmcast_metrics::{
+    ConvergenceStats, EngineStats, GroupStats, LifetimeStats, MacStats, SilenceStats,
+};
 use std::collections::{HashMap, HashSet};
 
 /// Raw counters accumulated for one multicast session while a simulation runs.
@@ -314,6 +316,7 @@ impl Trace {
             groups: None,
             lifetime: None,
             mac: None,
+            silence: None,
             engine: None,
         }
     }
@@ -422,6 +425,10 @@ pub struct SimReport {
     /// explicitly asked for them). `None` (and absent from the serialized form) for
     /// default random-jitter runs, keeping them byte-identical to pre-MAC-layer builds.
     pub mac: Option<MacStats>,
+    /// Steady-state vs recovery control-byte split when the run configured beacon
+    /// suppression (`SilenceConfig`). `None` (and absent from the serialized form) for
+    /// suppression-off runs, keeping them byte-identical to pre-suppression builds.
+    pub silence: Option<SilenceStats>,
     /// Event-loop measurements when the run opted in via `EngineConfig::with_stats`.
     /// `None` (and absent from the serialized form) otherwise, keeping default reports
     /// byte-identical to builds that predate the block. Contains a wall-clock-derived
@@ -469,6 +476,9 @@ impl Serialize for SimReport {
         }
         if let Some(mac) = &self.mac {
             field!("mac", mac);
+        }
+        if let Some(silence) = &self.silence {
+            field!("silence", silence);
         }
         if let Some(engine) = &self.engine {
             field!("engine", engine);
@@ -708,6 +718,30 @@ mod tests {
         assert!(
             tagged.contains("\"mac\":{\"policy\":\"csma\",\"frames_requested\":10,"),
             "mac block renders: {tagged}"
+        );
+        assert!(tagged.ends_with('}'));
+    }
+
+    #[test]
+    fn serialization_omits_silence_when_absent_and_renders_it_when_present() {
+        use ssmcast_metrics::SessionSilence;
+        let tr = Trace::new(SimDuration::from_secs(1));
+        let mut r = tr.finish("p", SimDuration::from_secs(1), 0.0, 0.0, 0, 512, 0.95);
+        let mut plain = String::new();
+        r.serialize_json(&mut plain);
+        assert!(!plain.contains("\"silence\""), "no silence key for suppression-off runs: {plain}");
+        let session = SessionSilence {
+            steady_control_packets: 7,
+            steady_control_bytes: 168,
+            recovery_control_packets: 1,
+            recovery_control_bytes: 24,
+        };
+        r.silence = Some(SilenceStats::from_sessions(vec![session]));
+        let mut tagged = String::new();
+        r.serialize_json(&mut tagged);
+        assert!(
+            tagged.contains("\"silence\":{\"steady_control_packets\":7,"),
+            "silence block renders: {tagged}"
         );
         assert!(tagged.ends_with('}'));
     }

@@ -24,12 +24,15 @@ use crate::node::{GroupRole, NodeId};
 use crate::packet::{DataTag, Packet, PacketClass};
 use crate::report::{GroupAccounting, SimReport, Trace};
 use crate::session::{MembershipChange, MembershipEvent, SessionSetup};
+use crate::silence::SilenceConfig;
 use crate::snapshot::TopologySnapshot;
 use crate::traffic::TrafficConfig;
 use rand::rngs::StdRng;
 use rand::Rng;
 use ssmcast_dessim::{RunOutcome, SeedSequence, SimDuration, SimTime, Simulator};
-use ssmcast_metrics::{EngineStats, LifetimeStats, MacStats, RESIDUAL_HISTOGRAM_BINS};
+use ssmcast_metrics::{
+    EngineStats, LifetimeStats, MacStats, SessionSilence, SilenceStats, RESIDUAL_HISTOGRAM_BINS,
+};
 use std::collections::HashMap;
 
 mod shard;
@@ -69,6 +72,11 @@ pub struct SimSetup {
     /// Engine selection: the classic sequential loop ([`EngineConfig::default`],
     /// byte-identical to earlier builds) or the region-sharded parallel engine.
     pub engine: EngineConfig,
+    /// Beacon-suppression knobs for the self-stabilizing agents. [`SilenceConfig::off`]
+    /// (the default) keeps runs byte-identical to always-on beaconing; any enabled
+    /// configuration makes the runtime split control bytes-on-air into steady-state vs
+    /// recovery phases and attach a `SilenceStats` block to the report.
+    pub silence: SilenceConfig,
 }
 
 impl SimSetup {
@@ -100,12 +108,19 @@ impl SimSetup {
             medium,
             faults,
             engine: EngineConfig::default(),
+            silence: SilenceConfig::off(),
         }
     }
 
     /// The same setup under a different engine configuration.
     pub fn with_engine(mut self, engine: EngineConfig) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// The same setup under a different beacon-suppression configuration.
+    pub fn with_silence(mut self, silence: SilenceConfig) -> Self {
+        self.silence = silence;
         self
     }
 
@@ -140,6 +155,11 @@ pub enum NetEvent<P> {
         packet: Packet<P>,
         /// Lost to noise or collision.
         corrupted: bool,
+        /// Transmission start (drives TDMA slot learning at the receiver).
+        tx_start: SimTime,
+        /// MAC state snapshotted at transmit time ([`MacPolicy::piggyback_row`]) and
+        /// shared by every copy of the frame — TDMA's 2-hop claim table.
+        piggyback: Option<std::sync::Arc<[u16]>>,
     },
     /// A protocol timer fires at `node`.
     Timer {
@@ -266,6 +286,14 @@ pub struct NetworkSim<A: ProtocolAgent> {
     probe_parents: Vec<Option<NodeId>>,
     probe_alive: Vec<bool>,
     probe_blacked: Vec<bool>,
+    /// Per-session recovery flag, refreshed from the observer after every epoch and
+    /// fault notification; drives the steady-vs-recovery control-byte split. All-false
+    /// (and the counters below unused) when beacon suppression is off.
+    session_recovering: Vec<bool>,
+    /// Per-session (packets, bytes) of control traffic sent while steady.
+    silence_steady: Vec<(u64, u64)>,
+    /// Per-session (packets, bytes) of control traffic sent while recovering.
+    silence_recovery: Vec<(u64, u64)>,
 }
 
 impl<A: ProtocolAgent> NetworkSim<A> {
@@ -325,6 +353,9 @@ impl<A: ProtocolAgent> NetworkSim<A> {
             delivery_curve: Vec::new(),
             session_energy_j: vec![0.0; n_sessions],
             session_overhear_j: vec![0.0; n_sessions],
+            session_recovering: vec![false; n_sessions],
+            silence_steady: vec![(0, 0); n_sessions],
+            silence_recovery: vec![(0, 0); n_sessions],
             joins: vec![0; n_sessions],
             leaves: vec![0; n_sessions],
             batteries,
@@ -620,6 +651,14 @@ impl<A: ProtocolAgent> NetworkSim<A> {
                         let idx = self.idx(session, node);
                         self.agents[idx].corrupt_state(&mut self.rngs[i]);
                     }
+                    // A second pass with a live context: suppressed agents re-arm their
+                    // beacon timers so the scrambled state becomes visible at the base
+                    // cadence, not after a backed-off interval.
+                    for session in 0..self.setup.n_sessions() {
+                        self.make_ctx_and_call(session, node, t, |agent, ctx| {
+                            agent.on_corrupted(ctx)
+                        });
+                    }
                     self.mac.corrupt(node);
                 }
                 up
@@ -746,6 +785,45 @@ impl<A: ProtocolAgent> NetworkSim<A> {
             Some(kind) => observer.on_fault(kind, &ctx),
             None => observer.on_epoch(&ctx),
         }
+        drop(sessions);
+        if self.setup.silence.enabled {
+            for s in 0..self.setup.n_sessions() {
+                self.session_recovering[s] = observer.session_recovering(s);
+            }
+        }
+    }
+
+    /// Bucket one control transmission into the steady or recovery phase.
+    fn record_silence_control(&mut self, session: usize, size_bytes: u32) {
+        if !self.setup.silence.enabled {
+            return;
+        }
+        let bucket = if self.session_recovering[session] {
+            &mut self.silence_recovery[session]
+        } else {
+            &mut self.silence_steady[session]
+        };
+        bucket.0 += 1;
+        bucket.1 += size_bytes as u64;
+    }
+
+    /// The phase-split control-traffic block, when suppression accounting is on.
+    fn silence_stats(&self) -> Option<SilenceStats> {
+        if !self.setup.silence.enabled {
+            return None;
+        }
+        let sessions = self
+            .silence_steady
+            .iter()
+            .zip(&self.silence_recovery)
+            .map(|(&(sp, sb), &(rp, rb))| SessionSilence {
+                steady_control_packets: sp,
+                steady_control_bytes: sb,
+                recovery_control_packets: rp,
+                recovery_control_bytes: rb,
+            })
+            .collect();
+        Some(SilenceStats::from_sessions(sessions))
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -817,7 +895,10 @@ impl<A: ProtocolAgent> NetworkSim<A> {
             self.note_death(sender.index(), t);
             self.session_energy_j[session] += accepted;
             match class {
-                PacketClass::Control => self.traces[session].record_control_tx(size_bytes),
+                PacketClass::Control => {
+                    self.traces[session].record_control_tx(size_bytes);
+                    self.record_silence_control(session, size_bytes);
+                }
                 PacketClass::Data => self.traces[session].record_data_tx(size_bytes),
             }
             return;
@@ -879,12 +960,20 @@ impl<A: ProtocolAgent> NetworkSim<A> {
         self.note_death(sender.index(), t);
         self.session_energy_j[session] += accepted;
         match class {
-            PacketClass::Control => self.traces[session].record_control_tx(size_bytes),
+            PacketClass::Control => {
+                self.traces[session].record_control_tx(size_bytes);
+                self.record_silence_control(session, size_bytes);
+            }
             PacketClass::Data => self.traces[session].record_data_tx(size_bytes),
         }
 
         let tx_end = tx_start + radio.tx_duration(size_bytes);
         let delivery_at = tx_start + radio.delivery_delay(size_bytes);
+        // MAC state rides the frame: the claim-table row is snapshotted once, when the
+        // frame leaves the sender, and shared by every receiver's copy — receivers
+        // learn from what was actually on the air, not from the sender's later state.
+        let piggyback: Option<std::sync::Arc<[u16]>> =
+            self.mac.piggyback_row(sender, class).map(std::sync::Arc::from);
         // Receivers come back in ascending node-id order regardless of query mode, so
         // the per-receiver channel and loss draws below consume `loss_rng` in exactly
         // the sequence the brute-force scan would.
@@ -899,18 +988,15 @@ impl<A: ProtocolAgent> NetworkSim<A> {
             };
             let lost = self.loss_rng.gen::<f64>() < radio.loss_probability;
             let corrupted = !clean || lost;
-            // A clean reception at a node that will actually hear it teaches the MAC:
-            // TDMA learns the sender's slot (and, on control frames, its claim table)
-            // exclusively through this call.
-            if !corrupted
-                && !self.crashed[rx.index()]
-                && self.duty.is_awake(rx, delivery_at)
-                && !self.medium.is_blacked_out(rx, delivery_at)
-            {
-                self.mac.on_overheard(rx, sender, class, tx_start);
-            }
             let packet = Packet { sender, class, size_bytes, data, payload: payload.clone() };
-            let ev = NetEvent::Deliver { session: session as u16, rx, packet, corrupted };
+            let ev = NetEvent::Deliver {
+                session: session as u16,
+                rx,
+                packet,
+                corrupted,
+                tx_start,
+                piggyback: piggyback.clone(),
+            };
             self.sim.schedule_at(delivery_at, ev);
         }
         self.scratch_receivers = receivers;
@@ -918,7 +1004,7 @@ impl<A: ProtocolAgent> NetworkSim<A> {
 
     fn dispatch(&mut self, t: SimTime, ev: NetEvent<A::Payload>) {
         match ev {
-            NetEvent::Deliver { session, rx, packet, corrupted } => {
+            NetEvent::Deliver { session, rx, packet, corrupted, tx_start, piggyback } => {
                 let session = session as usize;
                 self.accrue_idle(rx.index(), t);
                 if self.batteries[rx.index()].is_depleted() || self.crashed[rx.index()] {
@@ -942,6 +1028,16 @@ impl<A: ProtocolAgent> NetworkSim<A> {
                     self.session_overhear_j[session] += accepted;
                     return;
                 }
+                // A clean reception teaches the MAC: TDMA learns the sender's slot
+                // (and, on control frames, its piggybacked claim table) exclusively
+                // through this call — at arrival, exactly like the sharded engine.
+                self.mac.on_overheard(
+                    rx,
+                    packet.sender,
+                    packet.class,
+                    tx_start,
+                    piggyback.as_deref(),
+                );
                 let mut disposition = Disposition::Discarded;
                 self.make_ctx_and_call(session, rx, t, |agent, ctx| {
                     disposition = agent.on_packet(ctx, &packet);
@@ -1235,6 +1331,7 @@ impl<A: ProtocolAgent> NetworkSim<A> {
         if self.setup.mac.reports_stats() {
             report.mac = Some(self.mac_stats(duration));
         }
+        report.silence = self.silence_stats();
         report
     }
 

@@ -42,7 +42,7 @@ use ssmcast_metrics::{EngineStats, MacStats};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Barrier, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard};
+use std::sync::{Arc, Barrier, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard};
 
 /// Canonical event key: `(rank, a, b, c, d)`. Ranks order same-time events the way the
 /// sequential engine's insertion order did for the seeded classes (faults before churn
@@ -73,6 +73,11 @@ struct DeliverIntent<P> {
     /// Lost to noise — drawn from the *sender's* loss stream at send time so the draw
     /// order is partition-independent.
     lost: bool,
+    /// MAC state snapshotted on the sender's shard at transmit time
+    /// ([`MacPolicy::piggyback_row`]) — TDMA's 2-hop claim table, shipped across the
+    /// shard boundary so the receiver's per-shard MAC replica reads the same claims a
+    /// global instance would.
+    piggyback: Option<Arc<[u16]>>,
 }
 
 /// Events flowing through one shard's queue.
@@ -116,6 +121,10 @@ struct Frozen {
     positions: Vec<Vec2>,
     index: SpatialIndex,
     blackout_until: Vec<SimTime>,
+    /// Per-session recovery flag for the steady-vs-recovery control-byte split,
+    /// refreshed by the coordinator after every observer notification (all-false — and
+    /// the shard counters unused — when beacon suppression is off).
+    recovering: Vec<bool>,
 }
 
 impl Frozen {
@@ -190,6 +199,10 @@ struct ShardState<A: ProtocolAgent> {
     timers: HashMap<(u32, u16, u64, u64), EventId>,
     scratch_actions: Vec<Action<A::Payload>>,
     scratch_receivers: Vec<NodeId>,
+    /// Per-session (packets, bytes) of control traffic this shard's nodes sent while
+    /// steady / recovering (only filled when beacon suppression is on).
+    silence_steady: Vec<(u64, u64)>,
+    silence_recovery: Vec<(u64, u64)>,
     /// Applied faults awaiting observer notification: `(plan_idx, kind, applied)`.
     fault_log: Vec<(u64, FaultKind, bool)>,
     /// True when a probe observer runs (faults are logged for notification).
@@ -286,6 +299,28 @@ impl<A: ProtocolAgent> ShardState<A> {
             let node = NodeId(self.owned[li]);
             self.accrue_idle(cx, li, node, t);
         }
+    }
+
+    /// Bucket one control transmission into the steady or recovery phase — the sharded
+    /// mirror of `NetworkSim::record_silence_control`. `recovering` comes from the
+    /// frozen state, where the coordinator refreshes it at observer instants.
+    fn record_silence_control(
+        &mut self,
+        enabled: bool,
+        recovering: &[bool],
+        session: usize,
+        size_bytes: u32,
+    ) {
+        if !enabled {
+            return;
+        }
+        let bucket = if recovering[session] {
+            &mut self.silence_recovery[session]
+        } else {
+            &mut self.silence_steady[session]
+        };
+        bucket.0 += 1;
+        bucket.1 += u64::from(size_bytes);
     }
 
     /// Apply one churn event to this shard's full membership replica (the sharded
@@ -481,7 +516,15 @@ fn try_send<A: ProtocolAgent>(
         let ei = st.eidx(session, li);
         st.energy_acc[ei] += accepted;
         match class {
-            PacketClass::Control => st.traces[session].record_control_tx(size_bytes),
+            PacketClass::Control => {
+                st.traces[session].record_control_tx(size_bytes);
+                st.record_silence_control(
+                    cx.setup.silence.enabled,
+                    &fz.recovering,
+                    session,
+                    size_bytes,
+                );
+            }
             PacketClass::Data => st.traces[session].record_data_tx(size_bytes),
         }
         return;
@@ -533,13 +576,24 @@ fn try_send<A: ProtocolAgent>(
     let ei = st.eidx(session, li);
     st.energy_acc[ei] += accepted;
     match class {
-        PacketClass::Control => st.traces[session].record_control_tx(size_bytes),
+        PacketClass::Control => {
+            st.traces[session].record_control_tx(size_bytes);
+            st.record_silence_control(
+                cx.setup.silence.enabled,
+                &fz.recovering,
+                session,
+                size_bytes,
+            );
+        }
         PacketClass::Data => st.traces[session].record_data_tx(size_bytes),
     }
     let tx_end = tx_start + radio.tx_duration(size_bytes);
     let delivery_at = tx_start + radio.delivery_delay(size_bytes);
     let txs = st.tx_seq[li];
     st.tx_seq[li] += 1;
+    // MAC state rides the frame across shard boundaries: snapshotted once on the
+    // sender's shard (whose replica owns the sender's rows) and shared by every copy.
+    let piggyback: Option<Arc<[u16]>> = st.mac.piggyback_row(sender, class).map(Arc::from);
     // Loss is drawn from the sender's stream for every receiver in ascending order
     // (including depleted ones — their liveness is checked on their own shard at
     // delivery time), so the draw sequence is a pure function of the frozen topology.
@@ -557,6 +611,7 @@ fn try_send<A: ProtocolAgent>(
             tx_start,
             tx_end,
             lost,
+            piggyback: piggyback.clone(),
         };
         let dst = cx.shard_of[rx.index()] as usize;
         if dst == w {
@@ -593,6 +648,13 @@ fn apply_fault_sharded<A: ProtocolAgent>(
                     // Split borrow: agents and rngs are disjoint fields.
                     let ShardState { agents, rngs, .. } = st;
                     agents[ai].corrupt_state(&mut rngs[li]);
+                }
+                // Mirror the sequential engine's second pass: suppressed agents re-arm
+                // their beacon timers at the base cadence.
+                for session in 0..cx.setup.n_sessions() {
+                    with_agent(st, fz, cx, shared, w, session, node, t, |agent, ctx| {
+                        agent.on_corrupted(ctx)
+                    });
                 }
                 st.mac.corrupt(node);
             }
@@ -681,9 +743,16 @@ fn dispatch_event<A: ProtocolAgent>(
                 st.overhear_acc[ei] += accepted;
                 return;
             }
-            // A clean reception teaches the MAC (TDMA slot learning). The shard's MAC
-            // replica was prepared for sharding, so this only mutates rx-local state.
-            st.mac.on_overheard(rx, intent.sender, intent.class, intent.tx_start);
+            // A clean reception teaches the MAC (TDMA slot learning). The sender's
+            // claim-table row arrives piggybacked on the frame, so the receiver's
+            // per-shard replica reads exactly what a global instance would.
+            st.mac.on_overheard(
+                rx,
+                intent.sender,
+                intent.class,
+                intent.tx_start,
+                intent.piggyback.as_deref(),
+            );
             let packet = Packet {
                 sender: intent.sender,
                 class: intent.class,
@@ -985,6 +1054,7 @@ pub(super) fn run_sharded<A: ProtocolAgent>(
         positions: init_positions,
         index: SpatialIndex::default(),
         blackout_until: vec![SimTime::ZERO; n],
+        recovering: vec![false; n_sessions],
     };
     fz.index.rebuild(&fz.positions, cell_size);
 
@@ -1002,8 +1072,7 @@ pub(super) fn run_sharded<A: ProtocolAgent>(
     let mut states: Vec<ShardState<A>> = Vec::with_capacity(k);
     for (w, ids) in owned.iter().enumerate() {
         let cnt = ids.len();
-        let mut mac = sim.setup.mac.build(n, &sim.setup.seeds);
-        mac.prepare_sharded();
+        let mac = sim.setup.mac.build(n, &sim.setup.seeds);
         states.push(ShardState {
             owned: ids.clone(),
             queue: KeyedQueue::with_capacity(256),
@@ -1038,6 +1107,8 @@ pub(super) fn run_sharded<A: ProtocolAgent>(
             timers: HashMap::new(),
             scratch_actions: Vec::with_capacity(16),
             scratch_receivers: Vec::with_capacity(16),
+            silence_steady: vec![(0, 0); n_sessions],
+            silence_recovery: vec![(0, 0); n_sessions],
             fault_log: Vec::new(),
             log_faults,
             round_lane_min: u64::MAX,
@@ -1191,18 +1262,21 @@ pub(super) fn run_sharded<A: ProtocolAgent>(
             let next_blackout = blackouts.get(blackout_ptr).map(|b| b.0);
             let next_notify = notify_times.get(notify_ptr).copied();
             let mut next_special: Option<u64> = None;
-            for cand in [next_refresh, next_probe, next_sample, next_blackout, next_notify] {
+            for cand in [next_refresh, next_probe, next_sample, next_notify] {
                 next_special = match (next_special, cand) {
                     (Some(a), Some(c)) => Some(a.min(c)),
                     (a, c) => a.or(c),
                 };
             }
-            if let Some(sp) = next_special {
-                // All events ≤ sp are drained (m > sp covers lanes too, via the
-                // published round minima): the special instant is now observable.
-                if m > sp {
-                    let t = SimTime::from_nanos(sp);
-                    while blackouts.get(blackout_ptr).is_some_and(|b| b.0 == sp) {
+            // Blackouts mirror the sequential queue's fault-first rank: they take
+            // effect once everything *strictly earlier* has drained — BEFORE any
+            // same-instant packet/timer event, which the window bound below never
+            // lets a worker touch first. A sender transmitting at the blackout's
+            // own timestamp is already silenced, exactly as on the sequential engine.
+            if let Some(bt) = next_blackout {
+                if m >= bt && next_special.is_none_or(|sp| bt <= sp) {
+                    let t = SimTime::from_nanos(bt);
+                    while blackouts.get(blackout_ptr).is_some_and(|b| b.0 == bt) {
                         let (_, plan_idx, node, kind) = blackouts[blackout_ptr];
                         blackout_ptr += 1;
                         let FaultKind::Blackout { duration, .. } = kind else {
@@ -1226,6 +1300,14 @@ pub(super) fn run_sharded<A: ProtocolAgent>(
                             pending_blackout_notices.push((plan_idx, kind, applied));
                         }
                     }
+                    continue;
+                }
+            }
+            if let Some(sp) = next_special {
+                // All events ≤ sp are drained (m > sp covers lanes too, via the
+                // published round minima): the special instant is now observable.
+                if m > sp {
+                    let t = SimTime::from_nanos(sp);
                     if next_refresh == Some(sp) {
                         let positions = medium.positions(t);
                         let mut fzw = shared.frozen.write().unwrap_or_else(PoisonError::into_inner);
@@ -1254,6 +1336,13 @@ pub(super) fn run_sharded<A: ProtocolAgent>(
                                     observer.on_fault(kind, ctx);
                                 }
                             });
+                            if cx.setup.silence.enabled {
+                                let mut fzw =
+                                    shared.frozen.write().unwrap_or_else(PoisonError::into_inner);
+                                for s in 0..n_sessions {
+                                    fzw.recovering[s] = observer.session_recovering(s);
+                                }
+                            }
                         }
                     }
                     if next_probe == Some(sp) {
@@ -1262,6 +1351,13 @@ pub(super) fn run_sharded<A: ProtocolAgent>(
                         observe_sharded(&shared, &cx, t, &mut snapshot_cache, |ctx| {
                             observer.on_epoch(ctx)
                         });
+                        if cx.setup.silence.enabled {
+                            let mut fzw =
+                                shared.frozen.write().unwrap_or_else(PoisonError::into_inner);
+                            for s in 0..n_sessions {
+                                fzw.recovering[s] = observer.session_recovering(s);
+                            }
+                        }
                         let np =
                             sp.saturating_add(probe_epoch_ns.expect("epoch set with the probe"));
                         next_probe = (np <= horizon_ns).then_some(np);
@@ -1297,6 +1393,11 @@ pub(super) fn run_sharded<A: ProtocolAgent>(
             let mut b = m.saturating_add(delta_minus_1);
             if let Some(sp) = next_special {
                 b = b.min(sp);
+            }
+            // Stop the window one tick short of the next blackout so no worker can
+            // process an event *at* the blackout instant before the fault lands.
+            if let Some(bt) = next_blackout {
+                b = b.min(bt.saturating_sub(1));
             }
             b = b.min(horizon_ns);
             shared.window_end.store(b, Ordering::Release);
@@ -1426,6 +1527,19 @@ pub(super) fn run_sharded<A: ProtocolAgent>(
         report.groups = Some(groups);
     }
     report.lifetime = sim.lifetime_stats();
+    for s in 0..n_sessions {
+        let mut steady = (0u64, 0u64);
+        let mut recovery = (0u64, 0u64);
+        for st in &states {
+            steady.0 += st.silence_steady[s].0;
+            steady.1 += st.silence_steady[s].1;
+            recovery.0 += st.silence_recovery[s].0;
+            recovery.1 += st.silence_recovery[s].1;
+        }
+        sim.silence_steady[s] = steady;
+        sim.silence_recovery[s] = recovery;
+    }
+    report.silence = sim.silence_stats();
     if sim.setup.mac.reports_stats() {
         report.mac = Some(sharded_mac_stats(&states, duration));
     }

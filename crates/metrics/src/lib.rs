@@ -12,6 +12,7 @@ pub mod group;
 pub mod lifetime;
 pub mod mac;
 pub mod series;
+pub mod silence;
 pub mod stats;
 
 pub use convergence::ConvergenceStats;
@@ -20,4 +21,5 @@ pub use group::GroupStats;
 pub use lifetime::{LifetimeStats, RESIDUAL_HISTOGRAM_BINS};
 pub use mac::MacStats;
 pub use series::{Series, SeriesPoint};
+pub use silence::{SessionSilence, SilenceStats};
 pub use stats::SummaryStats;

@@ -1,0 +1,133 @@
+//! Silent-stabilization statistics: control bytes-on-air split by stabilization phase.
+//!
+//! Self-stabilizing protocols that beacon forever pay control overhead even when the
+//! network is already legitimate. With beacon suppression enabled
+//! (`ssmcast-manet`'s `SilenceConfig`), the runtime buckets every control transmission
+//! into the *steady-state* phase (the session's legitimacy predicate currently holds)
+//! or the *recovery* phase (a fault opened a convergence episode that has not closed
+//! yet). The split makes the suppression claim falsifiable: steady-state bytes must
+//! collapse while recovery bytes — the traffic that actually repairs the tree — stay.
+
+use serde::{Deserialize, Serialize};
+
+/// Control traffic of one multicast session, split by stabilization phase.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SessionSilence {
+    /// Control packets transmitted while the session's legitimacy predicate held.
+    pub steady_control_packets: u64,
+    /// Control bytes-on-air transmitted while the legitimacy predicate held.
+    pub steady_control_bytes: u64,
+    /// Control packets transmitted inside an open convergence episode.
+    pub recovery_control_packets: u64,
+    /// Control bytes-on-air transmitted inside an open convergence episode.
+    pub recovery_control_bytes: u64,
+}
+
+impl SessionSilence {
+    /// A zeroed per-session block.
+    pub fn empty() -> Self {
+        SessionSilence {
+            steady_control_packets: 0,
+            steady_control_bytes: 0,
+            recovery_control_packets: 0,
+            recovery_control_bytes: 0,
+        }
+    }
+}
+
+/// Phase-split control-traffic accounting over one simulation run.
+///
+/// Attached to a report only when beacon suppression is configured; its aggregate
+/// counters always sum to the run's total control packets/bytes, so the split loses
+/// nothing relative to the classic `control_packets` / `control_bytes` columns.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SilenceStats {
+    /// Control packets transmitted in the steady-state phase, network-wide.
+    pub steady_control_packets: u64,
+    /// Control bytes-on-air in the steady-state phase, network-wide.
+    pub steady_control_bytes: u64,
+    /// Control packets transmitted during recovery episodes, network-wide.
+    pub recovery_control_packets: u64,
+    /// Control bytes-on-air during recovery episodes, network-wide.
+    pub recovery_control_bytes: u64,
+    /// The same split per multicast session, in session order.
+    pub sessions: Vec<SessionSilence>,
+}
+
+impl SilenceStats {
+    /// Assemble the aggregate block from per-session splits.
+    pub fn from_sessions(sessions: Vec<SessionSilence>) -> Self {
+        let mut total = SessionSilence::empty();
+        for s in &sessions {
+            total.steady_control_packets += s.steady_control_packets;
+            total.steady_control_bytes += s.steady_control_bytes;
+            total.recovery_control_packets += s.recovery_control_packets;
+            total.recovery_control_bytes += s.recovery_control_bytes;
+        }
+        SilenceStats {
+            steady_control_packets: total.steady_control_packets,
+            steady_control_bytes: total.steady_control_bytes,
+            recovery_control_packets: total.recovery_control_packets,
+            recovery_control_bytes: total.recovery_control_bytes,
+            sessions,
+        }
+    }
+
+    /// Total control packets across both phases.
+    pub fn total_control_packets(&self) -> u64 {
+        self.steady_control_packets + self.recovery_control_packets
+    }
+
+    /// Total control bytes across both phases.
+    pub fn total_control_bytes(&self) -> u64 {
+        self.steady_control_bytes + self.recovery_control_bytes
+    }
+
+    /// Share of control bytes spent while the network was already legitimate
+    /// (0 when no control traffic was recorded).
+    pub fn steady_byte_share(&self) -> f64 {
+        let total = self.total_control_bytes();
+        if total == 0 {
+            0.0
+        } else {
+            self.steady_control_bytes as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_sum_the_sessions() {
+        let a = SessionSilence {
+            steady_control_packets: 10,
+            steady_control_bytes: 240,
+            recovery_control_packets: 2,
+            recovery_control_bytes: 48,
+        };
+        let b = SessionSilence {
+            steady_control_packets: 5,
+            steady_control_bytes: 120,
+            recovery_control_packets: 0,
+            recovery_control_bytes: 0,
+        };
+        let stats = SilenceStats::from_sessions(vec![a, b]);
+        assert_eq!(stats.steady_control_packets, 15);
+        assert_eq!(stats.steady_control_bytes, 360);
+        assert_eq!(stats.recovery_control_packets, 2);
+        assert_eq!(stats.recovery_control_bytes, 48);
+        assert_eq!(stats.total_control_packets(), 17);
+        assert_eq!(stats.total_control_bytes(), 408);
+        assert!((stats.steady_byte_share() - 360.0 / 408.0).abs() < 1e-12);
+        assert_eq!(stats.sessions.len(), 2);
+    }
+
+    #[test]
+    fn empty_split_has_zero_share() {
+        let stats = SilenceStats::from_sessions(vec![SessionSilence::empty()]);
+        assert_eq!(stats.total_control_bytes(), 0);
+        assert_eq!(stats.steady_byte_share(), 0.0);
+    }
+}

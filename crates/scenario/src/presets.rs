@@ -5,12 +5,12 @@
 
 use crate::experiment::Experiment;
 use crate::runner::run_protocol;
-use crate::scenario::{ProtocolKind, Scenario};
+use crate::scenario::{MobilityKind, ProtocolKind, Scenario};
 use crate::sink::{MemorySink, RunSink, TeeSink};
 use crate::sweep::{to_series, Metric, SweepCell};
 use serde::{Deserialize, Serialize};
 use ssmcast_core::MetricKind;
-use ssmcast_manet::MacConfig;
+use ssmcast_manet::{MacConfig, SilenceConfig};
 use ssmcast_metrics::Series;
 
 /// Which parameter a figure sweeps.
@@ -41,6 +41,10 @@ pub enum SweptParameter {
     MacKind,
     /// Offered load: the CBR source rate in kbit/s per session (clamped to ≥ 0).
     TrafficLoad,
+    /// Beacon-suppression backoff cap, as a multiple of the base beacon interval
+    /// (clamped to ≥ 1; suppression is switched on with the default schedule). x = 1
+    /// keeps the always-on cadence with phase accounting enabled — the baseline column.
+    SuppressionBackoff,
 }
 
 impl SweptParameter {
@@ -88,6 +92,9 @@ impl SweptParameter {
             SweptParameter::TrafficLoad => {
                 scenario.data_rate_bps = (x * 1000.0).max(0.0);
             }
+            SweptParameter::SuppressionBackoff => {
+                scenario.silence = SilenceConfig::on().with_max_interval_factor(x);
+            }
         }
     }
 
@@ -104,6 +111,7 @@ impl SweptParameter {
             SweptParameter::DutyCycle => "Radio duty cycle (awake fraction)",
             SweptParameter::MacKind => "MAC policy (0 = jitter, 1 = CSMA, 2 = SS-TDMA)",
             SweptParameter::TrafficLoad => "Offered load (kbit/s per source)",
+            SweptParameter::SuppressionBackoff => "Suppression backoff cap (x beacon interval)",
         }
     }
 }
@@ -154,11 +162,17 @@ pub enum FigureId {
     /// protocols: blind jitter vs carrier sensing vs Leone & Schiller-style
     /// self-stabilizing TDMA.
     FigMac,
+    /// Steady-state control bytes-on-air vs suppression backoff cap, the three
+    /// self-stabilizing tree protocols. Not a figure of the paper (its protocols
+    /// beacon forever) — it measures the silent-stabilization claim of Devismes,
+    /// Masuzawa & Tixeuil: once the legitimacy predicate holds, control traffic
+    /// should collapse toward the heartbeat floor while recovery traffic is spared.
+    FigSilence,
 }
 
 impl FigureId {
     /// All evaluation figures in order.
-    pub const ALL: [FigureId; 14] = [
+    pub const ALL: [FigureId; 15] = [
         FigureId::Fig7,
         FigureId::Fig8,
         FigureId::Fig9,
@@ -173,6 +187,7 @@ impl FigureId {
         FigureId::FigGroups,
         FigureId::FigLifetime,
         FigureId::FigMac,
+        FigureId::FigSilence,
     ];
 
     /// The preset describing how to regenerate this figure.
@@ -297,6 +312,18 @@ impl FigureId {
                 protocols: ProtocolKind::paper_four().to_vec(),
                 metric: Metric::CollisionRate,
             },
+            FigureId::FigSilence => FigureSpec {
+                id: self,
+                title: "Steady-State Control Bytes as a Function of Suppression Backoff Cap",
+                swept: SweptParameter::SuppressionBackoff,
+                xs: vec![1.0, 2.0, 4.0, 8.0, 16.0],
+                protocols: vec![
+                    ProtocolKind::SsSpst(MetricKind::Hop),
+                    ProtocolKind::SsSpst(MetricKind::EnergyAware),
+                    ProtocolKind::SsMst,
+                ],
+                metric: Metric::SteadyControlBytes,
+            },
         }
     }
 
@@ -317,6 +344,7 @@ impl FigureId {
             FigureId::FigGroups => "fig_groups",
             FigureId::FigLifetime => "fig_lifetime",
             FigureId::FigMac => "fig_mac",
+            FigureId::FigSilence => "fig_silence",
         }
     }
 }
@@ -402,6 +430,14 @@ pub fn base_scenario_for(spec: &FigureSpec) -> Scenario {
             s.max_speed_mps = 1.0;
             s.beacon_interval_s = 2.0;
             s.mac = MacConfig::csma();
+        }
+        SweptParameter::SuppressionBackoff => {
+            // Static topology, fault-free: the steady-state byte split should price
+            // the protocols' own beacon cadence, not mobility-induced repair traffic
+            // (every neighbour change is legitimate evidence that snaps the backoff).
+            s.mobility = MobilityKind::StaticGrid;
+            s.max_speed_mps = 1.0;
+            s.beacon_interval_s = 2.0;
         }
     }
     s
@@ -501,7 +537,7 @@ mod tests {
     fn figure_id_all_lists_every_variant_exactly_once() {
         // The match is the guard: adding a FigureId variant without extending it is a
         // compile error, and N_VARIANTS then forces ALL to grow with it.
-        const N_VARIANTS: usize = 14;
+        const N_VARIANTS: usize = 15;
         fn ordinal(id: FigureId) -> usize {
             match id {
                 FigureId::Fig7 => 0,
@@ -518,6 +554,7 @@ mod tests {
                 FigureId::FigGroups => 11,
                 FigureId::FigLifetime => 12,
                 FigureId::FigMac => 13,
+                FigureId::FigSilence => 14,
             }
         }
         assert_eq!(FigureId::ALL.len(), N_VARIANTS, "ALL drifted from the enum");
@@ -563,6 +600,26 @@ mod tests {
             let base = base_scenario_for(&spec);
             assert_eq!(base.n_nodes, 50);
         }
+    }
+
+    #[test]
+    fn silence_preset_sweeps_the_backoff_cap_on_a_static_topology() {
+        let spec = FigureId::FigSilence.spec();
+        assert_eq!(spec.swept, SweptParameter::SuppressionBackoff);
+        assert_eq!(spec.metric, Metric::SteadyControlBytes);
+        assert_eq!(spec.xs, vec![1.0, 2.0, 4.0, 8.0, 16.0]);
+        assert_eq!(spec.protocols.len(), 3, "the three self-stabilizing tree protocols");
+        assert!(spec.protocols.contains(&ProtocolKind::SsMst));
+        let base = base_scenario_for(&spec);
+        assert_eq!(base.mobility, MobilityKind::StaticGrid);
+        assert!(!base.silence.enabled, "the sweep itself switches suppression on per column");
+        let mut s = base;
+        SweptParameter::SuppressionBackoff.apply(&mut s, 16.0);
+        assert!(s.silence.enabled);
+        assert_eq!(s.silence.max_interval_factor, 16.0);
+        SweptParameter::SuppressionBackoff.apply(&mut s, 0.25);
+        assert_eq!(s.silence.max_interval_factor, 1.0, "cap clamps to the base cadence");
+        assert_eq!(FigureId::FigSilence.short_name(), "fig_silence");
     }
 
     #[test]

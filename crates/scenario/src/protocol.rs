@@ -9,7 +9,10 @@
 
 use crate::scenario::{ProtocolKind, Scenario};
 use ssmcast_baselines::{FloodingAgent, MaodvAgent, OdmrpAgent};
-use ssmcast_core::{MetricKind, MetricParams, SsSpstAgent, SsSpstConfig, StabilizationProbe};
+use ssmcast_core::{
+    MetricKind, MetricParams, SsMstAgent, SsMstConfig, SsSpstAgent, SsSpstConfig,
+    StabilizationProbe,
+};
 use ssmcast_dessim::SimDuration;
 use ssmcast_manet::{BoxedMobility, NetworkSim, NodeId, ProtocolAgent, SimReport, SimSetup};
 use std::collections::BTreeMap;
@@ -107,6 +110,7 @@ fn ss_spst_config(scenario: &Scenario, kind: MetricKind) -> SsSpstConfig {
             energy: scenario.radio.energy,
             data_packet_bytes: scenario.packet_size_bytes,
         },
+        silence: scenario.silence,
         ..SsSpstConfig::with_beacon_interval(
             kind,
             SimDuration::from_secs_f64(scenario.beacon_interval_s),
@@ -123,6 +127,16 @@ impl ProtocolKind {
                 kind.protocol_name(),
                 move |scenario: &Scenario, _node| SsSpstAgent::new(ss_spst_config(scenario, kind)),
             )),
+            ProtocolKind::SsMst => {
+                Arc::new(FnProtocol::from_agent_fn("SS-MST", |scenario: &Scenario, _node| {
+                    SsMstAgent::new(SsMstConfig {
+                        silence: scenario.silence,
+                        ..SsMstConfig::with_beacon_interval(SimDuration::from_secs_f64(
+                            scenario.beacon_interval_s,
+                        ))
+                    })
+                }))
+            }
             ProtocolKind::Maodv => {
                 Arc::new(FnProtocol::from_agent_fn("MAODV", |_, _| MaodvAgent::with_defaults()))
             }
@@ -135,11 +149,17 @@ impl ProtocolKind {
         }
     }
 
-    /// Every built-in protocol kind (all four SS-SPST variants plus the baselines).
+    /// Every built-in protocol kind (the four SS-SPST variants, SS-MST, and the
+    /// baselines).
     pub fn all_builtin() -> Vec<ProtocolKind> {
         let mut kinds: Vec<ProtocolKind> =
             MetricKind::ALL.iter().map(|&k| ProtocolKind::SsSpst(k)).collect();
-        kinds.extend([ProtocolKind::Maodv, ProtocolKind::Odmrp, ProtocolKind::Flooding]);
+        kinds.extend([
+            ProtocolKind::SsMst,
+            ProtocolKind::Maodv,
+            ProtocolKind::Odmrp,
+            ProtocolKind::Flooding,
+        ]);
         kinds
     }
 }
@@ -236,7 +256,7 @@ mod tests {
     #[test]
     fn builtin_names_round_trip_through_the_registry() {
         let registry = ProtocolRegistry::with_builtins();
-        assert_eq!(registry.len(), 7, "4 SS-SPST variants + MAODV + ODMRP + Flooding");
+        assert_eq!(registry.len(), 8, "4 SS-SPST variants + SS-MST + MAODV + ODMRP + Flooding");
         for kind in ProtocolKind::all_builtin() {
             let p = kind.to_protocol();
             let found = registry
@@ -291,10 +311,19 @@ mod tests {
         let mut registry = ProtocolRegistry::with_builtins();
         let displaced = registry.register(ProtocolKind::Flooding.to_protocol());
         assert!(displaced.is_some(), "re-registering a name returns the old factory");
-        assert_eq!(registry.len(), 7);
+        assert_eq!(registry.len(), 8);
         assert_eq!(
             registry.names(),
-            vec!["Flooding", "MAODV", "ODMRP", "SS-SPST", "SS-SPST-E", "SS-SPST-F", "SS-SPST-T"]
+            vec![
+                "Flooding",
+                "MAODV",
+                "ODMRP",
+                "SS-MST",
+                "SS-SPST",
+                "SS-SPST-E",
+                "SS-SPST-F",
+                "SS-SPST-T"
+            ]
         );
     }
 }

@@ -173,6 +173,7 @@ pub fn build_setup(scenario: &Scenario, seeds: SeedSequence) -> SimSetup {
         seeds,
         medium: scenario.medium,
         engine: scenario.engine,
+        silence: scenario.silence,
     }
 }
 

@@ -5,6 +5,7 @@ use ssmcast_core::MetricKind;
 use ssmcast_dessim::SimDuration;
 use ssmcast_manet::{
     EngineConfig, FaultPlanSpec, LifecycleConfig, MacConfig, MediumConfig, RadioConfig,
+    SilenceConfig,
 };
 
 /// Which multicast protocol to run on a scenario.
@@ -12,6 +13,9 @@ use ssmcast_manet::{
 pub enum ProtocolKind {
     /// One of the SS-SPST family, selected by its cost metric.
     SsSpst(MetricKind),
+    /// Self-stabilizing minimum-bottleneck spanning tree (loop-free construction in
+    /// the style of Blin et al.), sharing the SS-SPST beacon machinery.
+    SsMst,
     /// Multicast AODV (tree-based, on-demand).
     Maodv,
     /// ODMRP (mesh-based, on-demand).
@@ -25,6 +29,7 @@ impl ProtocolKind {
     pub fn name(self) -> &'static str {
         match self {
             ProtocolKind::SsSpst(kind) => kind.protocol_name(),
+            ProtocolKind::SsMst => "SS-MST",
             ProtocolKind::Maodv => "MAODV",
             ProtocolKind::Odmrp => "ODMRP",
             ProtocolKind::Flooding => "Flooding",
@@ -155,6 +160,11 @@ pub struct Scenario {
     /// for byte; [`EngineConfig::sharded`] runs the region-parallel engine, whose
     /// reports are invariant in the shard count.
     pub engine: EngineConfig,
+    /// Adaptive beacon suppression ("silent stabilization") for the self-stabilizing
+    /// tree protocols. [`SilenceConfig::off`] (the default) keeps the classic cadence
+    /// and wire format byte for byte; enabling it attaches a `SilenceStats` block
+    /// splitting control bytes into steady-state and recovery traffic per session.
+    pub silence: SilenceConfig,
     /// Master seed; repetitions derive child seeds from it.
     pub seed: u64,
 }
@@ -185,6 +195,7 @@ impl Scenario {
             faults: FaultPlanSpec::none(),
             mac: MacConfig::default(),
             engine: EngineConfig::default(),
+            silence: SilenceConfig::off(),
             seed: 0x55_5357,
         }
     }
@@ -222,6 +233,12 @@ impl Scenario {
     /// The same scenario on the sharded engine with `shards` worker threads.
     pub fn with_shards(mut self, shards: u32) -> Self {
         self.engine = EngineConfig { shards: shards.max(1), ..self.engine };
+        self
+    }
+
+    /// The same scenario under an adaptive beacon-suppression policy.
+    pub fn with_silence(mut self, silence: SilenceConfig) -> Self {
+        self.silence = silence;
         self
     }
 
@@ -291,6 +308,7 @@ mod tests {
     #[test]
     fn names_match_figure_legends() {
         assert_eq!(ProtocolKind::SsSpst(MetricKind::EnergyAware).name(), "SS-SPST-E");
+        assert_eq!(ProtocolKind::SsMst.name(), "SS-MST");
         assert_eq!(ProtocolKind::Odmrp.name(), "ODMRP");
         assert_eq!(ProtocolKind::Maodv.name(), "MAODV");
         let names: Vec<_> = ProtocolKind::paper_four().iter().map(|p| p.name()).collect();
@@ -376,6 +394,16 @@ mod tests {
         let tuned = s.with_mac(MacConfig::ss_tdma());
         assert_eq!(tuned.mac.kind, MacKind::SsTdma);
         assert!(tuned.mac.reports_stats());
+    }
+
+    #[test]
+    fn silence_defaults_off_and_is_overridable() {
+        let s = Scenario::paper_default();
+        assert_eq!(s.silence, SilenceConfig::off());
+        assert!(!s.silence.enabled, "default runs keep the classic cadence byte for byte");
+        let tuned = s.with_silence(SilenceConfig::on().with_max_interval_factor(16.0));
+        assert!(tuned.silence.enabled);
+        assert_eq!(tuned.silence.max_interval_factor, 16.0);
     }
 
     #[test]

@@ -348,6 +348,7 @@ mod tests {
             groups: None,
             lifetime: None,
             mac: None,
+            silence: None,
             engine: None,
         };
         SweepCell { x, protocol: protocol.to_string(), reports: vec![report] }

@@ -36,6 +36,11 @@ pub enum Metric {
     /// Fraction of receptions lost to channel collisions, from the report's `MacStats`
     /// block. 0 for runs whose MAC policy reports no stats (the byte-identical default).
     CollisionRate,
+    /// Control bytes-on-air spent while the session's legitimacy predicate held, from
+    /// the report's `SilenceStats` block. Runs without the block (suppression off)
+    /// report their *total* control bytes — for an always-on protocol every control
+    /// byte is steady-state spend, so the two axes are directly comparable.
+    SteadyControlBytes,
 }
 
 impl Metric {
@@ -70,6 +75,10 @@ impl Metric {
                 .as_ref()
                 .map_or(report.duration_s, |l| l.time_to_first_death_s(report.duration_s)),
             Metric::CollisionRate => report.mac.as_ref().map_or(0.0, |m| m.collision_rate),
+            Metric::SteadyControlBytes => report
+                .silence
+                .as_ref()
+                .map_or(report.control_bytes as f64, |s| s.steady_control_bytes as f64),
         }
     }
 
@@ -85,6 +94,7 @@ impl Metric {
             Metric::UnrecoveredRatio => "Unrecovered Fault Episodes (ratio)",
             Metric::TimeToFirstDeathS => "Time to First Node Death (s)",
             Metric::CollisionRate => "Collision Rate (collided / receptions)",
+            Metric::SteadyControlBytes => "Steady-State Control Bytes on Air",
         }
     }
 }

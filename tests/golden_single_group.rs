@@ -43,6 +43,9 @@ fn single_group_reports_match_the_pre_refactor_golden_bytes() {
     // And for the engine: the default sequential loop with stats off must not attach an
     // EngineStats block — the pre-sharding golden bytes are the contract.
     assert!(!now.contains("\"engine\""), "EngineStats block leaked into a default-engine run");
+    // Beacon suppression defaults to off, and off means *absent*: no silence block, no
+    // phase-split counters, byte-identical reports.
+    assert!(!now.contains("\"silence\""), "SilenceStats block leaked into a suppression-off run");
 }
 
 /// Regenerate the golden file (run manually: `GOLDEN_WRITE=1 cargo test --test

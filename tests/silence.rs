@@ -1,0 +1,115 @@
+//! Silent stabilization, end to end: with beacon suppression enabled the steady-state
+//! control bytes must collapse (that is the point of the feature), the phase split must
+//! lose nothing relative to the classic control counters, and — the safety side —
+//! fault recovery must stay statistically where the always-on protocol put it, because
+//! evidence of illegitimacy snaps every agent back to the full beacon rate.
+
+use ssmcast::core::MetricKind;
+use ssmcast::manet::{FaultPlanSpec, SilenceConfig};
+use ssmcast::scenario::{run_protocol, Metric, MobilityKind, ProtocolKind, Scenario};
+
+/// A stationary single-group scenario: no mobility repair traffic, so every control
+/// byte after convergence is pure legitimacy-confirmation spend — the regime the
+/// suppression mechanism targets.
+fn static_scenario() -> Scenario {
+    let mut s = Scenario::quick_test().with_mobility(MobilityKind::StaticGrid);
+    s.duration_s = 120.0;
+    s.warmup_s = 5.0;
+    s.n_nodes = 16;
+    s.group_size = 6;
+    s
+}
+
+#[test]
+fn suppression_attaches_a_lossless_phase_split() {
+    let s = static_scenario().with_silence(SilenceConfig::on());
+    let report = run_protocol(&s, ProtocolKind::SsSpst(MetricKind::Hop).to_protocol().as_ref());
+    let silence = report.silence.as_ref().expect("suppression-on runs attach a silence block");
+    assert_eq!(silence.sessions.len(), 1, "one block per multicast session");
+    // The split is an exact partition of the classic counters — nothing double-counted,
+    // nothing dropped.
+    assert_eq!(silence.total_control_packets(), report.control_packets);
+    assert_eq!(silence.total_control_bytes(), report.control_bytes);
+}
+
+#[test]
+fn steady_state_bytes_collapse_at_least_tenfold() {
+    // The headline claim: on a quiet, legitimate network, suppressed agents spend at
+    // least 10x fewer bytes-on-air than the always-on baseline. The baseline run has
+    // no silence block, so *all* of its control bytes are steady-state spend (there is
+    // no fault and no mobility; nothing it transmits repairs anything). The run is
+    // paper-length (900 s) on exact physics: the cold-start convergence phase beacons
+    // at full rate whatever the cap, so the collapse only shows once the capped
+    // heartbeat has had time to amortize it — and channel loss must not spuriously
+    // expire neighbours whose every beacon now matters.
+    let mut quiet = static_scenario();
+    quiet.duration_s = 900.0;
+    quiet.radio.loss_probability = 0.0;
+    quiet.radio.collisions_enabled = false;
+    let kind = ProtocolKind::SsSpst(MetricKind::Hop);
+    let baseline = run_protocol(&quiet, kind.to_protocol().as_ref());
+    let suppressed = run_protocol(
+        &quiet.with_silence(SilenceConfig::on().with_max_interval_factor(16.0)),
+        kind.to_protocol().as_ref(),
+    );
+    let silence = suppressed.silence.as_ref().expect("suppression-on runs attach a silence block");
+    assert!(
+        silence.steady_control_bytes.saturating_mul(10) <= baseline.control_bytes,
+        "steady-state bytes must drop >= 10x: suppressed {} vs always-on {}",
+        silence.steady_control_bytes,
+        baseline.control_bytes
+    );
+    // The drop must come from silence, not from breaking the tree: delivery stays put.
+    assert!(
+        suppressed.pdr >= baseline.pdr - 0.02,
+        "suppression must not cost delivery ({} vs {})",
+        suppressed.pdr,
+        baseline.pdr
+    );
+}
+
+#[test]
+fn fault_recovery_is_statistically_unchanged_under_suppression() {
+    // The safety half of the trade: suppression only slows the *confirmation* traffic.
+    // On the FigFaults workload (corruption bursts mid-run), recovery must stay within
+    // noise of the always-on run — staleness expiry tracks each neighbor's advertised
+    // next-beacon bound, and any evidence of illegitimacy snaps the rate back — and no
+    // episode may be left unrecovered that the baseline recovered.
+    let mut base = static_scenario();
+    base.duration_s = 90.0;
+    base = base.with_faults(FaultPlanSpec::corruption(4, 0.3, 15.0, 60.0));
+    let kind = ProtocolKind::SsSpst(MetricKind::EnergyAware);
+
+    let (mut recovery_off, mut recovery_on) = (0.0f64, 0.0f64);
+    let (mut unrecovered_off, mut unrecovered_on) = (0u64, 0u64);
+    for seed in [11u64, 23, 47] {
+        let mut off = base;
+        off.seed = seed;
+        let on = off.with_silence(SilenceConfig::on());
+        let off_report = run_protocol(&off, kind.to_protocol().as_ref());
+        let on_report = run_protocol(&on, kind.to_protocol().as_ref());
+        recovery_off += Metric::MeanRecoveryS.extract(&off_report);
+        recovery_on += Metric::MeanRecoveryS.extract(&on_report);
+        unrecovered_off += off_report.convergence.as_ref().map_or(0, |c| c.unrecovered);
+        unrecovered_on += on_report.convergence.as_ref().map_or(0, |c| c.unrecovered);
+        // The suppressed run must still have spent real bytes on those recoveries.
+        let silence = on_report.silence.as_ref().expect("silence block attaches");
+        assert!(silence.recovery_control_bytes > 0, "faulted runs bucket repair traffic");
+    }
+    recovery_off /= 3.0;
+    recovery_on /= 3.0;
+    assert_eq!(
+        unrecovered_on, unrecovered_off,
+        "suppression must not strand episodes the always-on run recovered"
+    );
+    // Generous statistical slack: the suppressed run may detect a fault up to one
+    // advertised beacon bound later, but must not change the recovery regime.
+    assert!(
+        recovery_on <= recovery_off * 1.5 + 1.0,
+        "suppressed recovery ({recovery_on:.2}s) left the always-on regime ({recovery_off:.2}s)"
+    );
+    assert!(
+        recovery_off <= recovery_on * 1.5 + 1.0,
+        "always-on recovery ({recovery_off:.2}s) left the suppressed regime ({recovery_on:.2}s)"
+    );
+}
