@@ -6,7 +6,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use ssmcast_core::{cost_via, figure1_topology, MetricKind, MetricParams, ParentView, SyncModel};
 use ssmcast_dessim::{SimDuration, SimTime, Simulator};
 use ssmcast_manet::{FaultPlanSpec, MacConfig, MediumConfig, SilenceConfig};
-use ssmcast_scenario::{run_protocol, ProtocolKind, Scenario};
+use ssmcast_scenario::{run_protocol, MetricsConfig, ProtocolKind, Scenario};
 
 fn bench_event_queue(c: &mut Criterion) {
     c.bench_function("dessim/schedule_and_drain_10k_events", |b| {
@@ -80,6 +80,12 @@ fn bench_broadcast_medium(c: &mut Criterion) {
         ("grid", MediumConfig::grid().with_epoch(epoch)),
         ("bruteforce", MediumConfig::brute_force().with_epoch(epoch)),
     ] {
+        // The brute-force variant exists to price the O(n) scan against the grid; in
+        // `--quick` CI smoke mode it proves nothing the grid run doesn't and costs
+        // ~43 ms/sample, so it only runs in full mode (the JSON config notes this).
+        if name == "bruteforce" && criterion::is_quick() {
+            continue;
+        }
         let scenario = base.with_medium(medium);
         group.bench_function(name, |b| {
             b.iter(|| {
@@ -277,6 +283,46 @@ fn bench_sharded_engine(c: &mut Criterion) {
     group.finish();
 }
 
+/// Exact vs streaming report accumulation on a long-horizon n = 2000 lifetime flood:
+/// ten times the horizon of the other large-n runs, finite batteries and a 50 ms
+/// lifetime sample epoch, so exact-mode report state (per-packet latency/dedup maps,
+/// per-epoch curves) grows with the horizon while streaming mode holds its fixed
+/// sketch budgets. The streaming variant runs FIRST on purpose: the JSON report's
+/// VmHWM columns are a monotone process-wide high-water mark, so any peak-RSS growth
+/// the exact variant then shows on top of it is the exact report layer's own
+/// footprint. Scalar report metrics are bit-equal between the two modes (see
+/// `tests/streaming_equivalence.rs`), so the pair prices pure accounting overhead.
+fn bench_long_horizon(c: &mut Criterion) {
+    let base = {
+        let mut s = Scenario::paper_default();
+        s.n_nodes = 2_000;
+        s.area_side_m = 5_600.0;
+        s.group_size = 50;
+        s.duration_s = 10.0;
+        s.warmup_s = 0.25;
+        s.medium = MediumConfig::grid().with_epoch(SimDuration::from_millis(200));
+        s.lifecycle.sample_epoch = SimDuration::from_millis(50);
+        s.with_battery_capacity(100.0).with_idle_power(1e-4, 1e-6)
+    };
+    let mut group = c.benchmark_group("manet/long_horizon_n2000");
+    group.sample_size(2);
+    for (name, metrics) in
+        [("streaming", MetricsConfig::streaming()), ("exact", MetricsConfig::exact())]
+    {
+        let scenario = base.with_metrics(metrics);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let report = run_protocol(
+                    black_box(&scenario),
+                    ProtocolKind::Flooding.to_protocol().as_ref(),
+                );
+                black_box(report)
+            })
+        });
+    }
+    group.finish();
+}
+
 /// Beacon suppression off vs on, SS-SPST-E at n = 500. Suppression prices the extra
 /// per-round silence bookkeeping plus the phase-split accounting — and on a short run
 /// mostly measures that the feature costs nothing when the network is still
@@ -320,6 +366,7 @@ criterion_group!(
     bench_energy_lifecycle,
     bench_mac,
     bench_sharded_engine,
+    bench_long_horizon,
     bench_silence
 );
 criterion_main!(benches);

@@ -28,6 +28,23 @@ fn quick_mode() -> bool {
     *QUICK.get_or_init(|| std::env::args().skip(1).any(|a| a == "--quick"))
 }
 
+/// True if the bench binary is running in `--quick` CI smoke mode. Bench targets can
+/// use this to gate exhaustive variants that contribute nothing to a smoke run.
+pub fn is_quick() -> bool {
+    quick_mode()
+}
+
+/// Peak resident set size of this process so far, bytes, read from
+/// `/proc/self/status` `VmHWM` (Linux only; `None` elsewhere or on parse failure).
+/// The kernel's high-water mark is monotone: sampling it before and after a bench
+/// shows whether that bench pushed the peak, not how much it currently holds.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
 /// One finished benchmark's timings, queued for the JSON report.
 struct BenchRecord {
     name: String,
@@ -36,6 +53,12 @@ struct BenchRecord {
     mean_ns: u128,
     min_ns: u128,
     max_ns: u128,
+    /// Process peak RSS before the bench ran, bytes (0 when unreadable).
+    rss_before_bytes: u64,
+    /// Process peak RSS after the bench ran, bytes (0 when unreadable). A bench that
+    /// raised the high-water mark shows `rss_after > rss_before`; the delta bounds the
+    /// bench's own footprint from below.
+    rss_after_bytes: u64,
 }
 
 fn results() -> &'static Mutex<Vec<BenchRecord>> {
@@ -61,21 +84,29 @@ fn render_json_report() -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"quick\": {},\n", quick_mode()));
     out.push_str("  \"config\": {");
+    // `exhaustive_variants_skipped` notes that bench targets gate their exhaustive
+    // variants (e.g. brute-force physics re-runs) behind full mode via `is_quick()`:
+    // a quick report that lacks those rows is complete, not truncated.
     out.push_str(&format!(
-        "\"batch_target_ms\": {}, \"max_samples_in_quick\": 2",
-        if quick_mode() { 1 } else { 10 }
+        "\"batch_target_ms\": {}, \"max_samples_in_quick\": 2, \
+         \"exhaustive_variants_skipped\": {}",
+        if quick_mode() { 1 } else { 10 },
+        quick_mode()
     ));
     out.push_str("},\n  \"benches\": [\n");
     for (i, r) in records.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"samples\": {}, \"batch\": {}, \"mean_ns\": {}, \
-             \"min_ns\": {}, \"max_ns\": {}}}{}\n",
+             \"min_ns\": {}, \"max_ns\": {}, \"rss_before_bytes\": {}, \
+             \"rss_after_bytes\": {}}}{}\n",
             escape(&r.name),
             r.samples,
             r.batch,
             r.mean_ns,
             r.min_ns,
             r.max_ns,
+            r.rss_before_bytes,
+            r.rss_after_bytes,
             if i + 1 == records.len() { "" } else { "," }
         ));
     }
@@ -214,8 +245,10 @@ where
     F: FnMut(&mut Bencher),
 {
     let sample_size = if quick_mode() { sample_size.min(2) } else { sample_size };
+    let rss_before = peak_rss_bytes().unwrap_or(0);
     let mut b = Bencher { samples: Vec::new(), sample_size, batch: 0 };
     f(&mut b);
+    let rss_after = peak_rss_bytes().unwrap_or(0);
     if b.samples.is_empty() {
         println!("{name:<50} (no samples)");
         return;
@@ -232,6 +265,8 @@ where
         mean_ns: mean.as_nanos(),
         min_ns: min.as_nanos(),
         max_ns: max.as_nanos(),
+        rss_before_bytes: rss_before,
+        rss_after_bytes: rss_after,
     });
 }
 
@@ -288,6 +323,20 @@ mod tests {
         assert!(report.contains("\"benches\": ["));
         // The report is structurally valid enough for jq: balanced braces/brackets.
         assert_eq!(report.matches('[').count(), report.matches(']').count());
+    }
+
+    #[test]
+    fn rss_fields_ride_along_in_the_report() {
+        let mut c = Criterion::default();
+        c.bench_function("shim/rss", |b| b.iter(|| black_box(vec![0u8; 4096].len())));
+        let report = render_json_report();
+        assert!(report.contains("\"rss_before_bytes\": "), "{report}");
+        assert!(report.contains("\"rss_after_bytes\": "), "{report}");
+        // On Linux the high-water mark is readable and monotone.
+        if let Some(rss) = peak_rss_bytes() {
+            assert!(rss > 0);
+            assert!(peak_rss_bytes().unwrap() >= rss, "VmHWM never shrinks");
+        }
     }
 
     #[test]

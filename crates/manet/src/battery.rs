@@ -27,6 +27,7 @@ pub enum EnergyUse {
 pub struct Battery {
     capacity_j: f64,
     consumed_j: f64,
+    harvested_j: f64,
     tx_control_j: f64,
     tx_data_j: f64,
     rx_control_j: f64,
@@ -49,6 +50,7 @@ impl Battery {
         Battery {
             capacity_j,
             consumed_j: 0.0,
+            harvested_j: 0.0,
             tx_control_j: 0.0,
             tx_data_j: 0.0,
             rx_control_j: 0.0,
@@ -105,6 +107,25 @@ impl Battery {
         !self.is_depleted()
     }
 
+    /// Restore up to `joules` of charge (energy harvesting). Consumption stays gross —
+    /// `consumed()` and the per-category breakdown are lifetime totals untouched by
+    /// recharge, so energy-conservation identities over consumption keep holding.
+    /// Clamped so the stored charge never exceeds the capacity; a physical no-op for
+    /// unlimited batteries. Returns the amount actually banked.
+    pub fn recharge(&mut self, joules: f64) -> f64 {
+        if self.is_unlimited() {
+            return 0.0;
+        }
+        let allowed = joules.max(0.0).min((self.consumed_j - self.harvested_j).max(0.0));
+        self.harvested_j += allowed;
+        allowed
+    }
+
+    /// Total energy banked by [`Self::recharge`] over the battery's lifetime, joules.
+    pub fn harvested(&self) -> f64 {
+        self.harvested_j
+    }
+
     /// Energy removed by drain spikes, joules.
     pub fn drained(&self) -> f64 {
         self.drained_j
@@ -117,7 +138,7 @@ impl Battery {
 
     /// Remaining energy, joules (infinite for unlimited batteries).
     pub fn remaining(&self) -> f64 {
-        (self.capacity_j - self.consumed_j).max(0.0)
+        (self.capacity_j + self.harvested_j - self.consumed_j).max(0.0)
     }
 
     /// The battery's capacity, joules (infinite for unlimited batteries).
@@ -125,9 +146,9 @@ impl Battery {
         self.capacity_j
     }
 
-    /// True once consumption has reached capacity.
+    /// True once consumption has reached capacity plus everything harvested since.
     pub fn is_depleted(&self) -> bool {
-        self.consumed_j >= self.capacity_j
+        self.consumed_j >= self.capacity_j + self.harvested_j
     }
 
     /// True for batteries with unlimited capacity (the paper's default), which can
@@ -254,6 +275,32 @@ mod tests {
         assert_eq!(tc + td + rc + rd + oh, 1.0, "continuous drain is not per-packet radio work");
         // Conservation identity used by the lifecycle proptests.
         assert_eq!(tc + td + rc + rd + oh + b.idle_listened() + b.slept() + b.drained(), 1.3125);
+    }
+
+    #[test]
+    fn recharge_revives_a_depleted_battery_without_rewriting_history() {
+        let mut b = Battery::with_capacity(1.0);
+        b.consume(1.0, EnergyUse::TxData);
+        assert!(b.is_depleted());
+        assert_eq!(b.recharge(0.25), 0.25);
+        assert!(!b.is_depleted(), "harvested charge revives the node");
+        assert_eq!(b.remaining(), 0.25);
+        assert_eq!(b.consumed(), 1.0, "recharge never rewrites consumption history");
+        assert_eq!(b.harvested(), 0.25);
+        // Spend the bank and recharge past full: the clamp stops at capacity.
+        b.consume(0.25, EnergyUse::RxData);
+        assert_eq!(b.consumed(), 1.25);
+        assert_eq!(b.recharge(10.0), 1.0, "stored charge can never exceed capacity");
+        assert_eq!(b.remaining(), 1.0);
+    }
+
+    #[test]
+    fn recharge_is_a_no_op_for_unlimited_batteries() {
+        let mut b = Battery::unlimited();
+        b.consume(2.0, EnergyUse::TxData);
+        assert_eq!(b.recharge(5.0), 0.0);
+        assert_eq!(b.harvested(), 0.0);
+        assert!(b.remaining().is_infinite());
     }
 
     #[test]

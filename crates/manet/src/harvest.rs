@@ -1,0 +1,154 @@
+//! Energy-harvesting node model: harvest-until-threshold wake.
+//!
+//! A harvesting node that depletes its battery is not permanently dead: it sits dark,
+//! trickle-charging from its environment (solar, vibration, RF) at a seeded per-node
+//! rate, and wakes once it has banked a configured fraction of its capacity. This is
+//! the harvest-until-threshold policy of capacitor-backed sensor nodes: waking at the
+//! first joule would brown out immediately, so the node stays down until the bank can
+//! sustain a useful burst of operation.
+//!
+//! The model layers on the existing battery/duty plumbing: depletion still fires the
+//! lifetime accounting (`first_death_s` reports the *first* depletion even if the node
+//! later revives), the wake restores energy through [`crate::battery::Battery::recharge`]
+//! and restarts the node's protocol agents exactly like a fault-layer rejoin. Harvest
+//! runs use the sequential engine; the sharded engine declines the handoff when
+//! harvesting is enabled.
+
+use crate::node::NodeId;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use ssmcast_dessim::{SeedSequence, SimDuration};
+
+/// Energy-harvesting knobs. [`HarvestConfig::off`] (the default) keeps runs
+/// byte-identical to pre-harvest builds: depletion stays permanent.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HarvestConfig {
+    /// Master switch. Off: battery depletion is permanent node death.
+    pub enabled: bool,
+    /// Slowest per-node harvest rate, watts. Each node draws its rate uniformly from
+    /// `[min_rate_w, max_rate_w]` using the seed sequence's dedicated `"harvest"`
+    /// stream, so enabling harvesting never perturbs protocol, loss or churn draws.
+    pub min_rate_w: f64,
+    /// Fastest per-node harvest rate, watts.
+    pub max_rate_w: f64,
+    /// Fraction of the battery capacity a depleted node banks before waking
+    /// (harvest-until-threshold). Clamped to `(0, 1]` at plan build.
+    pub wake_fraction: f64,
+}
+
+impl HarvestConfig {
+    /// Harvesting disabled — depletion is permanent (the historical behaviour).
+    pub fn off() -> Self {
+        HarvestConfig { enabled: false, min_rate_w: 0.0, max_rate_w: 0.0, wake_fraction: 0.25 }
+    }
+
+    /// Harvesting enabled with per-node rates uniform in `[min_rate_w, max_rate_w]`
+    /// and wake at `wake_fraction` of capacity.
+    pub fn on(min_rate_w: f64, max_rate_w: f64, wake_fraction: f64) -> Self {
+        HarvestConfig { enabled: true, min_rate_w, max_rate_w, wake_fraction }
+    }
+}
+
+impl Default for HarvestConfig {
+    fn default() -> Self {
+        HarvestConfig::off()
+    }
+}
+
+/// Materialised per-node harvest rates plus the wake threshold, drawn once per run
+/// from the seed sequence's `"harvest"` stream (mirroring `DutySchedule::from_seeds`).
+#[derive(Clone, Debug)]
+pub struct HarvestPlan {
+    rates_w: Vec<f64>,
+    wake_energy_j: f64,
+}
+
+impl HarvestPlan {
+    /// Draw per-node rates for `n` nodes. Disabled configs (and unlimited batteries,
+    /// which can never deplete) produce an inert plan that schedules no wakes.
+    pub fn from_seeds(
+        cfg: &HarvestConfig,
+        n: usize,
+        battery_capacity_j: f64,
+        seeds: &SeedSequence,
+    ) -> Self {
+        if !cfg.enabled || !battery_capacity_j.is_finite() {
+            return HarvestPlan { rates_w: Vec::new(), wake_energy_j: 0.0 };
+        }
+        let lo = cfg.min_rate_w.max(0.0);
+        let hi = cfg.max_rate_w.max(lo);
+        let mut rng = seeds.stream("harvest");
+        let rates_w = (0..n).map(|_| lo + (hi - lo) * rng.gen::<f64>()).collect();
+        let fraction = cfg.wake_fraction.clamp(f64::MIN_POSITIVE, 1.0);
+        HarvestPlan { rates_w, wake_energy_j: fraction * battery_capacity_j }
+    }
+
+    /// Energy a depleted node banks before waking, joules.
+    pub fn wake_energy_j(&self) -> f64 {
+        self.wake_energy_j
+    }
+
+    /// `node`'s harvest rate, watts (zero for inert plans).
+    pub fn rate_w(&self, node: NodeId) -> f64 {
+        self.rates_w.get(node.index()).copied().unwrap_or(0.0)
+    }
+
+    /// How long `node` needs to bank its wake threshold, or `None` when it can never
+    /// wake (inert plan, zero rate).
+    pub fn wake_delay(&self, node: NodeId) -> Option<SimDuration> {
+        let rate = self.rate_w(node);
+        if rate <= 0.0 || self.wake_energy_j <= 0.0 {
+            return None;
+        }
+        let secs = self.wake_energy_j / rate;
+        secs.is_finite().then(|| SimDuration::from_secs_f64(secs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_plan_is_inert() {
+        let seeds = SeedSequence::new(7);
+        let plan = HarvestPlan::from_seeds(&HarvestConfig::off(), 16, 50.0, &seeds);
+        assert_eq!(plan.rate_w(NodeId(3)), 0.0);
+        assert!(plan.wake_delay(NodeId(3)).is_none());
+    }
+
+    #[test]
+    fn unlimited_batteries_never_schedule_wakes() {
+        let seeds = SeedSequence::new(7);
+        let cfg = HarvestConfig::on(0.01, 0.02, 0.25);
+        let plan = HarvestPlan::from_seeds(&cfg, 16, f64::INFINITY, &seeds);
+        assert!(plan.wake_delay(NodeId(0)).is_none());
+    }
+
+    #[test]
+    fn rates_are_seeded_bounded_and_deterministic() {
+        let cfg = HarvestConfig::on(0.001, 0.004, 0.5);
+        let a = HarvestPlan::from_seeds(&cfg, 64, 100.0, &SeedSequence::new(42));
+        let b = HarvestPlan::from_seeds(&cfg, 64, 100.0, &SeedSequence::new(42));
+        let c = HarvestPlan::from_seeds(&cfg, 64, 100.0, &SeedSequence::new(43));
+        let mut varied = false;
+        for i in 0..64 {
+            let node = NodeId(i);
+            let r = a.rate_w(node);
+            assert!((0.001..=0.004).contains(&r), "rate in configured band: {r}");
+            assert_eq!(r, b.rate_w(node), "same seed, same plan");
+            varied |= r != c.rate_w(node);
+        }
+        assert!(varied, "different seeds draw different rates");
+        assert_eq!(a.wake_energy_j(), 50.0);
+    }
+
+    #[test]
+    fn wake_delay_is_threshold_over_rate() {
+        let cfg = HarvestConfig::on(0.01, 0.01, 0.2);
+        let plan = HarvestPlan::from_seeds(&cfg, 4, 50.0, &SeedSequence::new(1));
+        // 0.2 × 50 J at exactly 0.01 W: 1000 s to wake.
+        let delay = plan.wake_delay(NodeId(2)).expect("enabled plan wakes");
+        assert!((delay.as_secs_f64() - 1000.0).abs() < 1e-6);
+    }
+}

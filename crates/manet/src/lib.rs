@@ -11,6 +11,8 @@
 //! * [`lifecycle`] — the energy lifecycle: seeded radio duty-cycle schedules,
 //!   idle/sleep drain rates and distance-based TX power control; battery depletion is
 //!   a permanent node death feeding the [`ssmcast_metrics::LifetimeStats`] block.
+//! * [`harvest`] — energy-harvesting node model: seeded per-node harvest rates and
+//!   harvest-until-threshold wake, turning depletion into a power-cycling episode.
 //! * [`channel`] — broadcast medium occupancy and the capture-effect collision model.
 //! * [`mac`] — pluggable medium-access policies deciding when pending broadcasts hit
 //!   the air: legacy random jitter, carrier-sense CSMA with exponential backoff, and a
@@ -44,6 +46,7 @@ pub mod energy;
 pub mod engine;
 pub mod faults;
 pub mod geometry;
+pub mod harvest;
 pub mod lifecycle;
 pub mod mac;
 pub mod medium;
@@ -68,6 +71,7 @@ pub use faults::{
     StabilizationObserver,
 };
 pub use geometry::{Area, Vec2};
+pub use harvest::{HarvestConfig, HarvestPlan};
 pub use lifecycle::{DutyCycleConfig, DutySchedule, LifecycleConfig};
 pub use mac::{CsmaConfig, MacConfig, MacDecision, MacFrame, MacKind, MacPolicy, TdmaConfig};
 pub use medium::{MediumConfig, NeighborQuery, RadioMedium};

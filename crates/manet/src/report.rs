@@ -12,16 +12,37 @@ use crate::packet::DataTag;
 use serde::{Deserialize, Serialize};
 use ssmcast_dessim::{SimDuration, SimTime};
 use ssmcast_metrics::{
-    ConvergenceStats, EngineStats, GroupStats, LifetimeStats, MacStats, SilenceStats,
+    ConvergenceStats, EngineStats, FixedBinHistogram, GroupStats, LifetimeStats, MacStats,
+    MetricsConfig, SeqDedup, SilenceStats, StreamingStats, WindowLedger,
 };
 use std::collections::{HashMap, HashSet};
+
+/// Per-packet bookkeeping: exact store-everything records, or the fixed-budget
+/// streaming sketches (see `ssmcast_metrics::streaming`). The scalar counters that
+/// both modes share (`expected`, `delay_sum`, `delivered_count`, …) live directly on
+/// [`Trace`], which is why PDR, mean latency and energy totals are bit-equal across
+/// modes.
+#[derive(Debug, Clone)]
+enum PacketLog {
+    /// One map entry per generated packet and one set entry per delivery: memory grows
+    /// O(events).
+    Exact { generated: HashMap<u64, SimTime>, delivered: HashSet<(u64, u32)> },
+    /// Fixed-budget sketches: a generated-packet counter (the per-packet timestamps
+    /// were only ever read through `DataTag::created_at`), per-receiver sequence
+    /// bitmaps for duplicate detection, and a latency histogram for the quantiles the
+    /// exact mode derives from retained samples. Memory is O(budgets + nodes).
+    Streaming { generated: u64, dedup: SeqDedup, latency: FixedBinHistogram },
+}
 
 /// Raw counters accumulated for one multicast session while a simulation runs.
 #[derive(Debug, Clone)]
 pub struct Trace {
     window: SimDuration,
-    generated: HashMap<u64, SimTime>,
-    delivered: HashSet<(u64, u32)>,
+    log: PacketLog,
+    /// Per-window expected/delivered counts. In exact mode the ledger is unbounded
+    /// (level 0: exactly the historical per-window maps); in streaming mode it
+    /// coarsens to a fixed block budget.
+    windows: WindowLedger,
     /// Deliveries owed: summed per generated packet from the membership at that instant.
     expected: u64,
     delay_sum: SimDuration,
@@ -31,8 +52,6 @@ pub struct Trace {
     control_bytes: u64,
     data_packets_tx: u64,
     data_bytes_tx: u64,
-    expected_per_window: HashMap<u64, u64>,
-    delivered_per_window: HashMap<u64, u64>,
 }
 
 /// Everything a session's [`GroupStats`] block needs beyond the trace counters: identity,
@@ -61,41 +80,38 @@ pub struct GroupAccounting {
     pub availability_threshold: f64,
 }
 
-/// Unavailability over a set of traffic windows: the fraction of non-empty windows
-/// whose delivery ratio fell below `threshold` (1.0 when no traffic window exists).
-/// One definition serves both the per-session blocks and the merged aggregate. (The
-/// paper does not define the metric formally; see EXPERIMENTS.md.)
-fn unavailability_over(
-    expected_per_window: &HashMap<u64, u64>,
-    delivered_per_window: &HashMap<u64, u64>,
-    threshold: f64,
-) -> f64 {
-    let mut unavailable = 0u64;
-    let mut windows = 0u64;
-    for (w, &exp) in expected_per_window {
-        if exp == 0 {
-            continue;
-        }
-        windows += 1;
-        let del = delivered_per_window.get(w).copied().unwrap_or(0);
-        if (del as f64) < threshold * exp as f64 {
-            unavailable += 1;
-        }
-    }
-    if windows > 0 {
-        unavailable as f64 / windows as f64
-    } else {
-        1.0
-    }
-}
-
 impl Trace {
-    /// Create a trace. `window` is the bucket used for the unavailability ratio.
+    /// Create an exact (store-everything) trace. `window` is the bucket used for the
+    /// unavailability ratio. Every historical caller keeps this constructor; streaming
+    /// accumulation is opted into via [`Trace::with_config`].
     pub fn new(window: SimDuration) -> Self {
+        Trace::with_config(window, &MetricsConfig::exact())
+    }
+
+    /// Create a trace in the accumulation mode selected by `metrics`.
+    pub fn with_config(window: SimDuration, metrics: &MetricsConfig) -> Self {
+        let (log, windows) = if metrics.is_streaming() {
+            let cfg = metrics.streaming;
+            let bin_ns =
+                SimDuration::from_secs_f64(cfg.latency_bin_width_ms / 1_000.0).as_nanos().max(1);
+            (
+                PacketLog::Streaming {
+                    generated: 0,
+                    dedup: SeqDedup::new(cfg.dedup_window),
+                    latency: FixedBinHistogram::new(bin_ns, cfg.latency_bins),
+                },
+                WindowLedger::bounded(cfg.window_budget as usize),
+            )
+        } else {
+            (
+                PacketLog::Exact { generated: HashMap::new(), delivered: HashSet::new() },
+                WindowLedger::exact(),
+            )
+        };
         Trace {
             window,
-            generated: HashMap::new(),
-            delivered: HashSet::new(),
+            log,
+            windows,
             expected: 0,
             delay_sum: SimDuration::ZERO,
             delivered_count: 0,
@@ -104,9 +120,28 @@ impl Trace {
             control_bytes: 0,
             data_packets_tx: 0,
             data_bytes_tx: 0,
-            expected_per_window: HashMap::new(),
-            delivered_per_window: HashMap::new(),
         }
+    }
+
+    /// True when this trace accumulates with the fixed-budget streaming sketches.
+    pub fn is_streaming(&self) -> bool {
+        matches!(self.log, PacketLog::Streaming { .. })
+    }
+
+    /// Approximate report-layer bytes held by this trace: a data-size lower bound
+    /// (map/set payloads, histogram bins, bitmap words, ledger blocks) that excludes
+    /// allocator and hash-table overhead, so it *under*-counts the exact mode. Used by
+    /// the memory-bound evidence in benches and tests.
+    pub fn approx_mem_bytes(&self) -> u64 {
+        let log = match &self.log {
+            PacketLog::Exact { generated, delivered } => {
+                generated.len() as u64 * 16 + delivered.len() as u64 * 12
+            }
+            PacketLog::Streaming { dedup, latency, .. } => {
+                8 + dedup.mem_bytes() + latency.mem_bytes()
+            }
+        };
+        log + self.windows.mem_bytes()
     }
 
     fn window_of(&self, t: SimTime) -> u64 {
@@ -118,22 +153,38 @@ impl Trace {
     /// `receivers` current members (members excluding the source at that instant —
     /// membership churn makes this a per-packet quantity).
     pub fn record_generated(&mut self, seq: u64, t: SimTime, receivers: u64) {
-        self.generated.insert(seq, t);
+        match &mut self.log {
+            PacketLog::Exact { generated, .. } => {
+                generated.insert(seq, t);
+            }
+            PacketLog::Streaming { generated, .. } => *generated += 1,
+        }
         self.expected += receivers;
-        *self.expected_per_window.entry(self.window_of(t)).or_insert(0) += receivers;
+        let w = self.window_of(t);
+        self.windows.add_expected(w, receivers);
     }
 
     /// Record that `tag` reached the application at node `rx` at time `now`.
     /// Duplicate receptions of the same packet at the same node are counted once.
+    /// (Streaming mode detects duplicates over a bounded per-receiver sequence window;
+    /// a reception lapping the window is conservatively counted as a duplicate.)
     pub fn record_delivery(&mut self, tag: &DataTag, rx: NodeId, now: SimTime) {
-        if !self.delivered.insert((tag.seq, rx.0)) {
+        let fresh = match &mut self.log {
+            PacketLog::Exact { delivered, .. } => delivered.insert((tag.seq, rx.0)),
+            PacketLog::Streaming { dedup, .. } => dedup.insert(rx.0, tag.seq),
+        };
+        if !fresh {
             self.duplicate_deliveries += 1;
             return;
         }
         self.delivered_count += 1;
-        self.delay_sum += now.saturating_since(tag.created_at);
+        let delay = now.saturating_since(tag.created_at);
+        self.delay_sum += delay;
+        if let PacketLog::Streaming { latency, .. } = &mut self.log {
+            latency.record(delay.as_nanos());
+        }
         let gen_window = self.window_of(tag.created_at);
-        *self.delivered_per_window.entry(gen_window).or_insert(0) += 1;
+        self.windows.add_delivered(gen_window, 1);
     }
 
     /// Record a transmitted control packet of `bytes`.
@@ -150,7 +201,10 @@ impl Trace {
 
     /// Number of data packets generated so far.
     pub fn generated_count(&self) -> u64 {
-        self.generated.len() as u64
+        match &self.log {
+            PacketLog::Exact { generated, .. } => generated.len() as u64,
+            PacketLog::Streaming { generated, .. } => *generated,
+        }
     }
 
     /// Number of unique (packet, member) deliveries.
@@ -174,25 +228,46 @@ impl Trace {
     }
 
     /// Unavailability over this trace's windows: the fraction whose per-window delivery
-    /// ratio fell below `threshold` (1.0 when no traffic window exists).
+    /// ratio fell below `threshold` (1.0 when no traffic window exists). Defined by
+    /// one shared ledger implementation so the per-session blocks and the merged
+    /// aggregate agree. (The paper does not define the metric formally; see
+    /// EXPERIMENTS.md.)
     fn unavailability(&self, threshold: f64) -> f64 {
-        unavailability_over(&self.expected_per_window, &self.delivered_per_window, threshold)
+        self.windows.unavailability(threshold)
     }
 
-    /// Merge `other` into `self`: counters sum, maps union-sum, sets union. The sharded
-    /// engine records each session's trace piecewise (each shard sees only its own
-    /// nodes' deliveries) and folds the pieces with this. All merged quantities are
-    /// integers (delays are integer nanoseconds), so the merge is exact and
+    /// Merge `other` into `self`: counters sum, maps union-sum, sets union, sketches
+    /// merge. The sharded engine records each session's trace piecewise (each shard
+    /// sees only its own nodes' deliveries) and folds the pieces with this. All merged
+    /// quantities are integers (delays are integer nanoseconds) and the streaming
+    /// sketches coarsen to content-determined levels, so the merge is exact and
     /// order-independent — a prerequisite for shard-count-invariant reports.
     ///
     /// The pieces must be disjoint: a `(packet, receiver)` delivery or a generated
     /// sequence number must have been recorded by exactly one piece (the sharded engine
-    /// guarantees this — each node is owned by one shard).
+    /// guarantees this — each node is owned by one shard), and all pieces must share
+    /// one accumulation mode.
     pub fn absorb(&mut self, other: &Trace) {
-        for (&seq, &t) in &other.generated {
-            self.generated.insert(seq, t);
+        match (&mut self.log, &other.log) {
+            (
+                PacketLog::Exact { generated, delivered },
+                PacketLog::Exact { generated: og, delivered: od },
+            ) => {
+                for (&seq, &t) in og {
+                    generated.insert(seq, t);
+                }
+                delivered.extend(od.iter().copied());
+            }
+            (
+                PacketLog::Streaming { generated, dedup, latency },
+                PacketLog::Streaming { generated: og, dedup: od, latency: ol },
+            ) => {
+                *generated += og;
+                dedup.absorb(od);
+                latency.absorb(ol);
+            }
+            _ => panic!("Trace::absorb requires pieces of the same metrics mode"),
         }
-        self.delivered.extend(other.delivered.iter().copied());
         self.expected += other.expected;
         self.delay_sum += other.delay_sum;
         self.delivered_count += other.delivered_count;
@@ -201,12 +276,7 @@ impl Trace {
         self.control_bytes += other.control_bytes;
         self.data_packets_tx += other.data_packets_tx;
         self.data_bytes_tx += other.data_bytes_tx;
-        for (&w, &e) in &other.expected_per_window {
-            *self.expected_per_window.entry(w).or_insert(0) += e;
-        }
-        for (&w, &d) in &other.delivered_per_window {
-            *self.delivered_per_window.entry(w).or_insert(0) += d;
-        }
+        self.windows.absorb(&other.windows);
     }
 
     /// Finish a single-session trace into a [`SimReport`] — the aggregate of one trace.
@@ -257,10 +327,9 @@ impl Trace {
         let mut data_packets_tx = 0u64;
         let mut data_bytes_tx = 0u64;
         let mut data_bytes_delivered = 0u64;
-        let mut expected_per_window: HashMap<u64, u64> = HashMap::new();
-        let mut delivered_per_window: HashMap<u64, u64> = HashMap::new();
+        let mut windows: Option<WindowLedger> = None;
         for (trace, data_packet_size) in traces {
-            generated += trace.generated.len() as u64;
+            generated += trace.generated_count();
             expected += trace.expected;
             delivered += trace.delivered_count;
             duplicates += trace.duplicate_deliveries;
@@ -270,11 +339,9 @@ impl Trace {
             data_packets_tx += trace.data_packets_tx;
             data_bytes_tx += trace.data_bytes_tx;
             data_bytes_delivered += trace.delivered_count * u64::from(*data_packet_size);
-            for (&w, &e) in &trace.expected_per_window {
-                *expected_per_window.entry(w).or_insert(0) += e;
-            }
-            for (&w, &d) in &trace.delivered_per_window {
-                *delivered_per_window.entry(w).or_insert(0) += d;
+            match &mut windows {
+                None => windows = Some(trace.windows.clone()),
+                Some(w) => w.absorb(&trace.windows),
             }
         }
         let pdr = if expected > 0 { delivered as f64 / expected as f64 } else { 0.0 };
@@ -287,11 +354,40 @@ impl Trace {
         } else {
             0.0
         };
-        let unavailability = unavailability_over(
-            &expected_per_window,
-            &delivered_per_window,
-            availability_threshold,
-        );
+        let unavailability =
+            windows.as_ref().map(|w| w.unavailability(availability_threshold)).unwrap_or(1.0);
+
+        // When every trace accumulated with the streaming sketches, summarize them.
+        // Quantiles come from the *merged* histogram (sessions merged here; shard
+        // pieces already merged by `absorb`), so they are invariant to shard count
+        // and session iteration order alike.
+        let streaming = if !traces.is_empty() && traces.iter().all(|(t, _)| t.is_streaming()) {
+            let mut merged: Option<FixedBinHistogram> = None;
+            let mut report_bytes = 0u64;
+            for (trace, _) in traces {
+                report_bytes += trace.approx_mem_bytes();
+                if let PacketLog::Streaming { latency, .. } = &trace.log {
+                    match &mut merged {
+                        None => merged = Some(latency.clone()),
+                        Some(m) => m.absorb(latency),
+                    }
+                }
+            }
+            let hist = merged.expect("at least one streaming trace");
+            let ledger = windows.as_ref().expect("at least one trace");
+            Some(StreamingStats {
+                latency_bin_width_ms: hist.bin_width_ns() as f64 / 1e6,
+                latency_p50_ms: hist.quantile_ns(0.50) / 1e6,
+                latency_p95_ms: hist.quantile_ns(0.95) / 1e6,
+                latency_max_ms: hist.max_ns() as f64 / 1e6,
+                latency_overflow: hist.overflow(),
+                window_level: ledger.level(),
+                window_blocks: ledger.blocks_len() as u64,
+                report_bytes,
+            })
+        } else {
+            None
+        };
 
         SimReport {
             protocol: protocol.to_string(),
@@ -318,6 +414,7 @@ impl Trace {
             mac: None,
             silence: None,
             engine: None,
+            streaming,
         }
     }
 
@@ -344,7 +441,7 @@ impl Trace {
             members_final: acct.members_final,
             joins: acct.joins,
             leaves: acct.leaves,
-            generated: self.generated.len() as u64,
+            generated: self.generated_count(),
             expected_deliveries: self.expected,
             delivered: self.delivered_count,
             duplicate_deliveries: self.duplicate_deliveries,
@@ -434,6 +531,11 @@ pub struct SimReport {
     /// byte-identical to builds that predate the block. Contains a wall-clock-derived
     /// rate, so stats-on reports are not byte-reproducible across runs.
     pub engine: Option<EngineStats>,
+    /// Streaming-sketch summary (histogram quantiles, ledger coarsening, approximate
+    /// report bytes) when the run accumulated in `MetricsMode::Streaming`. `None` (and
+    /// absent from the serialized form) for default exact-mode runs, keeping them
+    /// byte-identical to pre-streaming builds.
+    pub streaming: Option<StreamingStats>,
 }
 
 impl Serialize for SimReport {
@@ -482,6 +584,9 @@ impl Serialize for SimReport {
         }
         if let Some(engine) = &self.engine {
             field!("engine", engine);
+        }
+        if let Some(streaming) = &self.streaming {
+            field!("streaming", streaming);
         }
         out.push('}');
     }
@@ -789,5 +894,87 @@ mod tests {
         let merged = a.finish("p", SimDuration::from_secs(2), 0.5, 0.25, 3, 512, 0.95);
         let direct = whole.finish("p", SimDuration::from_secs(2), 0.5, 0.25, 3, 512, 0.95);
         assert_eq!(merged, direct);
+    }
+
+    /// Drive one exact and one streaming trace through the same event sequence.
+    fn mirrored_traces() -> (Trace, Trace) {
+        let window = SimDuration::from_secs(1);
+        let mut exact = Trace::new(window);
+        let mut streaming = Trace::with_config(window, &MetricsConfig::streaming());
+        for tr in [&mut exact, &mut streaming] {
+            tr.record_generated(0, SimTime::ZERO, 2);
+            tr.record_generated(1, SimTime::from_secs_f64(0.5), 2);
+            tr.record_delivery(&tag(0, 0), NodeId(1), SimTime::from_secs_f64(0.010));
+            tr.record_delivery(&tag(0, 0), NodeId(2), SimTime::from_secs_f64(0.030));
+            tr.record_delivery(&tag(0, 0), NodeId(2), SimTime::from_secs_f64(0.040)); // dup
+            tr.record_delivery(&tag(1, 500), NodeId(1), SimTime::from_secs_f64(0.520));
+            tr.record_control_tx(100);
+            tr.record_data_tx(512);
+        }
+        (exact, streaming)
+    }
+
+    #[test]
+    fn streaming_trace_matches_exact_scalars_and_attaches_block() {
+        let (exact, streaming) = mirrored_traces();
+        assert!(!exact.is_streaming());
+        assert!(streaming.is_streaming());
+        let re = exact.finish("p", SimDuration::from_secs(1), 0.5, 0.1, 2, 512, 0.95);
+        let rs = streaming.finish("p", SimDuration::from_secs(1), 0.5, 0.1, 2, 512, 0.95);
+        // Every scalar the exact mode reports is bit-equal (the streaming block is the
+        // only difference).
+        assert_eq!(re.generated, rs.generated);
+        assert_eq!(re.expected_deliveries, rs.expected_deliveries);
+        assert_eq!(re.delivered, rs.delivered);
+        assert_eq!(re.duplicate_deliveries, rs.duplicate_deliveries);
+        assert_eq!(re.pdr.to_bits(), rs.pdr.to_bits());
+        assert_eq!(re.avg_delay_ms.to_bits(), rs.avg_delay_ms.to_bits());
+        assert_eq!(re.unavailability_ratio.to_bits(), rs.unavailability_ratio.to_bits());
+        assert_eq!(re.control_bytes, rs.control_bytes);
+        assert!(re.streaming.is_none());
+        let block = rs.streaming.expect("streaming run attaches the block");
+        // Exact delays: 10, 30, 20 ms → p50 within one 2 ms bin of 20 ms; max exact.
+        assert!((block.latency_p50_ms - 20.0).abs() <= block.latency_bin_width_ms);
+        assert!((block.latency_max_ms - 30.0).abs() < 1e-9);
+        assert_eq!(block.latency_overflow, 0);
+        assert!(block.report_bytes > 0);
+    }
+
+    #[test]
+    fn streaming_absorb_merges_disjoint_pieces_exactly() {
+        let window = SimDuration::from_secs(1);
+        let cfg = MetricsConfig::streaming();
+        let mut whole = Trace::with_config(window, &cfg);
+        let mut a = Trace::with_config(window, &cfg);
+        let mut b = Trace::with_config(window, &cfg);
+        whole.record_generated(0, SimTime::ZERO, 2);
+        a.record_generated(0, SimTime::ZERO, 2);
+        for (piece, rx, ms) in [(0usize, 1u32, 10u64), (1, 2, 20), (1, 2, 25)] {
+            let target = if piece == 0 { &mut a } else { &mut b };
+            whole.record_delivery(&tag(0, 0), NodeId(rx), SimTime::from_secs_f64(ms as f64 / 1e3));
+            target.record_delivery(&tag(0, 0), NodeId(rx), SimTime::from_secs_f64(ms as f64 / 1e3));
+        }
+        a.absorb(&b);
+        let merged = a.finish("p", SimDuration::from_secs(1), 0.5, 0.25, 0, 512, 0.95);
+        let direct = whole.finish("p", SimDuration::from_secs(1), 0.5, 0.25, 0, 512, 0.95);
+        assert_eq!(merged, direct);
+    }
+
+    #[test]
+    fn serialization_omits_streaming_when_absent_and_renders_it_when_present() {
+        let (exact, streaming) = mirrored_traces();
+        let plain_report = exact.finish("p", SimDuration::from_secs(1), 0.0, 0.0, 0, 512, 0.95);
+        let mut plain = String::new();
+        plain_report.serialize_json(&mut plain);
+        assert!(!plain.contains("\"streaming\""), "no streaming key in exact mode: {plain}");
+        let streaming_report =
+            streaming.finish("p", SimDuration::from_secs(1), 0.0, 0.0, 0, 512, 0.95);
+        let mut tagged = String::new();
+        streaming_report.serialize_json(&mut tagged);
+        assert!(
+            tagged.contains("\"streaming\":{\"latency_bin_width_ms\":2,"),
+            "streaming block renders: {tagged}"
+        );
+        assert!(tagged.ends_with('}'));
     }
 }

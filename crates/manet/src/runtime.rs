@@ -16,6 +16,7 @@ use crate::engine::EngineConfig;
 use crate::faults::StabilizationObserver;
 use crate::faults::{FaultEvent, FaultKind, FaultPlan, ProbeContext, SessionProbe};
 use crate::geometry::Vec2;
+use crate::harvest::{HarvestConfig, HarvestPlan};
 use crate::lifecycle::{DutySchedule, LifecycleConfig};
 use crate::mac::{MacConfig, MacDecision, MacFrame, MacPolicy};
 use crate::medium::{MediumConfig, RadioMedium};
@@ -31,7 +32,8 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use ssmcast_dessim::{RunOutcome, SeedSequence, SimDuration, SimTime, Simulator};
 use ssmcast_metrics::{
-    EngineStats, LifetimeStats, MacStats, SessionSilence, SilenceStats, RESIDUAL_HISTOGRAM_BINS,
+    CurveRing, EngineStats, LifetimeStats, MacStats, MetricsConfig, SessionSilence, SilenceStats,
+    RESIDUAL_HISTOGRAM_BINS,
 };
 use std::collections::HashMap;
 
@@ -77,6 +79,14 @@ pub struct SimSetup {
     /// configuration makes the runtime split control bytes-on-air into steady-state vs
     /// recovery phases and attach a `SilenceStats` block to the report.
     pub silence: SilenceConfig,
+    /// Report-accumulation mode: exact store-everything tracking (the default,
+    /// byte-identical to earlier builds) or memory-bounded streaming sketches whose
+    /// footprint is set by configuration, not by event count.
+    pub metrics: MetricsConfig,
+    /// Energy-harvesting knobs. [`HarvestConfig::off`] (the default) keeps battery
+    /// depletion permanent; enabled harvesting turns depletion into a power-cycling
+    /// episode (sequential engine only — the sharded engine declines the handoff).
+    pub harvest: HarvestConfig,
 }
 
 impl SimSetup {
@@ -109,6 +119,8 @@ impl SimSetup {
             faults,
             engine: EngineConfig::default(),
             silence: SilenceConfig::off(),
+            metrics: MetricsConfig::default(),
+            harvest: HarvestConfig::off(),
         }
     }
 
@@ -121,6 +133,18 @@ impl SimSetup {
     /// The same setup under a different beacon-suppression configuration.
     pub fn with_silence(mut self, silence: SilenceConfig) -> Self {
         self.silence = silence;
+        self
+    }
+
+    /// The same setup under a different report-accumulation mode.
+    pub fn with_metrics(mut self, metrics: MetricsConfig) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// The same setup under a different energy-harvesting configuration.
+    pub fn with_harvest(mut self, harvest: HarvestConfig) -> Self {
+        self.harvest = harvest;
         self
     }
 
@@ -190,6 +214,12 @@ pub enum NetEvent<P> {
     },
     /// An injected fault fires (see [`crate::faults`]).
     Fault(FaultKind),
+    /// A depleted, energy-harvesting node has banked its wake threshold: recharge its
+    /// battery and bring it back to life (see [`crate::harvest`]).
+    HarvestWake {
+        /// The waking node.
+        node: NodeId,
+    },
     /// The MAC policy deferred a pending broadcast: retry channel access now.
     MacRetry {
         /// Session whose frame is pending.
@@ -245,13 +275,19 @@ pub struct NetworkSim<A: ProtocolAgent> {
     duty: DutySchedule,
     /// Per-node horizon up to which continuous idle/sleep drain has been accrued.
     accrued_until: Vec<SimTime>,
-    /// First instant each node's battery was observed depleted — battery death is
-    /// permanent and feeds the lifetime metrics.
+    /// First instant each node's battery was observed depleted. Without harvesting,
+    /// battery death is permanent; a harvest wake clears the entry again.
     death_at: Vec<Option<SimTime>>,
-    /// Battery-alive node count at each lifetime sample epoch.
-    alive_curve: Vec<u64>,
+    /// Earliest depletion ever observed across the fleet — `first_death_s` must report
+    /// the first depletion even after a harvest wake clears `death_at`.
+    first_depletion: Option<SimTime>,
+    /// Materialised per-node harvest rates (inert when harvesting is off).
+    harvest: HarvestPlan,
+    /// Battery-alive node count at each lifetime sample epoch (bounded ring in
+    /// streaming mode, plain unbounded buffer in exact mode).
+    alive_curve: CurveRing<u64>,
     /// Cumulative delivery ratio at each lifetime sample epoch.
-    delivery_curve: Vec<f64>,
+    delivery_curve: CurveRing<f64>,
     rngs: Vec<StdRng>,
     loss_rng: StdRng,
     channel: Channel,
@@ -321,12 +357,23 @@ impl<A: ProtocolAgent> NetworkSim<A> {
         let batteries = vec![Battery::with_capacity(setup.battery_capacity_j); n];
         let rngs = (0..n as u64).map(|i| setup.seeds.indexed_stream("protocol", i)).collect();
         let loss_rng = setup.seeds.stream("channel-loss");
-        let traces = (0..n_sessions).map(|_| Trace::new(setup.unavailability_window)).collect();
+        let traces = (0..n_sessions)
+            .map(|_| Trace::with_config(setup.unavailability_window, &setup.metrics))
+            .collect();
         let medium = RadioMedium::new(mobility, setup.medium, setup.radio.max_range_m);
         let duty = DutySchedule::from_seeds(&setup.lifecycle.duty_cycle, n, &setup.seeds);
         // A zero-capacity battery is depleted before the first event: record the death
         // at time zero so lifetime metrics never censor an already-dead fleet.
-        let death_at = batteries.iter().map(|b| b.is_depleted().then_some(SimTime::ZERO)).collect();
+        let death_at: Vec<Option<SimTime>> =
+            batteries.iter().map(|b| b.is_depleted().then_some(SimTime::ZERO)).collect();
+        let first_depletion = death_at.iter().flatten().min().copied();
+        let harvest =
+            HarvestPlan::from_seeds(&setup.harvest, n, setup.battery_capacity_j, &setup.seeds);
+        let curve_budget = if setup.metrics.is_streaming() {
+            setup.metrics.streaming.curve_budget as usize
+        } else {
+            usize::MAX
+        };
         let mac = setup.mac.build(n, &setup.seeds);
         NetworkSim {
             sim: Simulator::with_capacity(1024),
@@ -349,8 +396,10 @@ impl<A: ProtocolAgent> NetworkSim<A> {
             duty,
             accrued_until: vec![SimTime::ZERO; n],
             death_at,
-            alive_curve: Vec::new(),
-            delivery_curve: Vec::new(),
+            first_depletion,
+            harvest,
+            alive_curve: CurveRing::with_budget(curve_budget),
+            delivery_curve: CurveRing::with_budget(curve_budget),
             session_energy_j: vec![0.0; n_sessions],
             session_overhear_j: vec![0.0; n_sessions],
             session_recovering: vec![false; n_sessions],
@@ -418,8 +467,9 @@ impl<A: ProtocolAgent> NetworkSim<A> {
         self.crashed[n.index()]
     }
 
-    /// The instant node `n`'s battery was observed depleted, if it has died. Battery
-    /// death is permanent: unlike a crash there is no rejoin.
+    /// The instant node `n`'s battery was observed depleted, if it is currently dead.
+    /// Without harvesting battery death is permanent: unlike a crash there is no
+    /// rejoin. A harvest wake clears the entry.
     pub fn death_time(&self, n: NodeId) -> Option<SimTime> {
         self.death_at[n.index()]
     }
@@ -435,10 +485,18 @@ impl<A: ProtocolAgent> NetworkSim<A> {
         self.setup.battery_capacity_j.is_finite() || self.setup.lifecycle.has_continuous_drain()
     }
 
-    /// Record node `i`'s death the first time its battery is observed depleted.
+    /// Record node `i`'s death the first time its battery is observed depleted. With
+    /// harvesting enabled, also schedule the node's harvest-until-threshold wake —
+    /// exactly once per depletion episode (`death_at[i]` guards re-entry).
     fn note_death(&mut self, i: usize, t: SimTime) {
         if self.death_at[i].is_none() && self.batteries[i].is_depleted() {
             self.death_at[i] = Some(t);
+            self.first_depletion = Some(self.first_depletion.map_or(t, |f| f.min(t)));
+            if let Some(delay) = self.harvest.wake_delay(NodeId(i as u32)) {
+                if let Some(at) = t.checked_add(delay) {
+                    self.sim.schedule_at(at, NetEvent::HarvestWake { node: NodeId(i as u32) });
+                }
+            }
         }
     }
 
@@ -500,14 +558,17 @@ impl<A: ProtocolAgent> NetworkSim<A> {
         if !self.lifetime_tracking() {
             return None;
         }
-        let epoch = self.sample_epoch();
+        // In streaming mode the bounded rings may have downsampled: one committed
+        // point then spans `stride` raw epochs, and the reported cadence scales with
+        // it (exact mode has stride 1, leaving the bytes unchanged).
+        let epoch = self.sample_epoch().saturating_mul(self.alive_curve.stride());
         let n = self.setup.n_nodes as u64;
         let mut stats = LifetimeStats::empty(epoch.as_secs_f64(), n);
-        stats.first_death_s = self.death_at.iter().flatten().min().map(|t| t.as_secs_f64());
+        stats.first_death_s = self.first_depletion.map(|t| t.as_secs_f64());
         stats.deaths = self.batteries.iter().filter(|b| b.is_depleted()).count() as u64;
         stats.alive_final = n - stats.deaths;
-        stats.alive_curve = self.alive_curve.clone();
-        stats.delivery_ratio_curve = self.delivery_curve.clone();
+        stats.alive_curve = self.alive_curve.samples().to_vec();
+        stats.delivery_ratio_curve = self.delivery_curve.samples().to_vec();
         stats.idle_energy_j = self.batteries.iter().map(Battery::idle_listened).sum();
         stats.sleep_energy_j = self.batteries.iter().map(Battery::slept).sum();
         stats.drained_j = self.batteries.iter().map(Battery::drained).sum();
@@ -1094,6 +1155,26 @@ impl<A: ProtocolAgent> NetworkSim<A> {
                 // account the episode), so this arm never fires from a normal run.
                 let _ = self.apply_fault(t, kind);
             }
+            NetEvent::HarvestWake { node } => {
+                let i = node.index();
+                // Book the dark period first: `accrue_idle` advances the accrual
+                // horizon but charges nothing while the battery reads depleted — a
+                // powered-down node draws no idle or sleep current.
+                self.accrue_idle(i, t);
+                let restored = self.batteries[i].recharge(self.harvest.wake_energy_j());
+                if restored <= 0.0 || self.batteries[i].is_depleted() {
+                    return; // nothing banked (or still short): stay dark forever
+                }
+                self.death_at[i] = None;
+                if !self.crashed[i] {
+                    // Timers died with the node; restarting the agents re-arms them,
+                    // carrying whatever protocol state survived the outage — the same
+                    // arbitrary-state restart as a fault-layer rejoin.
+                    for session in 0..self.setup.n_sessions() {
+                        self.make_ctx_and_call(session, node, t, |agent, ctx| agent.start(ctx));
+                    }
+                }
+            }
             NetEvent::MacRetry {
                 session,
                 sender,
@@ -1149,7 +1230,7 @@ impl<A: ProtocolAgent> NetworkSim<A> {
         duration: SimDuration,
         probe: Option<&mut dyn StabilizationObserver>,
     ) -> SimReport {
-        if self.setup.engine.is_parallel() {
+        if self.setup.engine.is_parallel() && !self.setup.harvest.enabled {
             return shard::run_sharded(self, duration, probe);
         }
         let wall = std::time::Instant::now();
@@ -1527,6 +1608,82 @@ mod tests {
         assert_eq!(lifetime.first_death_s, Some(0.0));
         assert_eq!(lifetime.deaths, 3);
         assert_eq!(lifetime.alive_final, 0);
+    }
+
+    #[test]
+    fn harvest_wake_revives_depleted_nodes() {
+        // Idle drain kills a 1 J fleet roughly two seconds in. Without harvesting the
+        // run goes dark for good; with a generous harvest rate the nodes power-cycle
+        // and keep delivering. The first depletion instant must be identical in both
+        // runs: harvesting only acts after it.
+        let run = |harvest: HarvestConfig| {
+            let (mut setup, mobility) = line_setup(3, 200.0);
+            setup.battery_capacity_j = 1.0;
+            setup.lifecycle.idle_listen_w = 0.5;
+            setup.harvest = harvest;
+            let agents = (0..3).map(|_| Flood::new()).collect();
+            let mut sim = NetworkSim::new(setup, mobility, agents);
+            let report = sim.run(SimDuration::from_secs(20));
+            let harvested: f64 = (0..3).map(|i| sim.battery(NodeId(i)).harvested()).sum();
+            (report, harvested)
+        };
+        let (dark, dark_harvested) = run(HarvestConfig::off());
+        let (cycling, cycling_harvested) = run(HarvestConfig::on(10.0, 10.0, 0.5));
+        assert_eq!(dark_harvested, 0.0);
+        assert!(cycling_harvested > 0.0, "waking nodes banked harvested charge");
+        let dark_lt = dark.lifetime.as_ref().expect("finite batteries track lifetime");
+        let cyc_lt = cycling.lifetime.as_ref().expect("finite batteries track lifetime");
+        assert!(dark_lt.first_death_s.is_some(), "the fleet must deplete at least once");
+        assert_eq!(
+            dark_lt.first_death_s, cyc_lt.first_death_s,
+            "harvesting cannot move the first depletion"
+        );
+        assert!(
+            cycling.delivered > dark.delivered,
+            "power-cycling relays deliver more than permanently dead ones \
+             ({} vs {})",
+            cycling.delivered,
+            dark.delivered
+        );
+    }
+
+    #[test]
+    fn harvest_runs_are_deterministic_for_a_seed() {
+        let run = || {
+            let (mut setup, mobility) = line_setup(3, 200.0);
+            setup.battery_capacity_j = 1.0;
+            setup.lifecycle.idle_listen_w = 0.5;
+            setup.harvest = HarvestConfig::on(5.0, 20.0, 0.5);
+            let agents = (0..3).map(|_| Flood::new()).collect();
+            let mut sim = NetworkSim::new(setup, mobility, agents);
+            sim.run(SimDuration::from_secs(20))
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn streaming_mode_preserves_scalar_metrics_and_attaches_its_block() {
+        let run = |metrics: MetricsConfig| {
+            let (mut setup, mobility) = line_setup(4, 200.0);
+            setup.metrics = metrics;
+            let agents = (0..4).map(|_| Flood::new()).collect();
+            let mut sim = NetworkSim::new(setup, mobility, agents);
+            sim.run(SimDuration::from_secs(20))
+        };
+        let exact = run(MetricsConfig::exact());
+        let streaming = run(MetricsConfig::streaming());
+        assert!(exact.streaming.is_none(), "exact reports carry no streaming block");
+        let block = streaming.streaming.as_ref().expect("streaming reports carry the block");
+        assert!(block.report_bytes > 0);
+        // Scalar metrics fold through the same counters in both modes: bit-equal.
+        assert_eq!(exact.generated, streaming.generated);
+        assert_eq!(exact.delivered, streaming.delivered);
+        assert_eq!(exact.pdr.to_bits(), streaming.pdr.to_bits());
+        assert_eq!(exact.avg_delay_ms.to_bits(), streaming.avg_delay_ms.to_bits());
+        assert_eq!(exact.total_energy_j.to_bits(), streaming.total_energy_j.to_bits());
+        // The histogram's exact maximum dominates its own quantiles and the mean.
+        assert!(block.latency_p95_ms <= block.latency_max_ms + 1e-9);
+        assert!(block.latency_max_ms >= exact.avg_delay_ms - 1e-9);
     }
 
     #[test]

@@ -38,7 +38,7 @@ use crate::spatial::SpatialIndex;
 use rand::rngs::StdRng;
 use rand::Rng;
 use ssmcast_dessim::{EventId, KeyedQueue, SimDuration, SimTime};
-use ssmcast_metrics::{EngineStats, MacStats};
+use ssmcast_metrics::{CurveRing, EngineStats, MacStats};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -1092,7 +1092,9 @@ pub(super) fn run_sharded<A: ProtocolAgent>(
             receiver_counts: sim.receiver_counts.clone(),
             joins: vec![0; n_sessions],
             leaves: vec![0; n_sessions],
-            traces: (0..n_sessions).map(|_| Trace::new(sim.setup.unavailability_window)).collect(),
+            traces: (0..n_sessions)
+                .map(|_| Trace::with_config(sim.setup.unavailability_window, &sim.setup.metrics))
+                .collect(),
             energy_acc: vec![0.0; n_sessions * cnt],
             overhear_acc: vec![0.0; n_sessions * cnt],
             channel: Channel::new(n, n_sessions),
@@ -1240,8 +1242,13 @@ pub(super) fn run_sharded<A: ProtocolAgent>(
     };
     let mut blackout_ptr = 0usize;
     let mut notify_ptr = 0usize;
-    let mut alive_curve: Vec<u64> = Vec::new();
-    let mut delivery_curve: Vec<f64> = Vec::new();
+    let curve_budget = if sim.setup.metrics.is_streaming() {
+        sim.setup.metrics.streaming.curve_budget as usize
+    } else {
+        usize::MAX
+    };
+    let mut alive_curve: CurveRing<u64> = CurveRing::with_budget(curve_budget);
+    let mut delivery_curve: CurveRing<f64> = CurveRing::with_budget(curve_budget);
     let mut snapshot_cache: Option<(u64, TopologySnapshot)> = None;
     let mut pending_blackout_notices: Vec<(u64, FaultKind, bool)> = Vec::new();
     let mut sync_rounds: u64 = 0;
@@ -1448,14 +1455,18 @@ pub(super) fn run_sharded<A: ProtocolAgent>(
         }
     }
     sim.agents = slots.into_iter().map(|a| a.expect("every agent restored")).collect();
-    let mut traces: Vec<Trace> =
-        (0..n_sessions).map(|_| Trace::new(sim.setup.unavailability_window)).collect();
+    let mut traces: Vec<Trace> = (0..n_sessions)
+        .map(|_| Trace::with_config(sim.setup.unavailability_window, &sim.setup.metrics))
+        .collect();
     for st in &states {
         for (s, tr) in st.traces.iter().enumerate() {
             traces[s].absorb(tr);
         }
     }
     sim.traces = traces;
+    // Harvesting never runs sharded, so the earliest depletion is simply the earliest
+    // surviving `death_at` entry across the merged fleet.
+    sim.first_depletion = sim.death_at.iter().flatten().min().copied();
     let mut session_energy = vec![0.0f64; n_sessions];
     let mut session_overhear = vec![0.0f64; n_sessions];
     for s in 0..n_sessions {

@@ -14,6 +14,7 @@ pub mod mac;
 pub mod series;
 pub mod silence;
 pub mod stats;
+pub mod streaming;
 
 pub use convergence::ConvergenceStats;
 pub use engine::EngineStats;
@@ -23,3 +24,7 @@ pub use mac::MacStats;
 pub use series::{Series, SeriesPoint};
 pub use silence::{SessionSilence, SilenceStats};
 pub use stats::SummaryStats;
+pub use streaming::{
+    CurveRing, FixedBinHistogram, MetricsConfig, MetricsMode, P2Quantile, SeqDedup,
+    StreamingConfig, StreamingStats, WindowCell, WindowLedger,
+};

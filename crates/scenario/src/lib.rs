@@ -49,6 +49,8 @@ pub use sink::{
     CellInfo, CsvStreamSink, JsonLinesSink, MemorySink, NullSink, ProgressSink, RunSink, TeeSink,
 };
 pub use ssmcast_manet::{
-    CsmaConfig, DutyCycleConfig, FaultPlanSpec, LifecycleConfig, MacConfig, MacKind, TdmaConfig,
+    CsmaConfig, DutyCycleConfig, FaultPlanSpec, HarvestConfig, LifecycleConfig, MacConfig, MacKind,
+    TdmaConfig,
 };
+pub use ssmcast_metrics::{MetricsConfig, MetricsMode, StreamingConfig};
 pub use sweep::{sweep, to_series, Metric, SweepCell};

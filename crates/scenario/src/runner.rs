@@ -174,6 +174,8 @@ pub fn build_setup(scenario: &Scenario, seeds: SeedSequence) -> SimSetup {
         medium: scenario.medium,
         engine: scenario.engine,
         silence: scenario.silence,
+        metrics: scenario.metrics,
+        harvest: scenario.harvest,
     }
 }
 

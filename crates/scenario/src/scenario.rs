@@ -4,9 +4,10 @@ use serde::{Deserialize, Serialize};
 use ssmcast_core::MetricKind;
 use ssmcast_dessim::SimDuration;
 use ssmcast_manet::{
-    EngineConfig, FaultPlanSpec, LifecycleConfig, MacConfig, MediumConfig, RadioConfig,
-    SilenceConfig,
+    EngineConfig, FaultPlanSpec, HarvestConfig, LifecycleConfig, MacConfig, MediumConfig,
+    RadioConfig, SilenceConfig,
 };
+use ssmcast_metrics::MetricsConfig;
 
 /// Which multicast protocol to run on a scenario.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Serialize, Deserialize)]
@@ -165,6 +166,16 @@ pub struct Scenario {
     /// and wire format byte for byte; enabling it attaches a `SilenceStats` block
     /// splitting control bytes into steady-state and recovery traffic per session.
     pub silence: SilenceConfig,
+    /// Report accumulation: exact store-everything tracking ([`MetricsConfig::exact`],
+    /// the default, byte-identical to earlier builds) or memory-bounded streaming
+    /// sketches whose footprint is set by configured bin budgets, not by event count
+    /// — the mode for week-long, large-n lifetime runs.
+    pub metrics: MetricsConfig,
+    /// Energy-harvesting node model. [`HarvestConfig::off`] (the default) keeps
+    /// battery depletion permanent; enabling it gives each node a seeded harvest rate
+    /// and a harvest-until-threshold wake, turning depletion into power cycling
+    /// (sequential engine only).
+    pub harvest: HarvestConfig,
     /// Master seed; repetitions derive child seeds from it.
     pub seed: u64,
 }
@@ -196,6 +207,8 @@ impl Scenario {
             mac: MacConfig::default(),
             engine: EngineConfig::default(),
             silence: SilenceConfig::off(),
+            metrics: MetricsConfig::default(),
+            harvest: HarvestConfig::off(),
             seed: 0x55_5357,
         }
     }
@@ -239,6 +252,24 @@ impl Scenario {
     /// The same scenario under an adaptive beacon-suppression policy.
     pub fn with_silence(mut self, silence: SilenceConfig) -> Self {
         self.silence = silence;
+        self
+    }
+
+    /// The same scenario under a different report-accumulation mode.
+    pub fn with_metrics(mut self, metrics: MetricsConfig) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// The same scenario with memory-bounded streaming report accumulation (default
+    /// sketch budgets; see [`MetricsConfig::streaming`]).
+    pub fn with_streaming_metrics(self) -> Self {
+        self.with_metrics(MetricsConfig::streaming())
+    }
+
+    /// The same scenario under an energy-harvesting node model.
+    pub fn with_harvest(mut self, harvest: HarvestConfig) -> Self {
+        self.harvest = harvest;
         self
     }
 
@@ -404,6 +435,21 @@ mod tests {
         let tuned = s.with_silence(SilenceConfig::on().with_max_interval_factor(16.0));
         assert!(tuned.silence.enabled);
         assert_eq!(tuned.silence.max_interval_factor, 16.0);
+    }
+
+    #[test]
+    fn metrics_and_harvest_default_off_and_are_overridable() {
+        use ssmcast_metrics::MetricsMode;
+        let s = Scenario::paper_default();
+        assert_eq!(s.metrics, MetricsConfig::exact(), "exact reports by default");
+        assert!(!s.metrics.is_streaming());
+        assert_eq!(s.harvest, HarvestConfig::off());
+        assert!(!s.harvest.enabled, "depletion stays permanent by default");
+        let tuned = s.with_streaming_metrics().with_harvest(HarvestConfig::on(0.01, 0.05, 0.25));
+        assert!(tuned.metrics.is_streaming());
+        assert_eq!(tuned.metrics.mode, MetricsMode::Streaming);
+        assert!(tuned.harvest.enabled);
+        assert_eq!(tuned.harvest.wake_fraction, 0.25);
     }
 
     #[test]

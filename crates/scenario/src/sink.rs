@@ -143,8 +143,12 @@ fn csv_field(value: &str) -> String {
 /// Write failures do not abort the experiment (the simulation results still reach any
 /// other sinks in a tee), but they are not silent either: the first error is kept and
 /// reported by [`CsvStreamSink::error`], and every failure is logged to stderr once.
+///
+/// Rows accumulate in an internal [`std::io::BufWriter`] and reach the underlying
+/// writer once per completed cell: a multi-repetition cell costs one syscall, not one
+/// per row — the per-row small writes were a syscall hot path on long sweeps.
 pub struct CsvStreamSink<W: Write> {
-    out: W,
+    out: std::io::BufWriter<W>,
     wrote_header: bool,
     error: Option<std::io::Error>,
 }
@@ -152,7 +156,7 @@ pub struct CsvStreamSink<W: Write> {
 impl<W: Write> CsvStreamSink<W> {
     /// Stream CSV rows to `out`.
     pub fn new(out: W) -> Self {
-        CsvStreamSink { out, wrote_header: false, error: None }
+        CsvStreamSink { out: std::io::BufWriter::new(out), wrote_header: false, error: None }
     }
 
     /// The first write error encountered, if any. A long sweep whose disk filled up
@@ -162,8 +166,10 @@ impl<W: Write> CsvStreamSink<W> {
     }
 
     /// Consume the sink and return the writer (e.g. to inspect an in-memory buffer).
+    /// Rows not yet flushed by [`RunSink::on_cell`] / [`RunSink::finish`] are dropped
+    /// — call `finish` first, as the experiment driver does.
     pub fn into_inner(self) -> W {
-        self.out
+        self.out.into_parts().0
     }
 
     fn record(&mut self, result: std::io::Result<()>) {
@@ -231,7 +237,8 @@ impl<W: Write> RunSink for CsvStreamSink<W> {
             self.record(row);
         }
         // Flush per cell (cells are seconds apart): an interrupted run must still leave
-        // every completed cell on disk — that is the point of streaming.
+        // every completed cell on disk — that is the point of streaming. This drains
+        // the internal buffer and flushes the underlying writer in one go.
         let flushed = self.out.flush();
         self.record(flushed);
     }
@@ -244,16 +251,16 @@ impl<W: Write> RunSink for CsvStreamSink<W> {
 
 /// Streams one JSON object per cell (JSON Lines): each line is a full [`SweepCell`]
 /// including every repetition's report — the machine-readable counterpart of
-/// [`CsvStreamSink`], with the same error-reporting contract.
+/// [`CsvStreamSink`], with the same error-reporting and per-cell buffering contract.
 pub struct JsonLinesSink<W: Write> {
-    out: W,
+    out: std::io::BufWriter<W>,
     error: Option<std::io::Error>,
 }
 
 impl<W: Write> JsonLinesSink<W> {
     /// Stream JSON lines to `out`.
     pub fn new(out: W) -> Self {
-        JsonLinesSink { out, error: None }
+        JsonLinesSink { out: std::io::BufWriter::new(out), error: None }
     }
 
     /// The first write error encountered, if any.
@@ -261,9 +268,10 @@ impl<W: Write> JsonLinesSink<W> {
         self.error.as_ref()
     }
 
-    /// Consume the sink and return the writer.
+    /// Consume the sink and return the writer. Lines not yet flushed are dropped —
+    /// call [`RunSink::finish`] first, as the experiment driver does.
     pub fn into_inner(self) -> W {
-        self.out
+        self.out.into_parts().0
     }
 
     fn record(&mut self, result: std::io::Result<()>) {
@@ -350,6 +358,7 @@ mod tests {
             mac: None,
             silence: None,
             engine: None,
+            streaming: None,
         };
         SweepCell { x, protocol: protocol.to_string(), reports: vec![report] }
     }
@@ -451,7 +460,9 @@ mod tests {
         assert!(sink.error().is_some(), "the second cell's failure must surface");
         sink.finish();
         let out = sink.into_inner();
-        assert!(out.flushes >= 2, "every completed cell is flushed, not buffered");
+        // The buffered sink reaches the writer once per completed cell: the surviving
+        // first cell was flushed through; the failing second never drains its buffer.
+        assert!(out.flushes >= 1, "every completed cell is flushed, not buffered");
         let text = String::from_utf8(out.inner).unwrap();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 2, "header + the completed first row survive: {text:?}");

@@ -46,6 +46,9 @@ fn single_group_reports_match_the_pre_refactor_golden_bytes() {
     // Beacon suppression defaults to off, and off means *absent*: no silence block, no
     // phase-split counters, byte-identical reports.
     assert!(!now.contains("\"silence\""), "SilenceStats block leaked into a suppression-off run");
+    // Metrics default to `Exact`, and exact means *absent*: no streaming-sketch summary
+    // on a default run, keeping pre-streaming reports byte-identical.
+    assert!(!now.contains("\"streaming\""), "StreamingStats block leaked into an exact-mode run");
 }
 
 /// Regenerate the golden file (run manually: `GOLDEN_WRITE=1 cargo test --test
