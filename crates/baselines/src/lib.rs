@@ -5,16 +5,21 @@
 //! * [`maodv`] — Multicast AODV: shared tree rooted at a group leader, on-demand control,
 //!   lowest control overhead and lowest delivery ratio.
 //! * [`flooding`] — blind flooding, used as a reference upper bound on deliverability.
+//! * [`min_energy`] — MEM-Tree and DCA-Forward: forwarding agents for a precomputed
+//!   minimum-energy (BIP) multicast tree, the latter duty-cycle-aware. Lower bounds on
+//!   energy cost; no stabilization.
 //!
-//! All three implement [`ssmcast_manet::ProtocolAgent`] and run unchanged in the same
+//! All of them implement [`ssmcast_manet::ProtocolAgent`] and run unchanged in the same
 //! simulator and scenarios as the SS-SPST family.
 
 #![warn(missing_docs)]
 
 pub mod flooding;
 pub mod maodv;
+pub mod min_energy;
 pub mod odmrp;
 
 pub use flooding::{FloodPayload, FloodingAgent};
 pub use maodv::{MaodvAgent, MaodvConfig, MaodvPayload};
+pub use min_energy::{MinEnergyAgent, MinEnergyPayload};
 pub use odmrp::{OdmrpAgent, OdmrpConfig, OdmrpPayload};

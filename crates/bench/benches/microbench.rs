@@ -355,6 +355,39 @@ fn bench_silence(c: &mut Criterion) {
     group.finish();
 }
 
+/// The minimum-energy baselines at n = 500: MEM-Tree prices the centralized BIP tree
+/// construction (an O(n·m) greedy over the t = 0 snapshot, rebuilt once per run) plus
+/// source-tree forwarding; DCA-Forward layers per-child wake-window queries and
+/// deferral timers on top under a 50 %-awake duty cycle. The pair prices the new
+/// tree-construction hot path against the duty-aware forwarding overhead.
+fn bench_min_energy(c: &mut Criterion) {
+    let base = {
+        let mut s = Scenario::paper_default();
+        s.n_nodes = 500;
+        s.area_side_m = 2_800.0;
+        s.group_size = 40;
+        s.duration_s = 5.0;
+        s.warmup_s = 1.0;
+        s.medium = MediumConfig::grid().with_epoch(SimDuration::from_millis(200));
+        s
+    };
+    let duty_cycled = base.with_duty_cycle(1.0, 0.5).with_tx_power_control(true);
+    let mut group = c.benchmark_group("manet/min_energy_n500");
+    group.sample_size(3);
+    for (name, scenario, kind) in [
+        ("mem_tree", base, ProtocolKind::MemTree),
+        ("dca_forward", duty_cycled, ProtocolKind::DcaForward),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let report = run_protocol(black_box(&scenario), kind.to_protocol().as_ref());
+                black_box(report)
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_event_queue,
@@ -367,6 +400,7 @@ criterion_group!(
     bench_mac,
     bench_sharded_engine,
     bench_long_horizon,
-    bench_silence
+    bench_silence,
+    bench_min_energy
 );
 criterion_main!(benches);

@@ -32,6 +32,7 @@ pub mod agent;
 pub mod beacon;
 pub mod graph;
 pub mod metric;
+pub mod min_energy;
 pub mod mst;
 pub mod paper_example;
 pub mod probe;
@@ -42,6 +43,7 @@ pub use agent::{SsSpstAgent, SsSpstConfig, SsSpstPayload};
 pub use beacon::Beacon;
 pub use graph::MulticastTopology;
 pub use metric::{cost_via, join_overhead, node_cost, MetricKind, MetricParams, ParentView};
+pub use min_energy::{min_energy_tree, tree_tx_power};
 pub use mst::{SsMstAgent, SsMstConfig};
 pub use paper_example::{figure1_topology, run_all_examples, run_example, ExampleResult};
 pub use probe::{is_legitimate, legitimate_over, session_legitimate, StabilizationProbe};

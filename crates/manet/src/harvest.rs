@@ -11,8 +11,10 @@
 //! lifetime accounting (`first_death_s` reports the *first* depletion even if the node
 //! later revives), the wake restores energy through [`crate::battery::Battery::recharge`]
 //! and restarts the node's protocol agents exactly like a fault-layer rejoin. Harvest
-//! runs use the sequential engine; the sharded engine declines the handoff when
-//! harvesting is enabled.
+//! wakes are node-local — the depleting node itself banks charge and revives, touching
+//! no neighbour state — so both engines run them: the sharded engine routes each wake
+//! through the owning shard's queue and produces byte-identical reports at any shard
+//! count (pinned in `tests/engine_equivalence.rs`).
 
 use crate::node::NodeId;
 use rand::Rng;

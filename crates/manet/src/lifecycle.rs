@@ -96,6 +96,14 @@ pub struct LifecycleConfig {
     /// energy-aware SS-SPST-E in particular — gain a real energy edge from opting in.
     /// Receiver sets, delays and loss draws are unchanged; only the energy differs.
     pub tx_power_control: bool,
+    /// Duty-aware TX pricing refinement: when true *and* [`Self::tx_power_control`] is
+    /// on *and* a duty-cycle schedule is active, receivers that are provably asleep at
+    /// the delivery instant (the schedule is seeded, hence knowable by the sender) are
+    /// excluded from the pricing set — a broadcast whose only awake receiver is nearby
+    /// is priced at that receiver, not at the farthest sleeper that would have dropped
+    /// the frame anyway. Off by default: default runs price exactly as before, byte for
+    /// byte. Receiver sets, delays and loss draws are never affected; only the energy.
+    pub duty_aware_pricing: bool,
     /// Cadence at which the runtime samples the lifetime curves (alive nodes,
     /// cumulative delivery ratio) while lifetime tracking is active. Zero falls back to
     /// one second.
@@ -110,6 +118,7 @@ impl LifecycleConfig {
             idle_listen_w: 0.0,
             sleep_w: 0.0,
             tx_power_control: false,
+            duty_aware_pricing: false,
             sample_epoch: SimDuration::from_secs(1),
         }
     }
@@ -130,6 +139,13 @@ impl LifecycleConfig {
     /// The same configuration with distance-based TX power control switched on or off.
     pub fn with_tx_power_control(mut self, enabled: bool) -> Self {
         self.tx_power_control = enabled;
+        self
+    }
+
+    /// The same configuration with duty-aware TX pricing switched on or off (only
+    /// effective when TX power control and a duty-cycle schedule are both active).
+    pub fn with_duty_aware_pricing(mut self, enabled: bool) -> Self {
+        self.duty_aware_pricing = enabled;
         self
     }
 
@@ -192,6 +208,26 @@ impl DutySchedule {
         !self.phases.is_empty()
     }
 
+    /// A schedule with explicit per-node phases — for tests that need a hand-built
+    /// geometry of wake windows rather than seeded phases. `period_ns` is clamped to
+    /// ≥ 1 and `awake_ns` into `[1, period_ns]`; phases are reduced mod the period.
+    pub fn with_phases(period_ns: u64, awake_ns: u64, phases: Vec<u64>) -> Self {
+        let period_ns = period_ns.max(1);
+        let awake_ns = awake_ns.clamp(1, period_ns);
+        let phases = phases.into_iter().map(|p| p % period_ns).collect();
+        DutySchedule { period_ns, awake_ns, phases }
+    }
+
+    /// Length of every node's awake window within one period.
+    pub fn awake_len(&self) -> SimDuration {
+        SimDuration::from_nanos(self.awake_ns)
+    }
+
+    /// The shared schedule period (1 ns for an always-awake schedule).
+    pub fn period(&self) -> SimDuration {
+        SimDuration::from_nanos(self.period_ns)
+    }
+
     /// True while node `n`'s radio is scheduled awake at `t`.
     pub fn is_awake(&self, n: NodeId, t: SimTime) -> bool {
         if self.phases.is_empty() {
@@ -199,6 +235,24 @@ impl DutySchedule {
         }
         let phase = self.phases[n.index()];
         ((t.as_nanos() as u128 + phase as u128) % self.period_ns as u128) < self.awake_ns as u128
+    }
+
+    /// The earliest instant `>= t` at which node `n`'s radio is scheduled awake: `t`
+    /// itself when the node is already awake, otherwise the start of its next awake
+    /// window. The returned instant always satisfies [`Self::is_awake`], and no awake
+    /// instant exists strictly between `t` and it — the query duty-cycle-aware
+    /// forwarding uses to defer a transmission into a receiver's wake window instead
+    /// of losing the frame to sleep.
+    pub fn next_awake_at(&self, n: NodeId, t: SimTime) -> SimTime {
+        if self.phases.is_empty() {
+            return t;
+        }
+        let phase = self.phases[n.index()];
+        let pos = ((t.as_nanos() as u128 + phase as u128) % self.period_ns as u128) as u64;
+        if pos < self.awake_ns {
+            return t;
+        }
+        t + SimDuration::from_nanos(self.period_ns - pos)
     }
 
     /// Total scheduled-awake nanoseconds in `[0, t)` for a given phase.
@@ -317,6 +371,54 @@ mod tests {
         let t = SimTime::ZERO + SimDuration::from_millis(250);
         let awake = (0..16u32).filter(|&i| sched.is_awake(NodeId(i), t)).count();
         assert!(awake > 0 && awake < 16, "phases must desynchronise the fleet: {awake}/16");
+    }
+
+    #[test]
+    fn duty_aware_pricing_defaults_off_and_composes() {
+        let lc = LifecycleConfig::off();
+        assert!(!lc.duty_aware_pricing);
+        let lc = lc.with_tx_power_control(true).with_duty_aware_pricing(true);
+        assert!(lc.duty_aware_pricing && lc.tx_power_control);
+    }
+
+    #[test]
+    fn next_awake_at_is_identity_for_always_awake() {
+        let sched = DutySchedule::always_awake();
+        let t = SimTime::ZERO + SimDuration::from_millis(1234);
+        assert_eq!(sched.next_awake_at(NodeId(0), t), t);
+    }
+
+    #[test]
+    fn next_awake_at_defers_into_the_next_window() {
+        // Period 100 ms, awake first 40 ms, zero phase: asleep in [40, 100) ms.
+        let sched = DutySchedule::with_phases(100_000_000, 40_000_000, vec![0]);
+        let n = NodeId(0);
+        let at = |ms: u64| SimTime::ZERO + SimDuration::from_millis(ms);
+        assert_eq!(sched.next_awake_at(n, at(10)), at(10), "already awake");
+        assert_eq!(sched.next_awake_at(n, at(40)), at(100), "just fell asleep");
+        assert_eq!(sched.next_awake_at(n, at(99)), at(100));
+        assert_eq!(sched.next_awake_at(n, at(100)), at(100), "window boundary is awake");
+    }
+
+    #[test]
+    fn next_awake_at_agrees_with_is_awake_scanning() {
+        let cfg = DutyCycleConfig::new(SimDuration::from_millis(300), 0.35);
+        let sched = DutySchedule::from_seeds(&cfg, 5, &SeedSequence::new(11));
+        for i in 0..5u32 {
+            let n = NodeId(i);
+            for k in 0..40u64 {
+                let t = SimTime::ZERO + SimDuration::from_millis(k * 37 + 5);
+                let wake = sched.next_awake_at(n, t);
+                assert!(wake >= t);
+                assert!(sched.is_awake(n, wake), "node {i}: result must be awake");
+                // Scan at 1 ms resolution: no awake instant strictly before `wake`.
+                let mut s = t;
+                while s < wake {
+                    assert!(!sched.is_awake(n, s), "node {i}: awake instant before result");
+                    s += SimDuration::from_millis(1);
+                }
+            }
+        }
     }
 
     #[test]

@@ -85,7 +85,8 @@ pub struct SimSetup {
     pub metrics: MetricsConfig,
     /// Energy-harvesting knobs. [`HarvestConfig::off`] (the default) keeps battery
     /// depletion permanent; enabled harvesting turns depletion into a power-cycling
-    /// episode (sequential engine only — the sharded engine declines the handoff).
+    /// episode. Harvest wakes are node-local, so both engines run them: sharded runs
+    /// are byte-identical to the sequential engine at any shard count.
     pub harvest: HarvestConfig,
 }
 
@@ -1005,11 +1006,27 @@ impl<A: ProtocolAgent> NetworkSim<A> {
         let sender_pos = sender_pos.unwrap_or_else(|| self.medium.position_of(sender, t));
         let mut receivers = std::mem::take(&mut self.scratch_receivers);
         self.medium.receivers_within(sender, sender_pos, range, t, &mut receivers);
-        let tx_range = if self.setup.lifecycle.tx_power_control {
+        let tx_end = tx_start + radio.tx_duration(size_bytes);
+        let delivery_at = tx_start + radio.delivery_delay(size_bytes);
+        let lc = self.setup.lifecycle;
+        let tx_range = if lc.tx_power_control {
             // Just enough power to cover the farthest receiver; the zero-range
             // electronics term keeps the cost above the floor even with nobody in
-            // range. A sleeping receiver still counts — the sender cannot know.
-            self.medium.farthest_distance(sender_pos, &receivers, t).min(range)
+            // range. By default a sleeping receiver still counts — the sender cannot
+            // know; with the duty-aware-pricing opt-in the seeded schedule *is*
+            // knowable, and receivers provably asleep at the delivery instant (they
+            // would drop the frame anyway) leave the pricing set. The receiver set,
+            // delays and loss draws are never affected — only the priced range.
+            if lc.duty_aware_pricing && self.duty.is_on() {
+                let priced: Vec<NodeId> = receivers
+                    .iter()
+                    .copied()
+                    .filter(|&rx| self.duty.is_awake(rx, delivery_at))
+                    .collect();
+                self.medium.farthest_distance(sender_pos, &priced, t).min(range)
+            } else {
+                self.medium.farthest_distance(sender_pos, &receivers, t).min(range)
+            }
         } else {
             range
         };
@@ -1028,8 +1045,6 @@ impl<A: ProtocolAgent> NetworkSim<A> {
             PacketClass::Data => self.traces[session].record_data_tx(size_bytes),
         }
 
-        let tx_end = tx_start + radio.tx_duration(size_bytes);
-        let delivery_at = tx_start + radio.delivery_delay(size_bytes);
         // MAC state rides the frame: the claim-table row is snapshotted once, when the
         // frame leaves the sender, and shared by every receiver's copy — receivers
         // learn from what was actually on the air, not from the sender's later state.
@@ -1230,7 +1245,7 @@ impl<A: ProtocolAgent> NetworkSim<A> {
         duration: SimDuration,
         probe: Option<&mut dyn StabilizationObserver>,
     ) -> SimReport {
-        if self.setup.engine.is_parallel() && !self.setup.harvest.enabled {
+        if self.setup.engine.is_parallel() {
             return shard::run_sharded(self, duration, probe);
         }
         let wall = std::time::Instant::now();
@@ -1608,6 +1623,52 @@ mod tests {
         assert_eq!(lifetime.first_death_s, Some(0.0));
         assert_eq!(lifetime.deaths, 3);
         assert_eq!(lifetime.alive_final, 0);
+    }
+
+    #[test]
+    fn duty_aware_pricing_prices_at_the_awake_receiver() {
+        // Nodes at 0 / 100 / 200 m; node 2 (the farthest receiver) is phase-shifted to
+        // sleep through the whole broadcast window. With plain TX power control the
+        // sender pays for 200 m; with the duty-aware opt-in it pays only for the one
+        // receiver that can actually take the frame at 100 m.
+        let tx_total = |duty_aware: bool| {
+            let (mut setup, mobility) = line_setup(3, 100.0);
+            setup.lifecycle =
+                setup.lifecycle.with_tx_power_control(true).with_duty_aware_pricing(duty_aware);
+            let agents = (0..3).map(|_| Flood::new()).collect();
+            let mut sim = NetworkSim::new(setup, mobility, agents);
+            // Hand-built schedule: 1000 s period, first half awake; node 2's phase puts
+            // it asleep for all of [0, 500) s — provably asleep at the delivery instant.
+            let half = 500_000_000_000u64;
+            sim.duty = DutySchedule::with_phases(2 * half, half, vec![0, 0, half]);
+            let t = SimTime::from_secs(1);
+            sim.try_send(
+                0,
+                NodeId(0),
+                t,
+                None,
+                PacketClass::Data,
+                512,
+                sim.setup.radio.max_range_m,
+                None,
+                (),
+                0,
+                t,
+            );
+            sim.battery(NodeId(0)).tx_total()
+        };
+        let radio = RadioConfig::default();
+        let aware = tx_total(true);
+        let blind = tx_total(false);
+        assert!(
+            (aware - radio.energy.tx_energy(100.0, 512)).abs() < 1e-12,
+            "duty-aware pricing charges the awake receiver's distance: {aware}"
+        );
+        assert!(
+            (blind - radio.energy.tx_energy(200.0, 512)).abs() < 1e-12,
+            "default pricing still charges the farthest sleeper: {blind}"
+        );
+        assert!(aware < blind);
     }
 
     #[test]

@@ -27,6 +27,7 @@ use crate::battery::{Battery, EnergyUse};
 use crate::channel::Channel;
 use crate::faults::{FaultKind, ProbeContext, SessionProbe, StabilizationObserver};
 use crate::geometry::Vec2;
+use crate::harvest::HarvestPlan;
 use crate::lifecycle::DutySchedule;
 use crate::mac::{MacDecision, MacFrame, MacPolicy};
 use crate::node::{GroupRole, NodeId};
@@ -56,6 +57,7 @@ const RANK_APPSEND: u8 = 2;
 const RANK_TIMER: u8 = 3;
 const RANK_DELIVER: u8 = 4;
 const RANK_MACRETRY: u8 = 5;
+const RANK_HARVEST: u8 = 6;
 
 /// A packet copy travelling to one receiver; the cross-shard event class.
 struct DeliverIntent<P> {
@@ -82,9 +84,17 @@ struct DeliverIntent<P> {
 
 /// Events flowing through one shard's queue.
 enum ShardEvent<P> {
-    /// A seeded fault (never `Blackout` — those apply on the coordinator). The `u64`
-    /// is the fault's plan index, used for observer-notification ordering.
+    /// A seeded fault (never `Blackout` — those apply on the coordinator; in probed
+    /// runs *every* seeded fault applies on the coordinator and only crash-scheduled
+    /// rejoins travel through shard queues). The `u64` is the fault's plan index,
+    /// which keys crash-scheduled rejoins.
     Fault(FaultKind, u64),
+    /// A depleted, energy-harvesting node banked its wake threshold: recharge and
+    /// revive it. Node-local, so it queues on the owning shard (see
+    /// [`crate::harvest`]).
+    HarvestWake {
+        node: NodeId,
+    },
     Membership {
         session: u16,
         node: NodeId,
@@ -173,6 +183,11 @@ struct ShardState<A: ProtocolAgent> {
     tx_seq: Vec<u64>,
     /// Per-local MAC-retry counter — makes every retry key unique per sender.
     mac_seq: Vec<u64>,
+    /// Per-local harvest-wake counter — makes every wake key unique per node.
+    harvest_seq: Vec<u64>,
+    /// Earliest depletion among owned nodes — harvest wakes may later clear
+    /// `death_at`, so the surviving entries alone would under-report.
+    first_depletion: Option<SimTime>,
     /// Full `n × sessions` membership replica (every shard applies every churn event,
     /// so roles and receiver counts agree everywhere without synchronization).
     memberships: Vec<GroupRole>,
@@ -203,10 +218,6 @@ struct ShardState<A: ProtocolAgent> {
     /// steady / recovering (only filled when beacon suppression is on).
     silence_steady: Vec<(u64, u64)>,
     silence_recovery: Vec<(u64, u64)>,
-    /// Applied faults awaiting observer notification: `(plan_idx, kind, applied)`.
-    fault_log: Vec<(u64, FaultKind, bool)>,
-    /// True when a probe observer runs (faults are logged for notification).
-    log_faults: bool,
     /// Earliest cross-shard push made this round, nanos (`u64::MAX` when none). Folded
     /// into the published minimum so the coordinator's window bound covers events
     /// sitting in lanes that their destination has not drained yet.
@@ -248,6 +259,8 @@ fn pread<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
 /// Immutable context every worker shares.
 struct Ctx<'a> {
     setup: &'a SimSetup,
+    /// Materialised per-node harvest rates (inert when harvesting is off).
+    harvest: &'a HarvestPlan,
     /// Global node id → shard.
     shard_of: &'a [u32],
     /// Global node id → index in its shard's `owned`.
@@ -259,9 +272,24 @@ impl<A: ProtocolAgent> ShardState<A> {
         session * self.owned.len() + local
     }
 
-    fn note_death(&mut self, local: usize, t: SimTime) {
+    /// Record a local node's death the first time its battery is observed depleted —
+    /// the sharded mirror of `NetworkSim::note_death`. With harvesting enabled, also
+    /// schedule the node's harvest-until-threshold wake on this shard's own queue
+    /// (wakes are node-local, so they never cross a shard boundary); `death_at[local]`
+    /// guards re-entry, exactly once per depletion episode.
+    fn note_death(&mut self, cx: &Ctx<'_>, local: usize, t: SimTime) {
         if self.death_at[local].is_none() && self.batteries[local].is_depleted() {
             self.death_at[local] = Some(t);
+            self.first_depletion = Some(self.first_depletion.map_or(t, |f| f.min(t)));
+            let node = NodeId(self.owned[local]);
+            if let Some(delay) = cx.harvest.wake_delay(node) {
+                if let Some(at) = t.checked_add(delay) {
+                    let seq = self.harvest_seq[local];
+                    self.harvest_seq[local] += 1;
+                    let k: Key = (RANK_HARVEST, node.0 as u64, seq, 0, 0);
+                    self.queue.push(at, k, ShardEvent::HarvestWake { node });
+                }
+            }
         }
     }
 
@@ -288,7 +316,7 @@ impl<A: ProtocolAgent> ShardState<A> {
         if lc.sleep_w > 0.0 {
             self.batteries[local].accept(lc.sleep_w * asleep.as_secs_f64(), EnergyUse::Sleep);
         }
-        self.note_death(local, t);
+        self.note_death(cx, local, t);
     }
 
     fn accrue_all(&mut self, cx: &Ctx<'_>, t: SimTime) {
@@ -512,7 +540,7 @@ fn try_send<A: ProtocolAgent>(
     // never sees the frame) — same rule as the sequential engine.
     if fz.is_blacked_out(sender, t) {
         let accepted = st.batteries[li].accept(radio.energy.tx_energy(range, size_bytes), usage);
-        st.note_death(li, t);
+        st.note_death(cx, li, t);
         let ei = st.eidx(session, li);
         st.energy_acc[ei] += accepted;
         match class {
@@ -566,13 +594,25 @@ fn try_send<A: ProtocolAgent>(
     let sender_pos = fz.positions[sender.index()];
     let mut receivers = std::mem::take(&mut st.scratch_receivers);
     fz.receivers_within(sender, sender_pos, range, t, &mut receivers);
-    let tx_range = if cx.setup.lifecycle.tx_power_control {
-        fz.farthest_distance(sender_pos, &receivers).min(range)
+    let tx_end = tx_start + radio.tx_duration(size_bytes);
+    let delivery_at = tx_start + radio.delivery_delay(size_bytes);
+    let lc = cx.setup.lifecycle;
+    let tx_range = if lc.tx_power_control {
+        // Duty-aware pricing (opt-in): receivers provably asleep at the delivery
+        // instant leave the pricing set — the sharded mirror of
+        // `NetworkSim::try_send`'s rule.
+        if lc.duty_aware_pricing && st.duty.is_on() {
+            let priced: Vec<NodeId> =
+                receivers.iter().copied().filter(|&rx| st.duty.is_awake(rx, delivery_at)).collect();
+            fz.farthest_distance(sender_pos, &priced).min(range)
+        } else {
+            fz.farthest_distance(sender_pos, &receivers).min(range)
+        }
     } else {
         range
     };
     let accepted = st.batteries[li].accept(radio.energy.tx_energy(tx_range, size_bytes), usage);
-    st.note_death(li, t);
+    st.note_death(cx, li, t);
     let ei = st.eidx(session, li);
     st.energy_acc[ei] += accepted;
     match class {
@@ -587,8 +627,6 @@ fn try_send<A: ProtocolAgent>(
         }
         PacketClass::Data => st.traces[session].record_data_tx(size_bytes),
     }
-    let tx_end = tx_start + radio.tx_duration(size_bytes);
-    let delivery_at = tx_start + radio.delivery_delay(size_bytes);
     let txs = st.tx_seq[li];
     st.tx_seq[li] += 1;
     // MAC state rides the frame across shard boundaries: snapshotted once on the
@@ -690,7 +728,7 @@ fn apply_fault_sharded<A: ProtocolAgent>(
                 return false;
             }
             st.batteries[li].drain(joules);
-            st.note_death(li, t);
+            st.note_death(cx, li, t);
             true
         }
         FaultKind::Blackout { .. } => unreachable!("blackouts apply on the coordinator"),
@@ -737,7 +775,7 @@ fn dispatch_event<A: ProtocolAgent>(
             let corrupted = !clean || intent.lost;
             if corrupted {
                 let accepted = st.batteries[li].accept(rx_energy, EnergyUse::Overhear);
-                st.note_death(li, t);
+                st.note_death(cx, li, t);
                 let ei = st.eidx(session, li);
                 st.energy_acc[ei] += accepted;
                 st.overhear_acc[ei] += accepted;
@@ -770,7 +808,7 @@ fn dispatch_event<A: ProtocolAgent>(
                 (Disposition::Consumed, PacketClass::Data) => EnergyUse::RxData,
             };
             let accepted = st.batteries[li].accept(rx_energy, usage);
-            st.note_death(li, t);
+            st.note_death(cx, li, t);
             let ei = st.eidx(session, li);
             st.energy_acc[ei] += accepted;
             if usage == EnergyUse::Overhear {
@@ -815,9 +853,30 @@ fn dispatch_event<A: ProtocolAgent>(
             st.apply_membership(cx.setup.n_nodes, session as usize, node, change);
         }
         ShardEvent::Fault(kind, plan_idx) => {
-            let applied = apply_fault_sharded(st, fz, cx, shared, w, t, kind, plan_idx);
-            if st.log_faults && !matches!(kind, FaultKind::Rejoin { .. }) {
-                st.fault_log.push((plan_idx, kind, applied));
+            // Worker-side faults are crash-scheduled rejoins plus, in unprobed runs,
+            // the seeded node-local faults. Probed runs apply every seeded fault on
+            // the coordinator so the observer sees them serially (rejoins are never
+            // observed, so they stay queue-borne either way).
+            let _ = apply_fault_sharded(st, fz, cx, shared, w, t, kind, plan_idx);
+        }
+        ShardEvent::HarvestWake { node } => {
+            let li = cx.local_of[node.index()] as usize;
+            // Book the dark period first: `accrue_idle` advances the accrual horizon
+            // but charges nothing while the battery reads depleted.
+            st.accrue_idle(cx, li, node, t);
+            let restored = st.batteries[li].recharge(cx.harvest.wake_energy_j());
+            if restored <= 0.0 || st.batteries[li].is_depleted() {
+                return; // nothing banked (or still short): stay dark forever
+            }
+            st.death_at[li] = None;
+            if !st.crashed[li] {
+                // Timers died with the node; restarting the agents re-arms them —
+                // the same arbitrary-state restart as a fault-layer rejoin.
+                for session in 0..cx.setup.n_sessions() {
+                    with_agent(st, fz, cx, shared, w, session, node, t, |agent, ctx| {
+                        agent.start(ctx)
+                    });
+                }
             }
         }
         ShardEvent::MacRetry {
@@ -919,8 +978,14 @@ fn observe_sharded<A: ProtocolAgent, F>(
     let n = cx.setup.n_nodes;
     let n_sessions = cx.setup.n_sessions();
     let mut guards: Vec<MutexGuard<'_, ShardState<A>>> = shared.shards.iter().map(plock).collect();
-    for g in guards.iter_mut() {
+    for (i, g) in guards.iter_mut().enumerate() {
         g.accrue_all(cx, t);
+        // Accrual may have scheduled a harvest wake: re-fold the queue minimum into
+        // the published window bound, since the worker's value predates the push.
+        let qmin = g.queue.peek_time().map_or(u64::MAX, SimTime::as_nanos);
+        if qmin < shared.mins[i].load(Ordering::Acquire) {
+            shared.mins[i].store(qmin, Ordering::Release);
+        }
     }
     let fz = pread(&shared.frozen);
     if !matches!(cache, Some((ts, _)) if *ts == t.as_nanos()) {
@@ -1068,7 +1133,7 @@ pub(super) fn run_sharded<A: ProtocolAgent>(
         let gi = pos % n;
         per_shard_agents[shard_of[gi] as usize].push(agent);
     }
-    let log_faults = probe.is_some();
+    let probed = probe.is_some();
     let mut states: Vec<ShardState<A>> = Vec::with_capacity(k);
     for (w, ids) in owned.iter().enumerate() {
         let cnt = ids.len();
@@ -1088,6 +1153,8 @@ pub(super) fn run_sharded<A: ProtocolAgent>(
             death_at: ids.iter().map(|&gi| sim.death_at[gi as usize]).collect(),
             tx_seq: vec![0; cnt],
             mac_seq: vec![0; cnt],
+            harvest_seq: vec![0; cnt],
+            first_depletion: ids.iter().filter_map(|&gi| sim.death_at[gi as usize]).min(),
             memberships: sim.memberships.clone(),
             receiver_counts: sim.receiver_counts.clone(),
             joins: vec![0; n_sessions],
@@ -1111,8 +1178,6 @@ pub(super) fn run_sharded<A: ProtocolAgent>(
             scratch_receivers: Vec::with_capacity(16),
             silence_steady: vec![(0, 0); n_sessions],
             silence_recovery: vec![(0, 0); n_sessions],
-            fault_log: Vec::new(),
-            log_faults,
             round_lane_min: u64::MAX,
             events_processed: 0,
             peak_depth: 0,
@@ -1120,21 +1185,23 @@ pub(super) fn run_sharded<A: ProtocolAgent>(
     }
 
     // --- Seed the event population ------------------------------------------------
-    // Blackouts darken *links* (frozen state shared by all shards), so they apply on
-    // the coordinator at a synchronization point; every other fault is node-local and
-    // queues on its owner's shard.
-    let mut blackouts: Vec<(u64, u64, NodeId, FaultKind)> = Vec::new();
-    let mut notify_times: Vec<u64> = Vec::new();
+    // Blackouts darken *links* (frozen state shared by all shards), so they always
+    // apply on the coordinator at a synchronization point. Probed runs additionally
+    // route *every* seeded fault through the coordinator: the sequential engine
+    // notifies the observer after each applied fault with the state as of that fault,
+    // so same-instant bursts must apply-and-observe serially, never batched. Unprobed
+    // runs keep node-local faults on their owner's shard queue.
+    let mut coord_faults: Vec<(u64, u64, FaultKind)> = Vec::new();
     for (plan_idx, fe) in sim.setup.faults.events().to_vec().into_iter().enumerate() {
         if fe.at > horizon {
             continue;
         }
-        if log_faults {
-            notify_times.push(fe.at.as_nanos());
-        }
         match fe.kind {
-            FaultKind::Blackout { node, .. } => {
-                blackouts.push((fe.at.as_nanos(), plan_idx as u64, node, fe.kind));
+            FaultKind::Blackout { .. } => {
+                coord_faults.push((fe.at.as_nanos(), plan_idx as u64, fe.kind));
+            }
+            kind if probed => {
+                coord_faults.push((fe.at.as_nanos(), plan_idx as u64, kind));
             }
             kind => {
                 let w = shard_of[kind.node().index()] as usize;
@@ -1143,9 +1210,7 @@ pub(super) fn run_sharded<A: ProtocolAgent>(
             }
         }
     }
-    blackouts.sort_by_key(|&(ns, pi, _, _)| (ns, pi));
-    notify_times.sort_unstable();
-    notify_times.dedup();
+    coord_faults.sort_by_key(|&(ns, pi, _)| (ns, pi));
     // Every shard replays every churn event against its own full membership replica:
     // the tables stay in lockstep without any cross-shard coordination.
     let mut flat = 0u64;
@@ -1187,7 +1252,8 @@ pub(super) fn run_sharded<A: ProtocolAgent>(
         barrier: Barrier::new(k + 1),
         panicked: AtomicBool::new(false),
     };
-    let cx = Ctx { setup: &sim.setup, shard_of: &shard_of, local_of: &local_of };
+    let cx =
+        Ctx { setup: &sim.setup, harvest: &sim.harvest, shard_of: &shard_of, local_of: &local_of };
 
     // --- Round zero: start every agent at time zero (coordinator-side) -------------
     {
@@ -1240,8 +1306,7 @@ pub(super) fn run_sharded<A: ProtocolAgent>(
     } else {
         None
     };
-    let mut blackout_ptr = 0usize;
-    let mut notify_ptr = 0usize;
+    let mut fault_ptr = 0usize;
     let curve_budget = if sim.setup.metrics.is_streaming() {
         sim.setup.metrics.streaming.curve_budget as usize
     } else {
@@ -1250,7 +1315,6 @@ pub(super) fn run_sharded<A: ProtocolAgent>(
     let mut alive_curve: CurveRing<u64> = CurveRing::with_budget(curve_budget);
     let mut delivery_curve: CurveRing<f64> = CurveRing::with_budget(curve_budget);
     let mut snapshot_cache: Option<(u64, TopologySnapshot)> = None;
-    let mut pending_blackout_notices: Vec<(u64, FaultKind, bool)> = Vec::new();
     let mut sync_rounds: u64 = 0;
 
     // --- Main loop: workers march through windows, coordinator owns special instants
@@ -1266,45 +1330,90 @@ pub(super) fn run_sharded<A: ProtocolAgent>(
                 break;
             }
             let m = shared.mins.iter().map(|a| a.load(Ordering::Acquire)).min().unwrap_or(u64::MAX);
-            let next_blackout = blackouts.get(blackout_ptr).map(|b| b.0);
-            let next_notify = notify_times.get(notify_ptr).copied();
+            let next_fault = coord_faults.get(fault_ptr).map(|f| f.0);
             let mut next_special: Option<u64> = None;
-            for cand in [next_refresh, next_probe, next_sample, next_notify] {
+            for cand in [next_refresh, next_probe, next_sample] {
                 next_special = match (next_special, cand) {
                     (Some(a), Some(c)) => Some(a.min(c)),
                     (a, c) => a.or(c),
                 };
             }
-            // Blackouts mirror the sequential queue's fault-first rank: they take
-            // effect once everything *strictly earlier* has drained — BEFORE any
+            // Coordinator faults mirror the sequential queue's fault-first rank: they
+            // take effect once everything *strictly earlier* has drained — BEFORE any
             // same-instant packet/timer event, which the window bound below never
-            // lets a worker touch first. A sender transmitting at the blackout's
-            // own timestamp is already silenced, exactly as on the sequential engine.
-            if let Some(bt) = next_blackout {
-                if m >= bt && next_special.is_none_or(|sp| bt <= sp) {
-                    let t = SimTime::from_nanos(bt);
-                    while blackouts.get(blackout_ptr).is_some_and(|b| b.0 == bt) {
-                        let (_, plan_idx, node, kind) = blackouts[blackout_ptr];
-                        blackout_ptr += 1;
-                        let FaultKind::Blackout { duration, .. } = kind else {
-                            unreachable!("blackout list holds blackouts only")
+            // lets a worker touch first. In probed runs the observer is notified
+            // after each applied fault with the fleet exactly as that fault left it,
+            // so a same-instant burst observes per-fault — the sequential engine's
+            // ordering, not a batched approximation of it.
+            if let Some(ft) = next_fault {
+                if m >= ft && next_special.is_none_or(|sp| ft <= sp) {
+                    let t = SimTime::from_nanos(ft);
+                    while coord_faults.get(fault_ptr).is_some_and(|f| f.0 == ft) {
+                        let (_, plan_idx, kind) = coord_faults[fault_ptr];
+                        fault_ptr += 1;
+                        let applied = match kind {
+                            FaultKind::Blackout { node, duration } => {
+                                let applied = {
+                                    let wsh = shard_of[node.index()] as usize;
+                                    let li = local_of[node.index()] as usize;
+                                    let mut st = plock(&shared.shards[wsh]);
+                                    st.accrue_idle(&cx, li, node, t);
+                                    // Accrual may have scheduled a harvest wake:
+                                    // re-fold the queue minimum the worker published
+                                    // before the push.
+                                    let qmin =
+                                        st.queue.peek_time().map_or(u64::MAX, SimTime::as_nanos);
+                                    if qmin < shared.mins[wsh].load(Ordering::Acquire) {
+                                        shared.mins[wsh].store(qmin, Ordering::Release);
+                                    }
+                                    !st.crashed[li] && !st.batteries[li].is_depleted()
+                                };
+                                let mut fzw =
+                                    shared.frozen.write().unwrap_or_else(PoisonError::into_inner);
+                                let until = t.checked_add(duration).unwrap_or(SimTime::MAX);
+                                let slot = &mut fzw.blackout_until[node.index()];
+                                *slot = (*slot).max(until);
+                                applied
+                            }
+                            kind => {
+                                // Probed runs only: node-local faults apply serially
+                                // here so each notification sees exactly this fault's
+                                // effects. Crash-scheduled rejoins still queue on the
+                                // owner's shard (they are never observed).
+                                let wsh = shard_of[kind.node().index()] as usize;
+                                let fzg = pread(&shared.frozen);
+                                let mut st = plock(&shared.shards[wsh]);
+                                let applied = apply_fault_sharded(
+                                    &mut st, &fzg, &cx, &shared, wsh, t, kind, plan_idx,
+                                );
+                                // The fault may have queued rejoins, timers, packets
+                                // or harvest wakes: re-fold this shard's minimum.
+                                let m2 = st
+                                    .queue
+                                    .peek_time()
+                                    .map_or(u64::MAX, SimTime::as_nanos)
+                                    .min(st.round_lane_min);
+                                if m2 < shared.mins[wsh].load(Ordering::Acquire) {
+                                    shared.mins[wsh].store(m2, Ordering::Release);
+                                }
+                                applied
+                            }
                         };
-                        let wsh = shard_of[node.index()] as usize;
-                        let li = local_of[node.index()] as usize;
-                        let applied = {
-                            let mut st = plock(&shared.shards[wsh]);
-                            st.accrue_idle(&cx, li, node, t);
-                            !st.crashed[li] && !st.batteries[li].is_depleted()
-                        };
-                        {
-                            let mut fzw =
-                                shared.frozen.write().unwrap_or_else(PoisonError::into_inner);
-                            let until = t.checked_add(duration).unwrap_or(SimTime::MAX);
-                            let slot = &mut fzw.blackout_until[node.index()];
-                            *slot = (*slot).max(until);
-                        }
-                        if log_faults {
-                            pending_blackout_notices.push((plan_idx, kind, applied));
+                        if applied && !matches!(kind, FaultKind::Rejoin { .. }) {
+                            if let Some(observer) = probe.as_deref_mut() {
+                                observe_sharded(&shared, &cx, t, &mut snapshot_cache, |ctx| {
+                                    observer.on_fault(&kind, ctx)
+                                });
+                                if cx.setup.silence.enabled {
+                                    let mut fzw = shared
+                                        .frozen
+                                        .write()
+                                        .unwrap_or_else(PoisonError::into_inner);
+                                    for s in 0..n_sessions {
+                                        fzw.recovering[s] = observer.session_recovering(s);
+                                    }
+                                }
+                            }
                         }
                     }
                     continue;
@@ -1325,32 +1434,6 @@ pub(super) fn run_sharded<A: ProtocolAgent>(
                         drop(fzw);
                         let nr = sp.saturating_add(sync_window_ns);
                         next_refresh = (nr <= horizon_ns).then_some(nr);
-                    }
-                    if next_notify == Some(sp) {
-                        notify_ptr += 1;
-                        let observer =
-                            probe.as_deref_mut().expect("notify times exist only when probed");
-                        let mut notices = std::mem::take(&mut pending_blackout_notices);
-                        for sm in &shared.shards {
-                            let mut st = plock(sm);
-                            notices.append(&mut st.fault_log);
-                        }
-                        notices.sort_by_key(|&(pi, _, _)| pi);
-                        notices.retain(|&(_, _, applied)| applied);
-                        if !notices.is_empty() {
-                            observe_sharded(&shared, &cx, t, &mut snapshot_cache, |ctx| {
-                                for (_, kind, _) in &notices {
-                                    observer.on_fault(kind, ctx);
-                                }
-                            });
-                            if cx.setup.silence.enabled {
-                                let mut fzw =
-                                    shared.frozen.write().unwrap_or_else(PoisonError::into_inner);
-                                for s in 0..n_sessions {
-                                    fzw.recovering[s] = observer.session_recovering(s);
-                                }
-                            }
-                        }
                     }
                     if next_probe == Some(sp) {
                         let observer =
@@ -1373,9 +1456,15 @@ pub(super) fn run_sharded<A: ProtocolAgent>(
                         let mut alive = 0u64;
                         let mut delivered = 0u64;
                         let mut expected = 0u64;
-                        for sm in &shared.shards {
+                        for (i, sm) in shared.shards.iter().enumerate() {
                             let mut st = plock(sm);
                             st.accrue_all(&cx, t);
+                            // Accrual may have scheduled a harvest wake: re-fold the
+                            // queue minimum the worker published before the push.
+                            let qmin = st.queue.peek_time().map_or(u64::MAX, SimTime::as_nanos);
+                            if qmin < shared.mins[i].load(Ordering::Acquire) {
+                                shared.mins[i].store(qmin, Ordering::Release);
+                            }
                             alive +=
                                 st.batteries.iter().filter(|b| !b.is_depleted()).count() as u64;
                             delivered += st.traces.iter().map(Trace::delivered_count).sum::<u64>();
@@ -1401,10 +1490,10 @@ pub(super) fn run_sharded<A: ProtocolAgent>(
             if let Some(sp) = next_special {
                 b = b.min(sp);
             }
-            // Stop the window one tick short of the next blackout so no worker can
-            // process an event *at* the blackout instant before the fault lands.
-            if let Some(bt) = next_blackout {
-                b = b.min(bt.saturating_sub(1));
+            // Stop the window one tick short of the next coordinator fault so no
+            // worker can process an event *at* the fault instant before it lands.
+            if let Some(ft) = next_fault {
+                b = b.min(ft.saturating_sub(1));
             }
             b = b.min(horizon_ns);
             shared.window_end.store(b, Ordering::Release);
@@ -1464,9 +1553,11 @@ pub(super) fn run_sharded<A: ProtocolAgent>(
         }
     }
     sim.traces = traces;
-    // Harvesting never runs sharded, so the earliest depletion is simply the earliest
-    // surviving `death_at` entry across the merged fleet.
-    sim.first_depletion = sim.death_at.iter().flatten().min().copied();
+    // The earliest depletion is min-folded per shard as deaths land: harvest wakes
+    // may have cleared `death_at` entries again, so the surviving entries alone
+    // would under-report `first_death_s`.
+    sim.first_depletion =
+        states.iter().filter_map(|s| s.first_depletion).chain(sim.first_depletion).min();
     let mut session_energy = vec![0.0f64; n_sessions];
     let mut session_overhear = vec![0.0f64; n_sessions];
     for s in 0..n_sessions {

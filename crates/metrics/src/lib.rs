@@ -23,7 +23,7 @@ pub use lifetime::{LifetimeStats, RESIDUAL_HISTOGRAM_BINS};
 pub use mac::MacStats;
 pub use series::{Series, SeriesPoint};
 pub use silence::{SessionSilence, SilenceStats};
-pub use stats::SummaryStats;
+pub use stats::{energy_per_delivered_byte_uj, SummaryStats};
 pub use streaming::{
     CurveRing, FixedBinHistogram, MetricsConfig, MetricsMode, P2Quantile, SeqDedup,
     StreamingConfig, StreamingStats, WindowCell, WindowLedger,

@@ -54,6 +54,28 @@ pub fn mean(samples: &[f64]) -> f64 {
     SummaryStats::from_samples(samples).mean
 }
 
+/// Energy per *delivered byte* in microjoules — the payload-normalised twin of
+/// energy-per-delivered-packet, comparable across packet sizes.
+///
+/// Delivered bytes are estimated as `delivered_packets × mean transmitted data packet
+/// size` (`data_bytes_tx / data_packets_tx`): the report counts deliveries in packets,
+/// and every copy of a data packet has the source's payload size. Returns 0 when
+/// nothing was delivered or no data was transmitted, mirroring
+/// `energy_per_delivered_mj`'s zero-delivery convention.
+pub fn energy_per_delivered_byte_uj(
+    total_energy_j: f64,
+    delivered_packets: u64,
+    data_bytes_tx: u64,
+    data_packets_tx: u64,
+) -> f64 {
+    if delivered_packets == 0 || data_packets_tx == 0 || data_bytes_tx == 0 {
+        return 0.0;
+    }
+    let mean_packet_bytes = data_bytes_tx as f64 / data_packets_tx as f64;
+    let delivered_bytes = delivered_packets as f64 * mean_packet_bytes;
+    total_energy_j * 1e6 / delivered_bytes
+}
+
 /// Relative change from `baseline` to `value` (e.g. energy savings): `(baseline - value) /
 /// baseline`. Returns 0 when the baseline is 0.
 pub fn relative_improvement(baseline: f64, value: f64) -> f64 {
@@ -89,6 +111,17 @@ mod tests {
         assert_eq!(single.std_dev, 0.0);
         assert_eq!(single.ci95, 0.0);
         assert_eq!(single.mean_opt(), Some(3.5));
+    }
+
+    #[test]
+    fn energy_per_delivered_byte_normalises_by_payload() {
+        // 2 J over 10 delivered packets of 500 bytes each (5000 tx bytes / 10 tx
+        // packets): 2e6 µJ / 5000 bytes = 400 µJ per byte.
+        let uj = energy_per_delivered_byte_uj(2.0, 10, 5_000, 10);
+        assert!((uj - 400.0).abs() < 1e-9);
+        // Zero-delivery and zero-traffic runs read as 0, not NaN/inf.
+        assert_eq!(energy_per_delivered_byte_uj(2.0, 0, 5_000, 10), 0.0);
+        assert_eq!(energy_per_delivered_byte_uj(2.0, 10, 0, 0), 0.0);
     }
 
     #[test]

@@ -168,11 +168,18 @@ pub enum FigureId {
     /// Masuzawa & Tixeuil: once the legitimacy predicate holds, control traffic
     /// should collapse toward the heartbeat floor while recovery traffic is spared.
     FigSilence,
+    /// Delivery ratio vs radio duty cycle: the minimum-energy baselines against
+    /// flooding and SS-SPST-E. Not a figure of the paper (its radios never sleep) —
+    /// it measures the claim of the duty-cycle-aware minimum-energy multicast
+    /// literature (Han et al.): a forwarder that knows downstream wake schedules and
+    /// defers into them (DCA-Forward) keeps delivering where schedule-blind
+    /// transmissions are lost to sleeping radios.
+    FigMinEnergy,
 }
 
 impl FigureId {
     /// All evaluation figures in order.
-    pub const ALL: [FigureId; 15] = [
+    pub const ALL: [FigureId; 16] = [
         FigureId::Fig7,
         FigureId::Fig8,
         FigureId::Fig9,
@@ -188,6 +195,7 @@ impl FigureId {
         FigureId::FigLifetime,
         FigureId::FigMac,
         FigureId::FigSilence,
+        FigureId::FigMinEnergy,
     ];
 
     /// The preset describing how to regenerate this figure.
@@ -301,6 +309,8 @@ impl FigureId {
                     ProtocolKind::Flooding,
                     ProtocolKind::SsSpst(MetricKind::Hop),
                     ProtocolKind::SsSpst(MetricKind::EnergyAware),
+                    ProtocolKind::MemTree,
+                    ProtocolKind::DcaForward,
                 ],
                 metric: Metric::TimeToFirstDeathS,
             },
@@ -324,6 +334,19 @@ impl FigureId {
                 ],
                 metric: Metric::SteadyControlBytes,
             },
+            FigureId::FigMinEnergy => FigureSpec {
+                id: self,
+                title: "Packet Delivery Ratio as a Function of Radio Duty Cycle",
+                swept: SweptParameter::DutyCycle,
+                xs: vec![0.1, 0.25, 0.5, 1.0],
+                protocols: vec![
+                    ProtocolKind::Flooding,
+                    ProtocolKind::SsSpst(MetricKind::EnergyAware),
+                    ProtocolKind::MemTree,
+                    ProtocolKind::DcaForward,
+                ],
+                metric: Metric::Pdr,
+            },
         }
     }
 
@@ -345,6 +368,7 @@ impl FigureId {
             FigureId::FigLifetime => "fig_lifetime",
             FigureId::FigMac => "fig_mac",
             FigureId::FigSilence => "fig_silence",
+            FigureId::FigMinEnergy => "fig_min_energy",
         }
     }
 }
@@ -404,18 +428,32 @@ pub fn base_scenario_for(spec: &FigureSpec) -> Scenario {
             s.beacon_interval_s = 2.0;
             s.n_groups = 2;
         }
-        SweptParameter::BatteryCapacity | SweptParameter::DutyCycle => {
-            // The network-lifetime studies: slow mobility (deaths should come from
+        SweptParameter::BatteryCapacity => {
+            // The network-lifetime study: slow mobility (deaths should come from
             // energy discipline, not partition luck), distance-based TX power control
             // so short-link trees actually pay less per hop, a small idle-listen
             // current so a radio that merely stays on also spends its budget, and a
-            // moderate battery (the capacity sweep overrides it per column; the
-            // duty-cycle sweep needs it fixed so the lifetime/PDR trade-off is
-            // visible within one run).
+            // moderate battery (the sweep overrides it per column).
             s.max_speed_mps = 1.0;
             s.beacon_interval_s = 2.0;
             s.battery_capacity_j = 10.0;
             s.lifecycle = s.lifecycle.with_tx_power_control(true).with_idle_power(2e-3, 1e-4);
+        }
+        SweptParameter::DutyCycle => {
+            // The duty-cycle study (minimum-energy baselines): a static grid, as in
+            // the duty-cycle-aware minimum-energy multicast literature — the
+            // centralized BIP tree is built from the t = 0 snapshot and must not rot
+            // under mobility while the sweep measures *scheduling*, not repair. TX
+            // power control with duty-aware pricing on, so a deferring forwarder
+            // prices each batch at its farthest awake receiver.
+            s.mobility = MobilityKind::StaticGrid;
+            s.max_speed_mps = 1.0;
+            s.beacon_interval_s = 2.0;
+            s.lifecycle = s
+                .lifecycle
+                .with_tx_power_control(true)
+                .with_idle_power(2e-3, 1e-4)
+                .with_duty_aware_pricing(true);
         }
         SweptParameter::MacKind => {
             // Slow mobility (contention, not partition luck, should drive losses) and
@@ -537,7 +575,7 @@ mod tests {
     fn figure_id_all_lists_every_variant_exactly_once() {
         // The match is the guard: adding a FigureId variant without extending it is a
         // compile error, and N_VARIANTS then forces ALL to grow with it.
-        const N_VARIANTS: usize = 15;
+        const N_VARIANTS: usize = 16;
         fn ordinal(id: FigureId) -> usize {
             match id {
                 FigureId::Fig7 => 0,
@@ -555,6 +593,7 @@ mod tests {
                 FigureId::FigLifetime => 12,
                 FigureId::FigMac => 13,
                 FigureId::FigSilence => 14,
+                FigureId::FigMinEnergy => 15,
             }
         }
         assert_eq!(FigureId::ALL.len(), N_VARIANTS, "ALL drifted from the enum");
@@ -623,6 +662,25 @@ mod tests {
     }
 
     #[test]
+    fn min_energy_preset_sweeps_duty_cycle_on_a_static_grid() {
+        let spec = FigureId::FigMinEnergy.spec();
+        assert_eq!(spec.swept, SweptParameter::DutyCycle);
+        assert_eq!(spec.metric, Metric::Pdr);
+        assert_eq!(spec.xs, vec![0.1, 0.25, 0.5, 1.0]);
+        assert!(spec.protocols.contains(&ProtocolKind::MemTree));
+        assert!(spec.protocols.contains(&ProtocolKind::DcaForward));
+        assert!(spec.protocols.contains(&ProtocolKind::Flooding), "schedule-blind yardstick");
+        let base = base_scenario_for(&spec);
+        assert_eq!(base.mobility, MobilityKind::StaticGrid, "BIP trees must not rot");
+        assert!(base.lifecycle.tx_power_control);
+        assert!(base.lifecycle.duty_aware_pricing);
+        let mut s = base;
+        SweptParameter::DutyCycle.apply(&mut s, 0.25);
+        assert!(s.lifecycle.duty_cycle.is_on());
+        assert_eq!(FigureId::FigMinEnergy.short_name(), "fig_min_energy");
+    }
+
+    #[test]
     fn group_size_figures_fix_velocity_at_1mps() {
         let spec = FigureId::Fig12.spec();
         assert_eq!(base_scenario_for(&spec).max_speed_mps, 1.0);
@@ -661,7 +719,13 @@ mod tests {
         let spec = FigureId::FigLifetime.spec();
         assert_eq!(spec.swept, SweptParameter::BatteryCapacity);
         assert_eq!(spec.metric, Metric::TimeToFirstDeathS);
-        assert_eq!(spec.protocols.len(), 3, "flooding vs hop tree vs energy-aware tree");
+        assert_eq!(
+            spec.protocols.len(),
+            5,
+            "flooding + hop tree + the three energy strategies (E, MEM-Tree, DCA-Forward)"
+        );
+        assert!(spec.protocols.contains(&ProtocolKind::MemTree));
+        assert!(spec.protocols.contains(&ProtocolKind::DcaForward));
         let base = base_scenario_for(&spec);
         assert!(base.battery_capacity_j.is_finite());
         assert!(base.lifecycle.tx_power_control);

@@ -8,13 +8,16 @@
 //! layer over the same machinery.
 
 use crate::scenario::{ProtocolKind, Scenario};
-use ssmcast_baselines::{FloodingAgent, MaodvAgent, OdmrpAgent};
+use ssmcast_baselines::{FloodingAgent, MaodvAgent, MinEnergyAgent, OdmrpAgent};
 use ssmcast_core::{
-    MetricKind, MetricParams, SsMstAgent, SsMstConfig, SsSpstAgent, SsSpstConfig,
-    StabilizationProbe,
+    min_energy_tree, MetricKind, MetricParams, MulticastTopology, SsMstAgent, SsMstConfig,
+    SsSpstAgent, SsSpstConfig, StabilizationProbe,
 };
-use ssmcast_dessim::SimDuration;
-use ssmcast_manet::{BoxedMobility, NetworkSim, NodeId, ProtocolAgent, SimReport, SimSetup};
+use ssmcast_dessim::{SimDuration, SimTime};
+use ssmcast_manet::{
+    BoxedMobility, DutySchedule, NetworkSim, NodeId, ProtocolAgent, SimReport, SimSetup,
+    TopologySnapshot,
+};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
@@ -73,15 +76,7 @@ impl FnProtocol {
                         agents.push(make_agent(scenario, NodeId(i as u32)));
                     }
                 }
-                let horizon = SimDuration::from_secs_f64(scenario.duration_s);
-                let mut sim = NetworkSim::new(setup, mobility, agents);
-                if scenario.faults.has_faults() || scenario.has_group_dynamics() {
-                    let epoch = SimDuration::from_secs_f64(scenario.faults.probe_epoch_s.max(0.05));
-                    let mut probe = StabilizationProbe::new(epoch);
-                    sim.run_probed(horizon, &mut probe)
-                } else {
-                    sim.run(horizon)
-                }
+                run_sim(scenario, setup, mobility, agents)
             });
         FnProtocol { name: name.into(), run }
     }
@@ -100,6 +95,86 @@ impl Protocol for FnProtocol {
 impl fmt::Debug for FnProtocol {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("FnProtocol").field("name", &self.name).finish_non_exhaustive()
+    }
+}
+
+/// Drive a fully-built simulation through the same probed/unprobed branch
+/// [`FnProtocol::from_agent_fn`] uses, so custom [`Protocol`] impls report convergence
+/// stats under faults and group dynamics exactly like closure-built ones.
+fn run_sim<A: ProtocolAgent + 'static>(
+    scenario: &Scenario,
+    setup: SimSetup,
+    mobility: Vec<BoxedMobility>,
+    agents: Vec<A>,
+) -> SimReport {
+    let horizon = SimDuration::from_secs_f64(scenario.duration_s);
+    let mut sim = NetworkSim::new(setup, mobility, agents);
+    if scenario.faults.has_faults() || scenario.has_group_dynamics() {
+        let epoch = SimDuration::from_secs_f64(scenario.faults.probe_epoch_s.max(0.05));
+        let mut probe = StabilizationProbe::new(epoch);
+        sim.run_probed(horizon, &mut probe)
+    } else {
+        sim.run(horizon)
+    }
+}
+
+/// MEM-Tree and DCA-Forward: minimum-energy multicast from a centralized BIP tree.
+///
+/// Unlike the closure-built protocols, agent construction here is *session-aware*: the
+/// factory snapshots every node's position at t = 0, builds one BIP minimum-energy tree
+/// per session from that session's role table ([`min_energy_tree`]), prunes it to the
+/// forwarding set, and hands each (session, node) agent its parent and forwarding
+/// children with snapshot distances. With `duty_aware` set, agents additionally share
+/// the run's materialised [`DutySchedule`] (rebuilt from the same seeds the runtime
+/// uses, so the two views agree exactly) and defer forwards into receivers' wake
+/// windows.
+struct MinEnergyProtocol {
+    name: &'static str,
+    duty_aware: bool,
+}
+
+impl Protocol for MinEnergyProtocol {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn run(
+        &self,
+        scenario: &Scenario,
+        setup: SimSetup,
+        mut mobility: Vec<BoxedMobility>,
+    ) -> SimReport {
+        let n = setup.n_nodes;
+        let positions =
+            mobility.iter_mut().map(|m| m.position_at(SimTime::ZERO)).collect::<Vec<_>>();
+        let snap = TopologySnapshot::new(positions, setup.radio.max_range_m);
+        let params = MetricParams {
+            energy: scenario.radio.energy,
+            data_packet_bytes: scenario.packet_size_bytes,
+        };
+        let duty = self.duty_aware.then(|| {
+            Arc::new(DutySchedule::from_seeds(&setup.lifecycle.duty_cycle, n, &setup.seeds))
+        });
+        let mut agents = Vec::with_capacity(setup.n_sessions() * n);
+        for sess in &setup.sessions {
+            let topo = MulticastTopology::for_session(&snap, &sess.roles);
+            let tree = min_energy_tree(&topo, &params);
+            let forwarding = tree.forwarding_set(&topo);
+            for i in 0..n {
+                let v = NodeId(i as u32);
+                let children: Vec<(NodeId, f64)> = tree
+                    .children(v)
+                    .into_iter()
+                    .filter(|c| forwarding[c.index()])
+                    .filter_map(|c| topo.distance(v, c).map(|d| (c, d)))
+                    .collect();
+                agents.push(match &duty {
+                    Some(d) => MinEnergyAgent::dca_forward(tree.parent(v), children, Arc::clone(d)),
+                    None => MinEnergyAgent::mem_tree(tree.parent(v), children),
+                });
+            }
+        }
+        run_sim(scenario, setup, mobility, agents)
     }
 }
 
@@ -146,6 +221,12 @@ impl ProtocolKind {
             ProtocolKind::Flooding => {
                 Arc::new(FnProtocol::from_agent_fn("Flooding", |_, _| FloodingAgent::new()))
             }
+            ProtocolKind::MemTree => {
+                Arc::new(MinEnergyProtocol { name: "MEM-Tree", duty_aware: false })
+            }
+            ProtocolKind::DcaForward => {
+                Arc::new(MinEnergyProtocol { name: "DCA-Forward", duty_aware: true })
+            }
         }
     }
 
@@ -159,6 +240,8 @@ impl ProtocolKind {
             ProtocolKind::Maodv,
             ProtocolKind::Odmrp,
             ProtocolKind::Flooding,
+            ProtocolKind::MemTree,
+            ProtocolKind::DcaForward,
         ]);
         kinds
     }
@@ -256,7 +339,11 @@ mod tests {
     #[test]
     fn builtin_names_round_trip_through_the_registry() {
         let registry = ProtocolRegistry::with_builtins();
-        assert_eq!(registry.len(), 8, "4 SS-SPST variants + SS-MST + MAODV + ODMRP + Flooding");
+        assert_eq!(
+            registry.len(),
+            10,
+            "4 SS-SPST variants + SS-MST + MAODV + ODMRP + Flooding + MEM-Tree + DCA-Forward"
+        );
         for kind in ProtocolKind::all_builtin() {
             let p = kind.to_protocol();
             let found = registry
@@ -307,16 +394,67 @@ mod tests {
     }
 
     #[test]
+    fn mem_tree_runs_end_to_end_and_delivers() {
+        let mut s = Scenario::quick_test();
+        s.duration_s = 30.0;
+        s.n_nodes = 16;
+        s.group_size = 6;
+        s.mobility = crate::scenario::MobilityKind::StaticGrid;
+        let report = run_protocol(&s, ProtocolKind::MemTree.to_protocol().as_ref());
+        assert_eq!(report.protocol, "MEM-Tree");
+        assert!(report.pdr > 0.9, "static tree on a static grid delivers: pdr = {}", report.pdr);
+        assert_eq!(report.control_packets, 0, "a centralized tree needs no control traffic");
+    }
+
+    #[test]
+    fn dca_forward_out_delivers_schedule_blind_protocols_under_duty_cycling() {
+        // Awake fraction 0.25: a schedule-blind forwarder loses ~3/4 of its deliveries
+        // to sleeping radios, while DCA-Forward defers each child's copy into that
+        // child's wake window. This is the tentpole's acceptance claim in miniature
+        // (the full sweep is FigMinEnergy).
+        let mut s = Scenario::quick_test();
+        s.duration_s = 40.0;
+        s.n_nodes = 16;
+        s.group_size = 6;
+        s.mobility = crate::scenario::MobilityKind::StaticGrid;
+        s.lifecycle = s
+            .lifecycle
+            .with_duty_cycle(SimDuration::from_secs(1), 0.25)
+            .with_tx_power_control(true)
+            .with_duty_aware_pricing(true);
+        let dca = run_protocol(&s, ProtocolKind::DcaForward.to_protocol().as_ref());
+        let mem = run_protocol(&s, ProtocolKind::MemTree.to_protocol().as_ref());
+        let ss_e = run_protocol(
+            &s,
+            ProtocolKind::SsSpst(ssmcast_core::MetricKind::EnergyAware).to_protocol().as_ref(),
+        );
+        assert!(
+            dca.pdr > mem.pdr,
+            "wake-window deferral beats schedule-blind tree forwarding: {} vs {}",
+            dca.pdr,
+            mem.pdr
+        );
+        assert!(
+            dca.pdr > ss_e.pdr,
+            "wake-window deferral beats SS-SPST-E under sleep: {} vs {}",
+            dca.pdr,
+            ss_e.pdr
+        );
+    }
+
+    #[test]
     fn custom_registration_displaces_and_coexists() {
         let mut registry = ProtocolRegistry::with_builtins();
         let displaced = registry.register(ProtocolKind::Flooding.to_protocol());
         assert!(displaced.is_some(), "re-registering a name returns the old factory");
-        assert_eq!(registry.len(), 8);
+        assert_eq!(registry.len(), 10);
         assert_eq!(
             registry.names(),
             vec![
+                "DCA-Forward",
                 "Flooding",
                 "MAODV",
+                "MEM-Tree",
                 "ODMRP",
                 "SS-MST",
                 "SS-SPST",

@@ -23,6 +23,12 @@ pub enum ProtocolKind {
     Odmrp,
     /// Blind flooding (reference only; not in the paper's figures).
     Flooding,
+    /// MEM-Tree: centralized minimum-energy multicast tree (BIP greedy over the t = 0
+    /// topology snapshot), forwarded without repair — the lower-bound energy baseline.
+    MemTree,
+    /// DCA-Forward: MEM-Tree forwarding made duty-cycle-aware — transmissions are
+    /// deferred into downstream receivers' scheduled wake windows.
+    DcaForward,
 }
 
 impl ProtocolKind {
@@ -34,6 +40,8 @@ impl ProtocolKind {
             ProtocolKind::Maodv => "MAODV",
             ProtocolKind::Odmrp => "ODMRP",
             ProtocolKind::Flooding => "Flooding",
+            ProtocolKind::MemTree => "MEM-Tree",
+            ProtocolKind::DcaForward => "DCA-Forward",
         }
     }
 
@@ -174,7 +182,7 @@ pub struct Scenario {
     /// Energy-harvesting node model. [`HarvestConfig::off`] (the default) keeps
     /// battery depletion permanent; enabling it gives each node a seeded harvest rate
     /// and a harvest-until-threshold wake, turning depletion into power cycling
-    /// (sequential engine only).
+    /// (on either engine — sharded runs stay byte-identical to sequential).
     pub harvest: HarvestConfig,
     /// Master seed; repetitions derive child seeds from it.
     pub seed: u64,

@@ -15,6 +15,11 @@ pub enum Metric {
     Unavailability,
     /// Energy per delivered packet, millijoules.
     EnergyPerPacketMj,
+    /// Energy per delivered *byte*, microjoules — the payload-normalised twin of
+    /// [`Metric::EnergyPerPacketMj`], comparable across packet-size sweeps. Derived
+    /// from existing report fields (total energy, delivered count, mean transmitted
+    /// data packet size), so the report schema is unchanged.
+    EnergyPerByteUj,
     /// Control bytes per delivered data byte.
     ControlOverhead,
     /// Average end-to-end delay, milliseconds.
@@ -50,6 +55,12 @@ impl Metric {
             Metric::Pdr => report.pdr,
             Metric::Unavailability => report.unavailability_ratio,
             Metric::EnergyPerPacketMj => report.energy_per_delivered_mj,
+            Metric::EnergyPerByteUj => ssmcast_metrics::energy_per_delivered_byte_uj(
+                report.total_energy_j,
+                report.delivered,
+                report.data_bytes_tx,
+                report.data_packets_tx,
+            ),
             Metric::ControlOverhead => report.control_bytes_per_data_byte,
             Metric::DelayMs => report.avg_delay_ms,
             Metric::MeanRecoveryS => report.convergence.as_ref().map_or(0.0, |c| {
@@ -88,6 +99,7 @@ impl Metric {
             Metric::Pdr => "Packet Delivery Ratio",
             Metric::Unavailability => "Unavailability Ratio",
             Metric::EnergyPerPacketMj => "Energy per Packet Delivered (mJ)",
+            Metric::EnergyPerByteUj => "Energy per Byte Delivered (uJ)",
             Metric::ControlOverhead => "Control Bytes per Data Byte Delivered",
             Metric::DelayMs => "Average Delay (ms)",
             Metric::MeanRecoveryS => "Mean Recovery Time after Fault (s)",
@@ -185,6 +197,12 @@ mod tests {
         assert_eq!(Metric::Pdr.extract(&report), report.pdr);
         assert_eq!(Metric::DelayMs.extract(&report), report.avg_delay_ms);
         assert_eq!(Metric::EnergyPerPacketMj.extract(&report), report.energy_per_delivered_mj);
+        // Per-byte energy is the per-packet figure divided by the mean data packet
+        // size (mJ → µJ is ×1000, bytes in the denominator).
+        let mean_bytes = report.data_bytes_tx as f64 / report.data_packets_tx as f64;
+        let per_byte = Metric::EnergyPerByteUj.extract(&report);
+        assert!(per_byte > 0.0);
+        assert!((per_byte - report.energy_per_delivered_mj * 1000.0 / mean_bytes).abs() < 1e-9);
         assert!(!Metric::ControlOverhead.label().is_empty());
         // No MacStats block (default policy) reads as a zero collision rate …
         assert!(report.mac.is_none());

@@ -12,16 +12,23 @@
 //!   sharded coordinator applied specials only after draining the instant, so
 //!   same-instant events ran pre-blackout);
 //! * the TDMA two-hop claim piggyback now ships the sender's claim row with the frame
-//!   (previously it read the live table and was disabled under sharding).
+//!   (previously it read the live table and was disabled under sharding);
+//! * probed runs now apply every seeded fault coordinator-side with a per-fault
+//!   observation, mirroring the sequential engine's fault-by-fault probe snapshots —
+//!   the last documented probe-burst deviation is gone (see the burst-heavy test);
+//! * harvest wakes route through the owning shard's queue, so sharded perpetual runs
+//!   are no longer silently declined (see the harvest test, shards ∈ {1, 2, 8}).
 //!
-//! The plans are injected directly into the built `SimSetup` (not via `FaultPlanSpec`),
-//! so the runs are unprobed: probe-burst snapshots remain a documented sharded
-//! deviation, and seeded spec draws could not hit an event instant exactly anyway.
+//! Most plans are injected directly into the built `SimSetup` (not via
+//! `FaultPlanSpec`), keeping those runs unprobed so each pin isolates one mechanism;
+//! the burst-heavy test goes through the spec on purpose to exercise the probed path.
 
 use ssmcast::core::MetricKind;
 use ssmcast::dessim::{SeedSequence, SimDuration, SimTime};
-use ssmcast::manet::{FaultKind, FaultPlan, MacConfig, NodeId, SimReport};
-use ssmcast::scenario::{build_mobility, build_setup, MobilityKind, ProtocolKind, Scenario};
+use ssmcast::manet::{FaultKind, FaultPlan, HarvestConfig, MacConfig, NodeId, SimReport};
+use ssmcast::scenario::{
+    build_mobility, build_setup, run_protocol, MobilityKind, ProtocolKind, Scenario,
+};
 
 /// Stationary, loss-free, collision-free, jitter-free physics: the regime in which the
 /// sharded engine's coarser discretisation collapses onto the sequential one.
@@ -193,4 +200,78 @@ fn churned_zero_energy_runs_are_engine_equivalent() {
     let report = assert_engine_equivalent(&s, ProtocolKind::Odmrp, &plan, "churned multi-group");
     let groups = report.groups.expect("churned runs attach per-group blocks");
     assert_eq!(groups.len(), 2);
+}
+
+/// Run `scenario` through the normal spec-driven runner (faults seeded from
+/// `scenario.faults`, hence *probed*). `shards == 0` selects the sequential engine.
+fn run_spec(scenario: &Scenario, kind: ProtocolKind, shards: u32) -> SimReport {
+    let mut s = *scenario;
+    if shards > 0 {
+        s = s.with_shards(shards);
+    }
+    run_protocol(&s, kind.to_protocol().as_ref())
+}
+
+#[test]
+fn probed_burst_heavy_runs_are_engine_equivalent() {
+    // Each burst corrupts ~half the grid at one instant and the run is probed, so the
+    // coordinator must observe the stabilization probe after *each* applied fault with
+    // that fault's own state — the sequential engine's fault-by-fault snapshots.
+    // Pre-fix, the sharded path batched same-instant bursts into one observation and
+    // the convergence block diverged.
+    let mut s = exact_physics_scenario();
+    s.faults.corruption_bursts = 5;
+    s.faults.corruption_fraction = 0.5;
+    s.faults.window_start_s = 4.0;
+    s.faults.window_end_s = 14.0;
+    let sequential = run_spec(&s, ProtocolKind::SsSpst(MetricKind::EnergyAware), 0);
+    let seq_bytes = serde_json::to_string(&sequential).expect("reports serialize");
+    for shards in [1u32, 3] {
+        let sharded = run_spec(&s, ProtocolKind::SsSpst(MetricKind::EnergyAware), shards);
+        let sh_bytes = serde_json::to_string(&sharded).expect("reports serialize");
+        assert_eq!(
+            seq_bytes, sh_bytes,
+            "probed burst-heavy sharded ({shards}) report diverged from the sequential engine"
+        );
+    }
+    let convergence = sequential.convergence.expect("probed runs attach a convergence block");
+    assert!(
+        convergence.recovered + convergence.unrecovered >= 1,
+        "the bursts must open at least one stabilization episode"
+    );
+}
+
+#[test]
+fn harvest_enabled_runs_are_engine_equivalent_at_every_shard_count() {
+    // Finite batteries with continuous idle drain, deaths well inside the horizon, and
+    // harvest-until-threshold wakes short enough for several death/revive cycles: the
+    // sharded engine must route each wake through the owning shard's queue and fold
+    // revived nodes into the same lifetime accounting the sequential loop produces.
+    // Pre-fix the sharded engine silently dropped `HarvestConfig::on` entirely.
+    let mut s = exact_physics_scenario();
+    s.battery_capacity_j = 0.03;
+    s.lifecycle = s.lifecycle.with_idle_power(2e-3, 1e-4);
+    s.harvest = HarvestConfig::on(0.004, 0.01, 0.2);
+    let plan = |_: &Scenario| FaultPlan::new();
+    let sequential = run_with_plan(&s, ProtocolKind::Flooding, 0, &plan);
+    let seq_bytes = serde_json::to_string(&sequential).expect("reports serialize");
+    for shards in [1u32, 2, 8] {
+        let sharded = run_with_plan(&s, ProtocolKind::Flooding, shards, &plan);
+        let sh_bytes = serde_json::to_string(&sharded).expect("reports serialize");
+        assert_eq!(
+            seq_bytes, sh_bytes,
+            "harvest-enabled sharded ({shards}) report diverged from the sequential engine"
+        );
+    }
+    let lifetime = sequential.lifetime.expect("finite batteries attach a lifetime block");
+    assert!(lifetime.deaths > 0, "the scenario must actually deplete nodes");
+    assert!(
+        lifetime.first_death_s.is_some_and(|t| t < s.duration_s),
+        "first depletion lands inside the run"
+    );
+    assert!(
+        lifetime.alive_curve.windows(2).any(|w| w[1] > w[0]),
+        "harvest wakes must revive depleted nodes (the alive curve rises somewhere): {:?}",
+        lifetime.alive_curve
+    );
 }

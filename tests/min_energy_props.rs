@@ -1,0 +1,124 @@
+//! Property tests for the minimum-energy baselines' two load-bearing primitives:
+//!
+//! * `DutySchedule::next_awake_at` — the query DCA-Forward uses to defer a
+//!   transmission into a receiver's wake window. Its contract: the returned instant is
+//!   `>= t`, the node is awake at it, and **no awake time exists strictly between**
+//!   (cross-checked exactly via `awake_between`, which integrates scheduled-awake time
+//!   over the interval).
+//! * `min_energy_tree` — the BIP greedy behind MEM-Tree. Its contract: the broadcast
+//!   tree never costs more transmit power than paying each tree link as a unicast, and
+//!   it is a source-rooted, acyclic cover of exactly the source's connected component.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ssmcast::core::{min_energy_tree, tree_tx_power, MetricParams, MulticastTopology};
+use ssmcast::dessim::{SimDuration, SimTime};
+use ssmcast::manet::{DutySchedule, NodeId, TopologySnapshot, Vec2};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// `next_awake_at` returns the *earliest* awake instant ≥ t: awake at the result,
+    /// nothing awake strictly before it, identity when already awake.
+    #[test]
+    fn next_awake_at_is_the_earliest_awake_instant(
+        period_ms in 1u64..5_000,
+        awake_frac in 0.01f64..1.0,
+        phase_ns in 0u64..5_000_000_000,
+        t_ns in 0u64..600_000_000_000,
+    ) {
+        let period_ns = period_ms * 1_000_000;
+        let awake_ns = ((period_ns as f64 * awake_frac) as u64).max(1);
+        let duty = DutySchedule::with_phases(period_ns, awake_ns, vec![phase_ns]);
+        let node = NodeId(0);
+        let t = SimTime::from_nanos(t_ns);
+        let w = duty.next_awake_at(node, t);
+        prop_assert!(w >= t, "result must not precede the query instant");
+        prop_assert!(duty.is_awake(node, w), "result must be an awake instant");
+        // Identity exactly when already awake …
+        prop_assert_eq!(w == t, duty.is_awake(node, t));
+        // … and zero scheduled-awake time in [t, w): no earlier awake instant exists.
+        prop_assert_eq!(
+            duty.awake_between(node, t, w),
+            SimDuration::ZERO,
+            "an awake instant exists strictly before the returned one"
+        );
+        // The result is never more than one full period away.
+        prop_assert!(w.saturating_since(t).as_nanos() < period_ns);
+    }
+
+    /// On random geometric graphs, the BIP tree's broadcast power (each transmitting
+    /// node priced once, at its farthest child) never exceeds the per-link unicast sum
+    /// over the same edges, and the tree spans exactly the source's connected
+    /// component, acyclically, rooted at the source.
+    #[test]
+    fn bip_tree_is_cheap_rooted_and_spans_the_source_component(
+        seed in 0u64..10_000,
+        n in 2usize..24,
+        range in 120.0f64..400.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let positions: Vec<Vec2> = (0..n)
+            .map(|_| Vec2::new(rng.gen::<f64>() * 600.0, rng.gen::<f64>() * 600.0))
+            .collect();
+        let snap = TopologySnapshot::new(positions, range);
+        let members: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+        let topo = MulticastTopology::from_snapshot(&snap, NodeId(0), members);
+        let params = MetricParams::default();
+        let tree = min_energy_tree(&topo, &params);
+
+        // Broadcast advantage: one priced transmission per transmitting node is never
+        // dearer than paying every tree link individually.
+        let unicast: f64 =
+            tree.edges(&topo).filter_map(|(_, _, d)| d).map(|d| params.tx(d)).sum();
+        let broadcast = tree_tx_power(&tree, &topo, &params);
+        prop_assert!(
+            broadcast <= unicast + 1e-9,
+            "broadcast power {broadcast} exceeds unicast sum {unicast}"
+        );
+
+        // Reachability from the source over the topology (BFS) …
+        let mut reachable = vec![false; n];
+        reachable[0] = true;
+        let mut frontier = vec![NodeId(0)];
+        while let Some(u) = frontier.pop() {
+            for &(v, _) in topo.neighbors(u) {
+                if !reachable[v.index()] {
+                    reachable[v.index()] = true;
+                    frontier.push(v);
+                }
+            }
+        }
+        // … must match tree coverage exactly: every reachable non-source node has a
+        // parent, every unreachable node stays parentless.
+        for (i, &r) in reachable.iter().enumerate().skip(1) {
+            let v = NodeId(i as u32);
+            prop_assert_eq!(
+                tree.parent(v).is_some(),
+                r,
+                "node {} coverage disagrees with reachability", i
+            );
+        }
+        prop_assert!(tree.parent(NodeId(0)).is_none(), "the source has no parent");
+
+        // Source-rooted and acyclic: every parent chain reaches the source within n
+        // hops, and every tree edge is a real (current) adjacency.
+        for (i, &r) in reachable.iter().enumerate().skip(1) {
+            let mut v = NodeId(i as u32);
+            let mut hops = 0;
+            while let Some(p) = tree.parent(v) {
+                prop_assert!(
+                    topo.distance(p, v).is_some(),
+                    "tree edge {p:?} -> {v:?} is not an adjacency"
+                );
+                v = p;
+                hops += 1;
+                prop_assert!(hops <= n, "parent chain from node {} cycles", i);
+            }
+            if r {
+                prop_assert_eq!(v, NodeId(0), "chain from node {} must end at the source", i);
+            }
+        }
+    }
+}
